@@ -1,0 +1,473 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the quantitative experiments implied by the theorems and the
+// design-choice ablations called out in DESIGN.md §5. Domain metrics
+// (round counts, load ratios, answer fractions) are attached to each
+// benchmark via b.ReportMetric, so `go test -bench . -benchmem`
+// regenerates the paper's numbers alongside timing data.
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/experiments"
+	"repro/internal/hypercube"
+	"repro/internal/localjoin"
+	"repro/internal/multiround"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/skew"
+	"repro/internal/theory"
+	"repro/internal/witness"
+)
+
+// BenchmarkTable1 regenerates Table 1 (expected answer sizes, vertex
+// covers, share exponents, τ*, space exponents).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(io.Discard, 200, 3, 2013); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (rounds/space tradeoffs).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 solves both Figure 1 LPs for the running examples.
+func BenchmarkFigure1(b *testing.B) {
+	qs := []*query.Query{query.Chain(3), query.Cycle(3), query.Star(3), query.Binom(4, 2)}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure1(io.Discard, qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHCLoad measures the one-round HyperCube max load against
+// the Proposition 3.2 bound (experiment E-HC), one sub-benchmark per
+// query family and p.
+func BenchmarkHCLoad(b *testing.B) {
+	for _, tc := range []struct {
+		q *query.Query
+		p int
+	}{
+		{query.Cycle(3), 64},
+		{query.Cycle(3), 256},
+		{query.Chain(3), 64},
+		{query.Star(3), 64},
+	} {
+		b.Run(fmt.Sprintf("%s/p=%d", tc.q.Name, tc.p), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, 1))
+			n := 3000
+			db := relation.MatchingDatabase(rng, tc.q, n)
+			a, err := core.Analyze(tc.q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			epsF, _ := a.SpaceExponent.Float64()
+			var ratio float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := hypercube.Run(tc.q, db, tc.p, hypercube.Options{
+					Epsilon: epsF, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tauF, _ := a.Tau.Float64()
+				bound := float64(tc.q.NumAtoms()) * hypercube.TheoreticalLoad(n, tc.p, tauF)
+				ratio = float64(res.Stats.MaxLoadTuples()) / bound
+			}
+			b.ReportMetric(ratio, "load/bound")
+		})
+	}
+}
+
+// BenchmarkOneRoundFraction runs the Prop 3.11 sampled algorithm below
+// the space exponent (experiment E-LB1) and reports the found answer
+// fraction against the Theorem 3.3 ceiling.
+func BenchmarkOneRoundFraction(b *testing.B) {
+	for _, p := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("C3/eps=0/p=%d", p), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2, 2))
+			q := query.Cycle(3)
+			n := 2000
+			const trials = 12 // E[|C3|] = 1 per db; aggregate for a stable fraction
+			var measured, predicted float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				found, total := 0, 0
+				for trial := 0; trial < trials; trial++ {
+					db := relation.MatchingDatabase(rng, q, n)
+					truth, err := core.GroundTruth(q, db)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := hypercube.RunSampled(q, db, p, hypercube.Options{
+						Epsilon: 0, Seed: rng.Uint64(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					found += len(res.Answers)
+					total += len(truth)
+				}
+				if total > 0 {
+					measured = float64(found) / float64(total)
+				}
+				var err error
+				predicted, err = theory.OneRoundFraction(q, 0, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(measured, "fraction")
+			b.ReportMetric(predicted, "ceiling")
+		})
+	}
+}
+
+// BenchmarkMultiRound builds and executes Γ^r_ε plans (experiment
+// E-MR), reporting the executed round count.
+func BenchmarkMultiRound(b *testing.B) {
+	for _, tc := range []struct {
+		k       int
+		eps     *big.Rat
+		epsName string
+	}{
+		{8, big.NewRat(0, 1), "0"},
+		{16, big.NewRat(0, 1), "0"},
+		{16, big.NewRat(1, 2), "1_2"},
+		{64, big.NewRat(1, 2), "1_2"},
+	} {
+		b.Run(fmt.Sprintf("L%d/eps=%s", tc.k, tc.epsName), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(3, 3))
+			q := query.Chain(tc.k)
+			db := relation.MatchingDatabase(rng, q, 500)
+			var rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := multiround.Build(q, tc.eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := multiround.Execute(plan, db, 16, multiround.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkRoundBounds verifies the (ε,r)-plan certificates
+// (experiment E-RLB).
+func BenchmarkRoundBounds(b *testing.B) {
+	epss := []*big.Rat{big.NewRat(0, 1), big.NewRat(1, 2)}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RoundBounds(io.Discard, epss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConnectedComponents runs the Theorem 4.10 experiment
+// (E-CC), reporting the round count of each strategy on the layered
+// family.
+func BenchmarkConnectedComponents(b *testing.B) {
+	for _, p := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(4, 4))
+			layers := 2
+			for layers*layers < p {
+				layers++
+			}
+			g, err := cc.Layered(rng, layers, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var nm, h2m int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rn, err := cc.Run(g, cc.NeighborMin, cc.Options{Workers: p, Epsilon: 0.5, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rh, err := cc.Run(g, cc.HashToMin, cc.Options{Workers: p, Epsilon: 0.5, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nm, h2m = rn.Rounds, rh.Rounds
+			}
+			b.ReportMetric(float64(nm), "neighbor-min-rounds")
+			b.ReportMetric(float64(h2m), "hash-to-min-rounds")
+		})
+	}
+}
+
+// BenchmarkWitness runs the Proposition 3.12 JOIN-WITNESS experiment
+// (E-WIT) and reports the conditional success probability.
+func BenchmarkWitness(b *testing.B) {
+	for _, tc := range []struct {
+		p   int
+		eps float64
+	}{
+		{64, 0.0},
+		{64, 0.5},
+	} {
+		b.Run(fmt.Sprintf("p=%d/eps=%.1f", tc.p, tc.eps), func(b *testing.B) {
+			var prob float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(5, uint64(i)))
+				pr, err := witness.SuccessProbability(rng, 144, tc.p, tc.eps, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prob = pr
+			}
+			b.ReportMetric(prob, "success")
+		})
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkShareRounding compares greedy vs floor-only integer share
+// rounding by realized grid utilization.
+func BenchmarkShareRounding(b *testing.B) {
+	q := query.Triangle()
+	for _, mode := range []struct {
+		name string
+		m    hypercube.RoundingMode
+	}{
+		{"greedy", hypercube.GreedyRounding},
+		{"floor", hypercube.FloorRounding},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var util float64
+			p := 50 // not a perfect cube: rounding matters
+			for i := 0; i < b.N; i++ {
+				s, err := hypercube.SharesForQuery(q, p, mode.m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = float64(s.GridSize()) / float64(p)
+			}
+			b.ReportMetric(util, "grid-utilization")
+		})
+	}
+}
+
+// BenchmarkHashSkew measures the max/mean load ratio of the HC hash
+// routing on matching databases (hashing quality ablation).
+func BenchmarkHashSkew(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	q := query.Triangle()
+	n := 4000
+	p := 64
+	db := relation.MatchingDatabase(rng, q, n)
+	var skew float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hypercube.Run(q, db, p, hypercube.Options{Epsilon: 1.0 / 3.0, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := res.Stats.Rounds[0].TotalTuples
+		mean := float64(total) / float64(p)
+		skew = float64(res.Stats.MaxLoadTuples()) / mean
+	}
+	b.ReportMetric(skew, "max/mean")
+}
+
+// BenchmarkLocalJoin compares the two per-worker join strategies.
+func BenchmarkLocalJoin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	q := query.Cycle(3)
+	n := 400
+	db := relation.MatchingDatabase(rng, q, n)
+	bindings, err := localjoin.FromDatabase(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []localjoin.Strategy{localjoin.HashJoin, localjoin.Backtracking} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := localjoin.Evaluate(q, bindings, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCCStrategies times neighbor-min vs hash-to-min end to end.
+func BenchmarkCCStrategies(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	g, err := cc.Layered(rng, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, algo := range []cc.Algorithm{cc.NeighborMin, cc.HashToMin} {
+		b.Run(algo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cc.Run(g, algo, cc.Options{Workers: 16, Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSkewJoin contrasts the two routing disciplines on Zipf
+// inputs (experiment E-SKEW), reporting the max-load ratio vs ideal.
+func BenchmarkSkewJoin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	n, p := 3000, 32
+	r, s := skew.ZipfJoinInput(rng, n, 1.1)
+	ideal := 2 * float64(n) / float64(p)
+	for _, mode := range []skew.Mode{skew.Standard, skew.Resilient} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := skew.RunJoin(r, s, p, mode, skew.Options{Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(res.MaxLoadTuples) / ideal
+			}
+			b.ReportMetric(ratio, "load/ideal")
+		})
+	}
+}
+
+// BenchmarkOptimalShares times the exhaustive size-aware share search
+// (experiment E-OPT) and reports its advantage over cover shares.
+func BenchmarkOptimalShares(b *testing.B) {
+	q := query.CartesianPair()
+	sizes := map[string]int{"R": 1000, "S": 64000}
+	p := 64
+	coverShares, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coverCost, err := hypercube.CommunicationCost(q, coverShares, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := hypercube.OptimalSharesForSizes(q, sizes, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optCost, err := hypercube.CommunicationCost(q, opt, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(coverCost) / float64(optCost)
+	}
+	b.ReportMetric(gain, "cover/optimal")
+}
+
+// BenchmarkFriedgut times the inequality verification (experiment
+// E-FRIED).
+func BenchmarkFriedgut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FriedgutCheck(io.Discard, 10, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnowledge runs the bit-budgeted knowledge experiment
+// (E-KNOW, Lemmas 3.6/3.7).
+func BenchmarkKnowledge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Knowledge(io.Discard, 60, 20, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanBuilders compares the greedy Γ^r_ε builder with the
+// literal Lemma 4.3 radial construction, reporting round counts.
+func BenchmarkPlanBuilders(b *testing.B) {
+	q := query.SpokedWheel(4)
+	eps := big.NewRat(0, 1)
+	b.Run("greedy", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			plan, err := multiround.Build(q, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = plan.Rounds()
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("radial", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			plan, err := multiround.BuildRadial(q, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = plan.Rounds()
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// --- micro benches for the substrates ---
+
+// BenchmarkLPSolve times the exact simplex on the Figure 1 LPs.
+func BenchmarkLPSolve(b *testing.B) {
+	for _, q := range []*query.Query{query.Cycle(6), query.Chain(10), query.Binom(5, 2)} {
+		b.Run(q.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cover.Solve(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHyperCubeRouting times tuple destination computation.
+func BenchmarkHyperCubeRouting(b *testing.B) {
+	q := query.Triangle()
+	s := &hypercube.Shares{Vars: q.Vars(), Dims: []int{4, 4, 4}}
+	h := hypercube.NewHasher(s, 9)
+	t := relation.Tuple{123, 456}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.Destinations(s, h, q.Atoms[0], t)
+	}
+}
+
+// BenchmarkMatchingGeneration times matching database generation.
+func BenchmarkMatchingGeneration(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	q := query.Cycle(3)
+	for i := 0; i < b.N; i++ {
+		relation.MatchingDatabase(rng, q, 10000)
+	}
+}

@@ -1,0 +1,145 @@
+// Command mpcplan analyzes a conjunctive query under the MPC(ε) model:
+// it prints the hypergraph statistics, both LPs of Figure 1 with their
+// optimal solutions, τ*, the one-round space exponent, HyperCube
+// shares for a given p, the multi-round plan, and round bounds.
+//
+// Usage:
+//
+//	mpcplan -query 'q(x,y,z) = R(x,y), S(y,z)' [-eps 0] [-p 64]
+//	mpcplan -family C5 [-eps 1/3] [-p 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hypercube"
+	"repro/internal/multiround"
+	"repro/internal/query"
+)
+
+func main() {
+	var (
+		queryStr  = flag.String("query", "", "conjunctive query, e.g. 'q(x,y) = R(x,y)'")
+		familyStr = flag.String("family", "", "query family: L<k>, C<k>, T<k>, SP<k>, B<k>_<m>")
+		epsStr    = flag.String("eps", "0", "space exponent ε as a fraction, e.g. 1/2")
+		p         = flag.Int("p", 64, "number of servers for share computation")
+	)
+	flag.Parse()
+	if err := run(*queryStr, *familyStr, *epsStr, *p); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryStr, familyStr, epsStr string, p int) error {
+	q, err := resolveQuery(queryStr, familyStr)
+	if err != nil {
+		return err
+	}
+	eps, err := parseRat(epsStr)
+	if err != nil {
+		return err
+	}
+	a, err := core.Analyze(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a)
+	if err := experiments.Figure1(os.Stdout, []*query.Query{q}); err != nil {
+		return err
+	}
+	if a.Connected {
+		shares, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("HyperCube shares for p=%d: %s (grid %d)\n", p, shares, shares.GridSize())
+		lower, upper, err := a.RoundBounds(eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rounds at ε=%s: lower %d, upper %d\n", eps.RatString(), lower, upper)
+		plan, err := multiround.Build(q, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+	}
+	return nil
+}
+
+// resolveQuery builds the query from either -query or -family.
+func resolveQuery(queryStr, familyStr string) (*query.Query, error) {
+	switch {
+	case queryStr != "" && familyStr != "":
+		return nil, fmt.Errorf("use either -query or -family, not both")
+	case queryStr != "":
+		return query.Parse(queryStr)
+	case familyStr != "":
+		return parseFamily(familyStr)
+	default:
+		return nil, fmt.Errorf("one of -query or -family is required")
+	}
+}
+
+// parseFamily reads L8, C5, T3, SP4, B4_2.
+func parseFamily(s string) (*query.Query, error) {
+	switch {
+	case strings.HasPrefix(s, "SP"):
+		k, err := strconv.Atoi(s[2:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.SpokedWheel(k), nil
+	case strings.HasPrefix(s, "B"):
+		parts := strings.SplitN(s[1:], "_", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("family %q: want B<k>_<m>", s)
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("family %q: bad numbers", s)
+		}
+		return query.Binom(k, m), nil
+	case strings.HasPrefix(s, "L"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Chain(k), nil
+	case strings.HasPrefix(s, "C"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Cycle(k), nil
+	case strings.HasPrefix(s, "T"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Star(k), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q (want L<k>, C<k>, T<k>, SP<k>, B<k>_<m>)", s)
+	}
+}
+
+// parseRat reads "1/2", "0.5" (limited to simple decimals), or "0".
+func parseRat(s string) (*big.Rat, error) {
+	r := new(big.Rat)
+	if _, ok := r.SetString(s); !ok {
+		return nil, fmt.Errorf("cannot parse %q as a rational", s)
+	}
+	if r.Sign() < 0 || r.Cmp(big.NewRat(1, 1)) >= 0 {
+		return nil, fmt.Errorf("ε = %s outside [0,1)", r.RatString())
+	}
+	return r, nil
+}

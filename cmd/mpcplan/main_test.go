@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseFamily(t *testing.T) {
+	cases := []struct {
+		in        string
+		atoms     int
+		wantError bool
+	}{
+		{"L5", 5, false},
+		{"C4", 4, false},
+		{"T3", 3, false},
+		{"SP2", 4, false},
+		{"B4_2", 6, false},
+		{"X9", 0, true},
+		{"L", 0, true},
+		{"B4", 0, true},
+		{"Bx_y", 0, true},
+		{"SPx", 0, true},
+		{"Cx", 0, true},
+		{"Tx", 0, true},
+	}
+	for _, c := range cases {
+		q, err := parseFamily(c.in)
+		if c.wantError {
+			if err == nil {
+				t.Errorf("parseFamily(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFamily(%q): %v", c.in, err)
+			continue
+		}
+		if q.NumAtoms() != c.atoms {
+			t.Errorf("parseFamily(%q): %d atoms, want %d", c.in, q.NumAtoms(), c.atoms)
+		}
+	}
+}
+
+func TestParseRat(t *testing.T) {
+	r, err := parseRat("1/2")
+	if err != nil || r.RatString() != "1/2" {
+		t.Errorf("parseRat(1/2) = %v, %v", r, err)
+	}
+	if _, err := parseRat("x"); err == nil {
+		t.Error("want error for garbage")
+	}
+	if _, err := parseRat("1"); err == nil {
+		t.Error("want error for ε = 1")
+	}
+	if _, err := parseRat("-1/2"); err == nil {
+		t.Error("want error for negative ε")
+	}
+}
+
+func TestResolveQuery(t *testing.T) {
+	if _, err := resolveQuery("", ""); err == nil {
+		t.Error("want error when neither flag is set")
+	}
+	if _, err := resolveQuery("R(x)", "L2"); err == nil {
+		t.Error("want error when both flags are set")
+	}
+	q, err := resolveQuery("R(x,y), S(y,z)", "")
+	if err != nil || q.NumAtoms() != 2 {
+		t.Errorf("resolveQuery text: %v, %v", q, err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Exercise the full analysis pipeline (output goes to stdout; we
+	// only assert it succeeds).
+	if err := run("", "C3", "1/3", 27); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("q(x,y) = R(x,y)", "", "0", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "nope", "0", 8); err == nil {
+		t.Error("want error for bad family")
+	}
+	if err := run("", "L4", "7/3", 8); err == nil {
+		t.Error("want error for bad epsilon")
+	}
+}

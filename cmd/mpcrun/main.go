@@ -1,0 +1,244 @@
+// Command mpcrun evaluates a conjunctive query over a freshly
+// generated random matching database in the simulated MPC(ε) cluster,
+// either in one round with the HyperCube algorithm or with a
+// multi-round Γ^r_ε plan, and reports communication statistics.
+//
+// Usage:
+//
+//	mpcrun -family C3 -n 10000 -p 64                 # one-round HC
+//	mpcrun -family L16 -n 5000 -p 64 -mode multi -eps 1/2
+//	mpcrun -query 'R(x,y),S(y,z)' -n 1000 -p 16
+//	mpcrun -query 'R(x,y),S(y,z)' -data 'R=r.csv,S=s.csv' -p 16
+//
+// Without -data, a random matching database over [n] is generated;
+// with -data, each named relation is loaded from a CSV file (header =
+// attribute names, rows = positive integers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		queryStr  = flag.String("query", "", "conjunctive query text")
+		familyStr = flag.String("family", "", "query family: L<k>, C<k>, T<k>, SP<k>, B<k>_<m>")
+		n         = flag.Int("n", 10000, "domain size (tuples per relation)")
+		p         = flag.Int("p", 64, "number of servers")
+		mode      = flag.String("mode", "one", "one | multi")
+		epsStr    = flag.String("eps", "", "space exponent (default: the query's 1-1/τ* for one-round, 0 for multi)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		capC      = flag.Float64("cap", 0, "receive-cap constant c (0 disables enforcement)")
+		show      = flag.Int("show", 5, "print at most this many answers")
+		dataStr   = flag.String("data", "", "comma-separated Rel=file.csv pairs; omit to generate a matching database")
+	)
+	flag.Parse()
+	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr string) error {
+	q, err := resolveQuery(queryStr, familyStr)
+	if err != nil {
+		return err
+	}
+	var db *relation.Database
+	if dataStr == "" {
+		rng := rand.New(rand.NewPCG(seed, 0xdb))
+		db = relation.MatchingDatabase(rng, q, n)
+	} else {
+		db, err = loadDatabase(q, dataStr)
+		if err != nil {
+			return err
+		}
+		n = db.N
+	}
+	fmt.Printf("query: %s\nn = %d, p = %d, input = %d bits\n", q, n, p, db.InputBits())
+
+	truth, err := core.GroundTruth(q, db)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "one":
+		eps := -1.0
+		if epsStr != "" {
+			r, err := parseRat(epsStr)
+			if err != nil {
+				return err
+			}
+			eps, _ = r.Float64()
+		}
+		res, err := core.EvaluateOneRound(q, db, p, core.OneRoundOptions{
+			Epsilon: eps, CapConstant: capC, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("one round (HyperCube), shares %s\n", res.Shares)
+		fmt.Printf("answers: %d / %d ground truth\n", len(res.Answers), len(truth))
+		fmt.Printf("max load: %d tuples, %d bits (cap %d, exceeded: %v)\n",
+			res.Stats.MaxLoadTuples(), res.Stats.MaxLoadBits(), res.ReceiveCap, res.CapExceeded)
+		fmt.Printf("replication: %.2fx input\n", res.Stats.Replication(db.InputBits()))
+		printAnswers(q, res.Answers, show)
+	case "multi":
+		epsRat := big.NewRat(0, 1)
+		if epsStr != "" {
+			epsRat, err = parseRat(epsStr)
+			if err != nil {
+				return err
+			}
+		}
+		res, err := core.EvaluateMultiRound(q, db, p, epsRat, core.MultiRoundOptions{
+			CapConstant: capC, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multi round at ε=%s: %d rounds\n", epsRat.RatString(), res.Rounds)
+		fmt.Printf("answers: %d / %d ground truth\n", len(res.Answers), len(truth))
+		fmt.Printf("max load: %d tuples/round, total %d bits (cap exceeded: %v)\n",
+			res.Stats.MaxLoadTuples(), res.Stats.TotalBits(), res.CapExceeded)
+		printAnswers(q, res.Answers, show)
+	default:
+		return fmt.Errorf("unknown -mode %q (want one or multi)", mode)
+	}
+	return nil
+}
+
+func printAnswers(q *query.Query, answers []relation.Tuple, show int) {
+	if show <= 0 {
+		return
+	}
+	fmt.Printf("sample answers over (%s):\n", strings.Join(q.Vars(), ","))
+	for i, t := range answers {
+		if i >= show {
+			fmt.Printf("  … %d more\n", len(answers)-show)
+			break
+		}
+		fmt.Printf("  %v\n", t)
+	}
+}
+
+// loadDatabase reads 'Rel=file.csv' pairs and validates them against
+// the query's atoms.
+func loadDatabase(q *query.Query, dataStr string) (*relation.Database, error) {
+	files := map[string]string{}
+	for _, pair := range strings.Split(dataStr, ",") {
+		eq := strings.Index(pair, "=")
+		if eq <= 0 || eq == len(pair)-1 {
+			return nil, fmt.Errorf("bad -data entry %q (want Rel=file.csv)", pair)
+		}
+		files[strings.TrimSpace(pair[:eq])] = strings.TrimSpace(pair[eq+1:])
+	}
+	maxVal := 1
+	var rels []*relation.Relation
+	for _, a := range q.Atoms {
+		path, ok := files[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("-data missing relation %s", a.Name)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relation.ReadCSV(f, a.Name)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if rel.Arity() != a.Arity() {
+			return nil, fmt.Errorf("relation %s from %s has arity %d, atom needs %d",
+				a.Name, path, rel.Arity(), a.Arity())
+		}
+		// Align the schema with the atom's variables.
+		rel.Attrs = append([]string(nil), a.Vars...)
+		if mv := rel.MaxValue(); mv > maxVal {
+			maxVal = mv
+		}
+		rels = append(rels, rel)
+	}
+	db := relation.NewDatabase(maxVal)
+	for _, rel := range rels {
+		db.AddRelation(rel)
+	}
+	return db, nil
+}
+
+func resolveQuery(queryStr, familyStr string) (*query.Query, error) {
+	switch {
+	case queryStr != "" && familyStr != "":
+		return nil, fmt.Errorf("use either -query or -family, not both")
+	case queryStr != "":
+		return query.Parse(queryStr)
+	case familyStr != "":
+		return parseFamily(familyStr)
+	default:
+		return nil, fmt.Errorf("one of -query or -family is required")
+	}
+}
+
+func parseFamily(s string) (*query.Query, error) {
+	switch {
+	case strings.HasPrefix(s, "SP"):
+		k, err := strconv.Atoi(s[2:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.SpokedWheel(k), nil
+	case strings.HasPrefix(s, "B"):
+		parts := strings.SplitN(s[1:], "_", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("family %q: want B<k>_<m>", s)
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("family %q: bad numbers", s)
+		}
+		return query.Binom(k, m), nil
+	case strings.HasPrefix(s, "L"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Chain(k), nil
+	case strings.HasPrefix(s, "C"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Cycle(k), nil
+	case strings.HasPrefix(s, "T"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		return query.Star(k), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", s)
+	}
+}
+
+func parseRat(s string) (*big.Rat, error) {
+	r := new(big.Rat)
+	if _, ok := r.SetString(s); !ok {
+		return nil, fmt.Errorf("cannot parse %q as a rational", s)
+	}
+	if r.Sign() < 0 || r.Cmp(big.NewRat(1, 1)) >= 0 {
+		return nil, fmt.Errorf("ε = %s outside [0,1)", r.RatString())
+	}
+	return r, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOneRoundMode(t *testing.T) {
+	if err := run("", "C3", 200, 8, "one", "", 1, 0, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit epsilon.
+	if err := run("", "L3", 100, 8, "one", "1/2", 1, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiMode(t *testing.T) {
+	if err := run("", "L4", 80, 8, "multi", "", 1, 0, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "L16", 50, 8, "multi", "1/2", 1, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 10, 4, "one", "", 1, 0, 0, ""); err == nil {
+		t.Error("want error: no query")
+	}
+	if err := run("R(x)", "L2", 10, 4, "one", "", 1, 0, 0, ""); err == nil {
+		t.Error("want error: both query and family")
+	}
+	if err := run("", "L2", 10, 4, "bogus", "", 1, 0, 0, ""); err == nil {
+		t.Error("want error: unknown mode")
+	}
+	if err := run("", "L2", 10, 4, "one", "nope", 1, 0, 0, ""); err == nil {
+		t.Error("want error: bad epsilon")
+	}
+	if err := run("", "L2", 10, 4, "multi", "3/2", 1, 0, 0, ""); err == nil {
+		t.Error("want error: epsilon out of range")
+	}
+}
+
+func TestRunWithCSVData(t *testing.T) {
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.csv")
+	sPath := filepath.Join(dir, "s.csv")
+	if err := os.WriteFile(rPath, []byte("x,y\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sPath, []byte("y,z\n2,5\n4,6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := "R=" + rPath + ",S=" + sPath
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "1/2", 1, 0, 10, data); err != nil {
+		t.Fatal(err)
+	}
+	// Missing relation in -data.
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath); err == nil {
+		t.Error("want error: S missing from -data")
+	}
+	// Malformed pair.
+	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R"); err == nil {
+		t.Error("want error: malformed -data")
+	}
+	// Nonexistent file.
+	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R="+filepath.Join(dir, "nope.csv")); err == nil {
+		t.Error("want error: missing file")
+	}
+	// Arity mismatch.
+	if err := run("q(x,y,z) = R(x,y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath); err == nil {
+		t.Error("want error: arity mismatch")
+	}
+}
+
+func TestParseFamilyRun(t *testing.T) {
+	for _, good := range []string{"L3", "C5", "T2", "SP3", "B3_2"} {
+		if _, err := parseFamily(good); err != nil {
+			t.Errorf("parseFamily(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "Q1", "L", "B1", "SPz"} {
+		if _, err := parseFamily(bad); err == nil {
+			t.Errorf("parseFamily(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package repro reproduces "Communication Steps for Parallel Query
+// Processing" (Paul Beame, Paraschos Koutris, Dan Suciu, PODS 2013;
+// arXiv:1306.5972) as a production-quality Go library.
+//
+// The repository implements the Massively Parallel Communication model
+// MPC(ε), the HyperCube one-round algorithm and its matching lower
+// bound apparatus, multi-round Γ^r_ε query plans, the (ε,r)-plan lower
+// bound machinery, and the connected-components reduction — together
+// with a goroutine-based cluster simulator, an exact rational LP
+// solver for the fractional vertex-cover/edge-packing programs, and a
+// benchmark harness that regenerates every table and figure of the
+// paper.
+//
+// Layout:
+//
+//	internal/lp          exact two-phase simplex over big.Rat
+//	internal/query       conjunctive queries and hypergraph machinery
+//	internal/cover       Figure 1 LPs, τ*, space exponents, shares
+//	internal/relation    tuples, relations, matching databases
+//	internal/mpc         the MPC(ε) cluster simulator
+//	internal/localjoin   per-worker join evaluation
+//	internal/hypercube   the HyperCube algorithm (Theorem 1.1)
+//	internal/multiround  Γ^r_ε plans and the round executor (§4.1)
+//	internal/theory      closed-form bounds, ε-good sets, (ε,r)-plans
+//	internal/cc          connected components (Theorem 4.10)
+//	internal/witness     JOIN-WITNESS (Proposition 3.12)
+//	internal/experiments the table/figure regeneration harness
+//	internal/core        the high-level facade API
+//	cmd/mpcplan          query analysis CLI
+//	cmd/mpcrun           cluster execution CLI
+//	cmd/mpcbench         experiment regeneration CLI
+//	examples/...         runnable end-to-end programs
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. Benchmarks in bench_test.go regenerate each experiment
+// under `go test -bench`.
+package repro

@@ -1,0 +1,520 @@
+// Package cc studies CONNECTED-COMPONENTS in the tuple-based MPC(ε)
+// model (Theorem 4.10 of Beame, Koutris, Suciu, PODS 2013).
+//
+// The theorem's lower bound reduces L_k (k = ⌊p^δ⌋) to connected
+// components on a layered graph: k+1 layers of n/(k+1) vertices with a
+// permutation between adjacent layers, so every component is a path
+// that crosses all layers — one output tuple of L_k. Any tuple-based
+// algorithm therefore needs Ω(log p) rounds on such sparse inputs.
+//
+// The package implements the layered-graph family, two tuple-based
+// label-propagation algorithms (neighbor-min, which needs Θ(diameter)
+// rounds, and a hash-to-min variant that converges in Θ(log diameter)
+// rounds), and the dense-graph contrast: when a single server may
+// receive the whole input (the regime of Karloff et al.), two rounds
+// suffice.
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/mpc"
+	"repro/internal/relation"
+)
+
+// Graph is an undirected graph over vertices 1..N with an edge list.
+type Graph struct {
+	// N is the number of vertices.
+	N int
+	// Edges holds each undirected edge once, as (u,v) tuples.
+	Edges [][2]int
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// EdgeRelation returns the graph as a binary relation with both
+// orientations of every edge, the form consumed by the MPC algorithms.
+func (g *Graph) EdgeRelation() *relation.Relation {
+	r := relation.New("E", "u", "v")
+	for _, e := range g.Edges {
+		r.Tuples = append(r.Tuples, relation.Tuple{e[0], e[1]})
+		r.Tuples = append(r.Tuples, relation.Tuple{e[1], e[0]})
+	}
+	return r
+}
+
+// InputBits returns the encoding size of the edge list.
+func (g *Graph) InputBits() int64 {
+	return int64(len(g.Edges)) * 2 * int64(relation.BitsPerValue(g.N))
+}
+
+// Layered builds the Theorem 4.10 input family: layers+1 layers of
+// width vertices each, a uniform random permutation matching between
+// adjacent layers. Every connected component is a path visiting all
+// layers, so the graph has exactly width components and diameter
+// layers.
+func Layered(rng *rand.Rand, layers, width int) (*Graph, error) {
+	if layers < 1 || width < 1 {
+		return nil, fmt.Errorf("cc: layers = %d, width = %d; need ≥ 1", layers, width)
+	}
+	g := &Graph{N: (layers + 1) * width}
+	vertex := func(layer, i int) int { return layer*width + i + 1 }
+	for l := 0; l < layers; l++ {
+		perm := rng.Perm(width)
+		for i := 0; i < width; i++ {
+			g.Edges = append(g.Edges, [2]int{vertex(l, i), vertex(l+1, perm[i])})
+		}
+	}
+	return g, nil
+}
+
+// RandomSparse builds a random graph with n vertices and m edges
+// (duplicates allowed, self-loops excluded).
+func RandomSparse(rng *rand.Rand, n, m int) (*Graph, error) {
+	if n < 2 || m < 0 {
+		return nil, fmt.Errorf("cc: n = %d, m = %d", n, m)
+	}
+	g := &Graph{N: n}
+	for len(g.Edges) < m {
+		u := rng.IntN(n) + 1
+		v := rng.IntN(n) + 1
+		if u == v {
+			continue
+		}
+		g.Edges = append(g.Edges, [2]int{u, v})
+	}
+	return g, nil
+}
+
+// SequentialComponents labels every vertex with the smallest vertex id
+// of its component using union-find — the ground truth.
+func SequentialComponents(g *Graph) map[int]int {
+	parent := make([]int, g.N+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			if ru < rv {
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+	// Label every vertex with its component's minimum vertex id.
+	labels := make(map[int]int, g.N)
+	minRep := make(map[int]int)
+	for v := 1; v <= g.N; v++ {
+		r := find(v)
+		if m, ok := minRep[r]; !ok || v < m {
+			minRep[r] = v
+		}
+	}
+	for v := 1; v <= g.N; v++ {
+		labels[v] = minRep[find(v)]
+	}
+	return labels
+}
+
+// Algorithm selects the label-propagation strategy.
+type Algorithm int
+
+// Available connected-components strategies.
+const (
+	// NeighborMin floods the minimum label along edges, one hop per
+	// round: Θ(diameter) rounds.
+	NeighborMin Algorithm = iota
+	// HashToMin maintains per-vertex cluster sets and contracts them
+	// toward the minimum, doubling reach per round: Θ(log diameter)
+	// rounds on paths.
+	HashToMin
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case NeighborMin:
+		return "neighbor-min"
+	case HashToMin:
+		return "hash-to-min"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures an MPC connected-components run.
+type Options struct {
+	// Workers is p.
+	Workers int
+	// Epsilon is the space exponent for the receive cap.
+	Epsilon float64
+	// CapConstant is c; ≤ 0 disables enforcement.
+	CapConstant float64
+	// MaxRounds aborts runaway propagation (0 means 4·N, effectively
+	// unbounded for correct algorithms).
+	MaxRounds int
+	// Seed drives vertex-to-worker placement.
+	Seed uint64
+}
+
+// Result reports a run.
+type Result struct {
+	// Labels maps every vertex to its component label (the component's
+	// minimum vertex id).
+	Labels map[int]int
+	// Rounds is the number of communication rounds used, including the
+	// initial edge distribution round.
+	Rounds int
+	// Stats is the engine's communication record.
+	Stats *mpc.Stats
+	// CapExceeded reports whether the receive budget was violated.
+	CapExceeded bool
+}
+
+// Run executes the chosen algorithm on g in the tuple-based MPC(ε)
+// model and returns per-vertex component labels.
+func Run(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("cc: Workers = %d", opts.Workers)
+	}
+	switch algo {
+	case NeighborMin:
+		return runNeighborMin(g, opts)
+	case HashToMin:
+		return runHashToMin(g, opts)
+	default:
+		return nil, fmt.Errorf("cc: unknown algorithm %v", algo)
+	}
+}
+
+// owner assigns vertices to workers by hash.
+func owner(v int, seed uint64, p int) int {
+	z := uint64(v) + seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int((z ^ (z >> 31)) % uint64(p))
+}
+
+func newCluster(g *Graph, opts Options) (*mpc.Cluster, error) {
+	return mpc.NewCluster(mpc.Config{
+		Workers:     opts.Workers,
+		Epsilon:     opts.Epsilon,
+		InputBits:   g.InputBits(),
+		CapConstant: opts.CapConstant,
+		DomainN:     g.N,
+	})
+}
+
+func maxRounds(g *Graph, opts Options) int {
+	if opts.MaxRounds > 0 {
+		return opts.MaxRounds
+	}
+	return 4*g.N + 8
+}
+
+// runNeighborMin: edges are distributed to the owner of their source
+// endpoint; every round each worker sends, for each held edge (u,v),
+// the current label of u to the owner of v. Labels only decrease;
+// the algorithm stops one round after no label changes.
+func runNeighborMin(g *Graph, opts Options) (*Result, error) {
+	p := opts.Workers
+	cluster, err := newCluster(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	capExceeded := false
+	// Round 1: distribute both edge orientations to the source owner.
+	edges := g.EdgeRelation()
+	if err := cluster.Scatter(edges, func(t relation.Tuple) []int {
+		return []int{owner(t[0], opts.Seed, p)}
+	}); err != nil {
+		if isCap(err) {
+			capExceeded = true
+		} else {
+			return nil, err
+		}
+	}
+	// Per-worker state: adjacency and labels of owned vertices.
+	adj := make([]map[int][]int, p)
+	labels := make([]map[int]int, p)
+	for i := 0; i < p; i++ {
+		adj[i] = make(map[int][]int)
+		labels[i] = make(map[int]int)
+		for _, t := range cluster.Worker(i).Received("E") {
+			adj[i][t[0]] = append(adj[i][t[0]], t[1])
+			labels[i][t[0]] = t[0]
+		}
+	}
+	seen := make(map[int]int, p) // per-worker count of consumed "prop" tuples
+	limit := maxRounds(g, opts)
+	for round := 0; round < limit; round++ {
+		// Every worker proposes labels to neighbors.
+		err := cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
+			per := make(map[int]*mpc.Message)
+			for u, ns := range adj[w.ID] {
+				lbl := labels[w.ID][u]
+				for _, v := range ns {
+					dst := owner(v, opts.Seed, p)
+					m, ok := per[dst]
+					if !ok {
+						m = &mpc.Message{To: dst, Rel: "prop"}
+						per[dst] = m
+					}
+					m.Tuples = append(m.Tuples, relation.Tuple{v, lbl})
+				}
+			}
+			return collect(per)
+		})
+		if err != nil {
+			if isCap(err) {
+				capExceeded = true
+			} else {
+				return nil, err
+			}
+		}
+		// Apply proposals (local computation; the engine's store is
+		// append-only, so track the consumed prefix).
+		changed := false
+		for i := 0; i < p; i++ {
+			w := cluster.Worker(i)
+			props := w.Received("prop")
+			for _, t := range props[seen[i]:] {
+				v, lbl := t[0], t[1]
+				if cur, ok := labels[i][v]; ok && lbl < cur {
+					labels[i][v] = lbl
+					changed = true
+				}
+			}
+			seen[i] = len(props)
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make(map[int]int, g.N)
+	for i := 0; i < p; i++ {
+		for v, l := range labels[i] {
+			out[v] = l
+		}
+	}
+	return &Result{
+		Labels:      out,
+		Rounds:      cluster.Stats().NumRounds(),
+		Stats:       cluster.Stats(),
+		CapExceeded: capExceeded,
+	}, nil
+}
+
+// runHashToMin: every vertex v keeps a cluster set C(v), initially
+// {v} ∪ neighbors. Each round v sends min C(v) to every u ∈ C(v) and
+// C(v) to the owner of min C(v); sets then absorb what arrived.
+// On path graphs the reach doubles each round.
+func runHashToMin(g *Graph, opts Options) (*Result, error) {
+	p := opts.Workers
+	cluster, err := newCluster(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	capExceeded := false
+	edges := g.EdgeRelation()
+	if err := cluster.Scatter(edges, func(t relation.Tuple) []int {
+		return []int{owner(t[0], opts.Seed, p)}
+	}); err != nil {
+		if isCap(err) {
+			capExceeded = true
+		} else {
+			return nil, err
+		}
+	}
+	sets := make([]map[int]map[int]bool, p) // worker → vertex → cluster set
+	for i := 0; i < p; i++ {
+		sets[i] = make(map[int]map[int]bool)
+		for _, t := range cluster.Worker(i).Received("E") {
+			u, v := t[0], t[1]
+			if sets[i][u] == nil {
+				sets[i][u] = map[int]bool{u: true}
+			}
+			sets[i][u][v] = true
+		}
+	}
+	seen := map[int]int{}
+	limit := maxRounds(g, opts)
+	for round := 0; round < limit; round++ {
+		err := cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
+			per := make(map[int]*mpc.Message)
+			emit := func(dstVertex int, payload relation.Tuple) {
+				dst := owner(dstVertex, opts.Seed, p)
+				m, ok := per[dst]
+				if !ok {
+					m = &mpc.Message{To: dst, Rel: "h2m"}
+					per[dst] = m
+				}
+				m.Tuples = append(m.Tuples, payload)
+			}
+			for v, set := range sets[w.ID] {
+				mn := v
+				for u := range set {
+					if u < mn {
+						mn = u
+					}
+				}
+				// Send the minimum to every member, and every member
+				// to the minimum. Tuples are (targetVertex, member).
+				for u := range set {
+					if u != mn {
+						emit(u, relation.Tuple{u, mn})
+						emit(mn, relation.Tuple{mn, u})
+					}
+				}
+			}
+			return collect(per)
+		})
+		if err != nil {
+			if isCap(err) {
+				capExceeded = true
+			} else {
+				return nil, err
+			}
+		}
+		changed := false
+		for i := 0; i < p; i++ {
+			w := cluster.Worker(i)
+			msgs := w.Received("h2m")
+			for _, t := range msgs[seen[i]:] {
+				v, member := t[0], t[1]
+				if sets[i][v] == nil {
+					sets[i][v] = map[int]bool{v: true}
+				}
+				if !sets[i][v][member] {
+					sets[i][v][member] = true
+					changed = true
+				}
+			}
+			seen[i] = len(msgs)
+		}
+		if !changed {
+			break
+		}
+	}
+	// Vertices may appear in several workers' sets; keep the minimum.
+	final := make(map[int]int, g.N)
+	for i := 0; i < p; i++ {
+		for v, set := range sets[i] {
+			mn := v
+			for u := range set {
+				if u < mn {
+					mn = u
+				}
+			}
+			if cur, ok := final[v]; !ok || mn < cur {
+				final[v] = mn
+			}
+		}
+	}
+	return &Result{
+		Labels:      final,
+		Rounds:      cluster.Stats().NumRounds(),
+		Stats:       cluster.Stats(),
+		CapExceeded: capExceeded,
+	}, nil
+}
+
+// DenseTwoRound is the Karloff-et-al contrast: when the receive budget
+// admits the entire input at one server (dense regime / ε = 1), the
+// whole edge list is sent to worker 0 in round one, labels are
+// computed locally, and round two distributes the labels back to the
+// vertices' owners. Exactly two communication rounds.
+func DenseTwoRound(g *Graph, opts Options) (*Result, error) {
+	p := opts.Workers
+	cluster, err := newCluster(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	capExceeded := false
+	edges := g.EdgeRelation()
+	if err := cluster.Scatter(edges, func(relation.Tuple) []int { return []int{0} }); err != nil {
+		if isCap(err) {
+			capExceeded = true
+		} else {
+			return nil, err
+		}
+	}
+	// Worker 0 computes components locally.
+	sub := &Graph{N: g.N}
+	for _, t := range cluster.Worker(0).Received("E") {
+		if t[0] < t[1] {
+			sub.Edges = append(sub.Edges, [2]int{t[0], t[1]})
+		}
+	}
+	labels := SequentialComponents(sub)
+	// Round 2: send (v, label) to the owner of v.
+	err = cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
+		if w.ID != 0 {
+			return nil
+		}
+		per := make(map[int]*mpc.Message)
+		vs := make([]int, 0, len(labels))
+		for v := range labels {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		for _, v := range vs {
+			dst := owner(v, opts.Seed, p)
+			m, ok := per[dst]
+			if !ok {
+				m = &mpc.Message{To: dst, Rel: "label"}
+				per[dst] = m
+			}
+			m.Tuples = append(m.Tuples, relation.Tuple{v, labels[v]})
+		}
+		return collect(per)
+	})
+	if err != nil {
+		if isCap(err) {
+			capExceeded = true
+		} else {
+			return nil, err
+		}
+	}
+	out := make(map[int]int, g.N)
+	for i := 0; i < p; i++ {
+		for _, t := range cluster.Worker(i).Received("label") {
+			out[t[0]] = t[1]
+		}
+	}
+	return &Result{
+		Labels:      out,
+		Rounds:      cluster.Stats().NumRounds(),
+		Stats:       cluster.Stats(),
+		CapExceeded: capExceeded,
+	}, nil
+}
+
+func collect(per map[int]*mpc.Message) []mpc.Message {
+	keys := make([]int, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]mpc.Message, 0, len(per))
+	for _, k := range keys {
+		out = append(out, *per[k])
+	}
+	return out
+}
+
+func isCap(err error) bool { return errors.Is(err, mpc.ErrCapExceeded) }

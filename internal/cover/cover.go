@@ -1,0 +1,299 @@
+// Package cover computes the fractional vertex cover and fractional
+// edge packing of a conjunctive query's hypergraph (the two dual LPs
+// of Figure 1 in Beame, Koutris, Suciu, PODS 2013), the fractional
+// covering number τ*(q), and the quantities derived from them: the
+// one-round space exponent ε = 1 − 1/τ* (Theorem 1.1) and the
+// HyperCube share exponents e_i = v_i/τ* (Section 3.1).
+//
+// All LP arithmetic is exact (math/big.Rat), so τ* and the exponents
+// are exact rationals; float accessors are provided for simulation
+// code.
+package cover
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/lp"
+	"repro/internal/query"
+)
+
+// Result bundles the solutions of the two dual LPs for one query.
+type Result struct {
+	// Query is the analyzed query.
+	Query *query.Query
+	// Tau is τ*(q), the common optimal value of both LPs.
+	Tau *big.Rat
+	// VertexCover holds v_i per variable, indexed like Query.Vars().
+	VertexCover []*big.Rat
+	// EdgePacking holds u_j per atom, indexed like Query.Atoms.
+	EdgePacking []*big.Rat
+}
+
+// VertexCoverLP builds the fractional vertex cover LP of Figure 1:
+// minimize Σ v_i subject to Σ_{i: x_i ∈ vars(S_j)} v_i ≥ 1 per atom.
+func VertexCoverLP(q *query.Query) *lp.Problem {
+	k := q.NumVars()
+	p := lp.NewProblem(k, false)
+	one := big.NewRat(1, 1)
+	for i := 0; i < k; i++ {
+		p.SetObjective(i, one)
+	}
+	for _, a := range q.Atoms {
+		coeffs := make([]*big.Rat, k)
+		for _, v := range a.DistinctVars() {
+			coeffs[q.VarIndex(v)] = one
+		}
+		p.AddConstraint(coeffs, lp.GE, one)
+	}
+	return p
+}
+
+// EdgePackingLP builds the fractional edge packing LP of Figure 1:
+// maximize Σ u_j subject to Σ_{j: x_i ∈ vars(S_j)} u_j ≤ 1 per variable.
+func EdgePackingLP(q *query.Query) *lp.Problem {
+	l := q.NumAtoms()
+	p := lp.NewProblem(l, true)
+	one := big.NewRat(1, 1)
+	for j := 0; j < l; j++ {
+		p.SetObjective(j, one)
+	}
+	for _, v := range q.Vars() {
+		coeffs := make([]*big.Rat, l)
+		for _, j := range q.AtomsOf(v) {
+			coeffs[j] = one
+		}
+		p.AddConstraint(coeffs, lp.LE, one)
+	}
+	return p
+}
+
+// Solve computes both LPs and verifies strong duality (the optima must
+// coincide — this is checked, not assumed, and a mismatch reports a
+// solver bug).
+func Solve(q *query.Query) (*Result, error) {
+	vc, err := lp.Solve(VertexCoverLP(q))
+	if err != nil {
+		return nil, fmt.Errorf("cover: vertex cover LP for %s: %w", q.Name, err)
+	}
+	if vc.Status != lp.Optimal {
+		return nil, fmt.Errorf("cover: vertex cover LP for %s: %v", q.Name, vc.Status)
+	}
+	ep, err := lp.Solve(EdgePackingLP(q))
+	if err != nil {
+		return nil, fmt.Errorf("cover: edge packing LP for %s: %w", q.Name, err)
+	}
+	if ep.Status != lp.Optimal {
+		return nil, fmt.Errorf("cover: edge packing LP for %s: %v", q.Name, ep.Status)
+	}
+	if vc.Value.Cmp(ep.Value) != 0 {
+		return nil, fmt.Errorf("cover: duality violated for %s: cover %s != packing %s",
+			q.Name, vc.Value.RatString(), ep.Value.RatString())
+	}
+	return &Result{
+		Query:       q,
+		Tau:         vc.Value,
+		VertexCover: vc.X,
+		EdgePacking: ep.X,
+	}, nil
+}
+
+// MustSolve is Solve that panics on error.
+func MustSolve(q *query.Query) *Result {
+	r, err := Solve(q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TauFloat returns τ* as a float64.
+func (r *Result) TauFloat() float64 {
+	f, _ := r.Tau.Float64()
+	return f
+}
+
+// SpaceExponent returns the one-round space exponent ε = 1 − 1/τ*
+// as an exact rational (Theorem 1.1). For τ* = 1 it is 0.
+func (r *Result) SpaceExponent() *big.Rat {
+	inv := new(big.Rat).Inv(r.Tau)
+	return new(big.Rat).Sub(big.NewRat(1, 1), inv)
+}
+
+// SpaceExponentFloat returns ε = 1 − 1/τ* as a float64.
+func (r *Result) SpaceExponentFloat() float64 {
+	f, _ := r.SpaceExponent().Float64()
+	return f
+}
+
+// ShareExponents returns the HyperCube share exponents e_i = v_i/τ,
+// where v is the optimal fractional vertex cover and τ = Σ v_i; the
+// exponents sum to exactly 1 (Section 3.1). Indexing follows
+// Query.Vars().
+func (r *Result) ShareExponents() []*big.Rat {
+	out := make([]*big.Rat, len(r.VertexCover))
+	for i, v := range r.VertexCover {
+		out[i] = new(big.Rat).Quo(v, r.Tau)
+	}
+	return out
+}
+
+// ShareExponentFloats returns ShareExponents as float64s.
+func (r *Result) ShareExponentFloats() []float64 {
+	es := r.ShareExponents()
+	out := make([]float64, len(es))
+	for i, e := range es {
+		out[i], _ = e.Float64()
+	}
+	return out
+}
+
+// CoverTight reports whether the vertex cover solution is tight:
+// every atom's constraint holds with equality.
+func (r *Result) CoverTight() bool {
+	one := big.NewRat(1, 1)
+	for _, a := range r.Query.Atoms {
+		sum := new(big.Rat)
+		for _, v := range a.DistinctVars() {
+			sum.Add(sum, r.VertexCover[r.Query.VarIndex(v)])
+		}
+		if sum.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PackingTight reports whether the edge packing solution is tight:
+// every variable's constraint holds with equality.
+func (r *Result) PackingTight() bool {
+	one := big.NewRat(1, 1)
+	for _, v := range r.Query.Vars() {
+		sum := new(big.Rat)
+		for _, j := range r.Query.AtomsOf(v) {
+			sum.Add(sum, r.EdgePacking[j])
+		}
+		if sum.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVertexCover reports whether v (indexed like q.Vars()) is a
+// feasible fractional vertex cover of q.
+func IsVertexCover(q *query.Query, v []*big.Rat) bool {
+	if len(v) != q.NumVars() {
+		return false
+	}
+	for _, x := range v {
+		if x == nil || x.Sign() < 0 {
+			return false
+		}
+	}
+	one := big.NewRat(1, 1)
+	for _, a := range q.Atoms {
+		sum := new(big.Rat)
+		for _, vr := range a.DistinctVars() {
+			sum.Add(sum, v[q.VarIndex(vr)])
+		}
+		if sum.Cmp(one) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTightCover reports whether v is a fractional vertex cover whose
+// constraints all hold with equality.
+func IsTightCover(q *query.Query, v []*big.Rat) bool {
+	if !IsVertexCover(q, v) {
+		return false
+	}
+	one := big.NewRat(1, 1)
+	for _, a := range q.Atoms {
+		sum := new(big.Rat)
+		for _, vr := range a.DistinctVars() {
+			sum.Add(sum, v[q.VarIndex(vr)])
+		}
+		if sum.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEdgePacking reports whether u (indexed like q.Atoms) is a feasible
+// fractional edge packing of q.
+func IsEdgePacking(q *query.Query, u []*big.Rat) bool {
+	if len(u) != q.NumAtoms() {
+		return false
+	}
+	for _, x := range u {
+		if x == nil || x.Sign() < 0 {
+			return false
+		}
+	}
+	one := big.NewRat(1, 1)
+	for _, v := range q.Vars() {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsOf(v) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTightPacking reports whether u is a fractional edge packing whose
+// constraints all hold with equality.
+func IsTightPacking(q *query.Query, u []*big.Rat) bool {
+	if !IsEdgePacking(q, u) {
+		return false
+	}
+	one := big.NewRat(1, 1)
+	for _, v := range q.Vars() {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsOf(v) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasUniversalVariable reports whether some variable occurs in every
+// atom. By Corollary 3.10 this holds iff τ*(q) = 1, i.e. iff q has
+// space exponent zero.
+func HasUniversalVariable(q *query.Query) bool {
+	for _, v := range q.Vars() {
+		if len(q.AtomsOf(v)) == q.NumAtoms() {
+			return true
+		}
+	}
+	return false
+}
+
+// GammaOne reports whether q ∈ Γ¹_ε: connected with
+// τ*(q) ≤ 1/(1−ε), i.e. computable in one round in MPC(ε) over
+// matching databases (Section 4.1). epsilon must be in [0,1).
+func GammaOne(q *query.Query, epsilon *big.Rat) (bool, error) {
+	if epsilon.Sign() < 0 || epsilon.Cmp(big.NewRat(1, 1)) >= 0 {
+		return false, fmt.Errorf("cover: ε = %s outside [0,1)", epsilon.RatString())
+	}
+	if !q.Connected() {
+		return false, nil
+	}
+	r, err := Solve(q)
+	if err != nil {
+		return false, err
+	}
+	// τ* ≤ 1/(1-ε)  ⇔  τ*·(1-ε) ≤ 1.
+	oneMinus := new(big.Rat).Sub(big.NewRat(1, 1), epsilon)
+	lhs := new(big.Rat).Mul(r.Tau, oneMinus)
+	return lhs.Cmp(big.NewRat(1, 1)) <= 0, nil
+}

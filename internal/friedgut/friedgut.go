@@ -1,0 +1,321 @@
+// Package friedgut implements the class of inequalities Friedgut
+// introduced ("Hypergraphs, entropy, and inequalities", AMM 2004) in
+// the query-centric form used by Section 2.6 of Beame, Koutris, Suciu
+// (PODS 2013):
+//
+// for a query q with atoms S_1,…,S_ℓ, weight functions
+// w_j : [n]^{a_j} → ℝ≥0 and a fractional edge cover u of q,
+//
+//	Σ_{a ∈ [n]^k} Π_j w_j(a_j)  ≤  Π_j ( Σ_{a_j} w_j(a_j)^{1/u_j} )^{u_j}
+//
+// with the convention lim_{u→0} (Σ w^{1/u})^u = max w for u_j = 0.
+//
+// Instantiating w_j as relation indicators yields the well-known
+// AGM-style output-size bound, e.g. |C3| ≤ √(|S1|·|S2|·|S3|); the
+// paper's one-round lower bound applies the inequality to knowledge
+// probabilities with a tight edge packing. This package evaluates both
+// sides exactly enough for verification (float64 with care), checks
+// edge covers, and exposes the size bound.
+package friedgut
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Weights assigns a non-negative weight to every tuple of an atom's
+// domain [n]^{a_j}. Missing tuples weigh zero, so sparse instantiation
+// (e.g. relation indicators) is cheap.
+type Weights struct {
+	// Arity is a_j.
+	Arity int
+	// W maps tuple keys (relation.Tuple.Key) to weights.
+	W map[string]float64
+}
+
+// NewWeights returns empty weights of the given arity.
+func NewWeights(arity int) *Weights {
+	return &Weights{Arity: arity, W: make(map[string]float64)}
+}
+
+// Set assigns weight w to tuple t.
+func (ws *Weights) Set(t relation.Tuple, w float64) error {
+	if len(t) != ws.Arity {
+		return fmt.Errorf("friedgut: tuple arity %d != %d", len(t), ws.Arity)
+	}
+	if w < 0 {
+		return fmt.Errorf("friedgut: negative weight %v", w)
+	}
+	ws.W[t.Key()] = w
+	return nil
+}
+
+// Get returns the weight of t (zero if unset).
+func (ws *Weights) Get(t relation.Tuple) float64 { return ws.W[t.Key()] }
+
+// IndicatorWeights builds 0/1 weights from a relation's tuples.
+func IndicatorWeights(r *relation.Relation) *Weights {
+	ws := NewWeights(r.Arity())
+	for _, t := range r.Tuples {
+		ws.W[t.Key()] = 1
+	}
+	return ws
+}
+
+// IsEdgeCover reports whether u (per atom, indexed like q.Atoms) is a
+// fractional edge cover of q: for every variable,
+// Σ_{j: x ∈ vars(S_j)} u_j ≥ 1 and u_j ≥ 0.
+func IsEdgeCover(q *query.Query, u []*big.Rat) bool {
+	if len(u) != q.NumAtoms() {
+		return false
+	}
+	for _, x := range u {
+		if x == nil || x.Sign() < 0 {
+			return false
+		}
+	}
+	one := big.NewRat(1, 1)
+	for _, v := range q.Vars() {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsOf(v) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LHS evaluates the left side Σ_{a ∈ [n]^k} Π_j w_j(a_j) by
+// enumerating only assignments supported by the sparse weights:
+// it joins the weighted tuples along the query (a weighted natural
+// join), which is exact and avoids the n^k enumeration.
+func LHS(q *query.Query, ws map[string]*Weights) (float64, error) {
+	for _, a := range q.Atoms {
+		w, ok := ws[a.Name]
+		if !ok {
+			return 0, fmt.Errorf("friedgut: no weights for atom %s", a.Name)
+		}
+		if w.Arity != a.Arity() {
+			return 0, fmt.Errorf("friedgut: weights for %s have arity %d, atom has %d",
+				a.Name, w.Arity, a.Arity())
+		}
+	}
+	// Weighted join: partial assignments to a growing set of variables
+	// carry the product of atom weights consumed so far. Atoms are
+	// consumed in connectivity order per component; cross-component
+	// results multiply.
+	total := 1.0
+	for _, comp := range q.Components() {
+		sum, err := weightedComponentSum(q, comp, ws)
+		if err != nil {
+			return 0, err
+		}
+		total *= sum
+	}
+	return total, nil
+}
+
+// weightedComponentSum computes the LHS restricted to one connected
+// component.
+func weightedComponentSum(q *query.Query, comp []int, ws map[string]*Weights) (float64, error) {
+	type partial struct {
+		binding map[string]int
+		weight  float64
+	}
+	ordered := orderComponent(q, comp)
+	parts := []partial{{binding: map[string]int{}, weight: 1}}
+	for _, ai := range ordered {
+		atom := q.Atoms[ai]
+		w := ws[atom.Name]
+		var next []partial
+		for _, p := range parts {
+			for key, wt := range w.W {
+				if wt == 0 {
+					continue
+				}
+				t, err := tupleFromKey(key, atom.Arity())
+				if err != nil {
+					return 0, err
+				}
+				nb, ok := extend(p.binding, atom, t)
+				if !ok {
+					continue
+				}
+				next = append(next, partial{binding: nb, weight: p.weight * wt})
+			}
+		}
+		parts = next
+		if len(parts) == 0 {
+			return 0, nil
+		}
+	}
+	sum := 0.0
+	for _, p := range parts {
+		sum += p.weight
+	}
+	return sum, nil
+}
+
+func orderComponent(q *query.Query, comp []int) []int {
+	var order []int
+	placed := map[int]bool{}
+	vars := map[string]bool{}
+	remaining := append([]int(nil), comp...)
+	for len(remaining) > 0 {
+		pick := -1
+		for i, ai := range remaining {
+			if len(placed) == 0 {
+				pick = i
+				break
+			}
+			for _, v := range q.Atoms[ai].Vars {
+				if vars[v] {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		ai := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		placed[ai] = true
+		for _, v := range q.Atoms[ai].Vars {
+			vars[v] = true
+		}
+		order = append(order, ai)
+	}
+	return order
+}
+
+func extend(binding map[string]int, atom query.Atom, t relation.Tuple) (map[string]int, bool) {
+	nb := make(map[string]int, len(binding)+len(atom.Vars))
+	for k, v := range binding {
+		nb[k] = v
+	}
+	for pos, v := range atom.Vars {
+		if cur, ok := nb[v]; ok {
+			if cur != t[pos] {
+				return nil, false
+			}
+		} else {
+			nb[v] = t[pos]
+		}
+	}
+	return nb, true
+}
+
+func tupleFromKey(key string, arity int) (relation.Tuple, error) {
+	t := make(relation.Tuple, 0, arity)
+	val := 0
+	has := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == '|' {
+			if !has {
+				return nil, fmt.Errorf("friedgut: malformed tuple key %q", key)
+			}
+			t = append(t, val)
+			val, has = 0, false
+			continue
+		}
+		c := key[i]
+		if c == '-' {
+			return nil, fmt.Errorf("friedgut: negative value in key %q", key)
+		}
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("friedgut: malformed tuple key %q", key)
+		}
+		val = val*10 + int(c-'0')
+		has = true
+	}
+	if len(t) != arity {
+		return nil, fmt.Errorf("friedgut: key %q has arity %d, want %d", key, len(t), arity)
+	}
+	return t, nil
+}
+
+// RHS evaluates the right side Π_j (Σ w_j^{1/u_j})^{u_j}, using
+// max w_j for u_j = 0.
+func RHS(q *query.Query, ws map[string]*Weights, u []*big.Rat) (float64, error) {
+	if len(u) != q.NumAtoms() {
+		return 0, fmt.Errorf("friedgut: %d cover values for %d atoms", len(u), q.NumAtoms())
+	}
+	prod := 1.0
+	for j, a := range q.Atoms {
+		w, ok := ws[a.Name]
+		if !ok {
+			return 0, fmt.Errorf("friedgut: no weights for atom %s", a.Name)
+		}
+		uj, _ := u[j].Float64()
+		if uj < 0 {
+			return 0, fmt.Errorf("friedgut: negative cover value for %s", a.Name)
+		}
+		if uj == 0 {
+			mx := 0.0
+			for _, wt := range w.W {
+				if wt > mx {
+					mx = wt
+				}
+			}
+			prod *= mx
+			continue
+		}
+		sum := 0.0
+		for _, wt := range w.W {
+			if wt > 0 {
+				sum += math.Pow(wt, 1/uj)
+			}
+		}
+		prod *= math.Pow(sum, uj)
+	}
+	return prod, nil
+}
+
+// Verify checks the inequality LHS ≤ RHS·(1+tol) for the given edge
+// cover, returning both sides.
+func Verify(q *query.Query, ws map[string]*Weights, u []*big.Rat, tol float64) (lhs, rhs float64, err error) {
+	if !IsEdgeCover(q, u) {
+		return 0, 0, fmt.Errorf("friedgut: u is not a fractional edge cover of %s", q.Name)
+	}
+	lhs, err = LHS(q, ws)
+	if err != nil {
+		return 0, 0, err
+	}
+	rhs, err = RHS(q, ws, u)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lhs > rhs*(1+tol) {
+		return lhs, rhs, fmt.Errorf("friedgut: inequality violated: %v > %v", lhs, rhs)
+	}
+	return lhs, rhs, nil
+}
+
+// SizeBound returns the AGM-style bound on |q(I)| implied by the
+// inequality with indicator weights: Π_j |S_j|^{u_j} for a fractional
+// edge cover u.
+func SizeBound(q *query.Query, db *relation.Database, u []*big.Rat) (float64, error) {
+	if !IsEdgeCover(q, u) {
+		return 0, fmt.Errorf("friedgut: u is not a fractional edge cover of %s", q.Name)
+	}
+	prod := 1.0
+	for j, a := range q.Atoms {
+		r, ok := db.Relation(a.Name)
+		if !ok {
+			return 0, fmt.Errorf("friedgut: db missing relation %s", a.Name)
+		}
+		uj, _ := u[j].Float64()
+		prod *= math.Pow(float64(r.Size()), uj)
+	}
+	return prod, nil
+}

@@ -1,0 +1,258 @@
+package friedgut
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func indicatorsFor(q *query.Query, db *relation.Database) map[string]*Weights {
+	ws := make(map[string]*Weights, q.NumAtoms())
+	for _, a := range q.Atoms {
+		r, _ := db.Relation(a.Name)
+		ws[a.Name] = IndicatorWeights(r)
+	}
+	return ws
+}
+
+func TestWeightsBasics(t *testing.T) {
+	w := NewWeights(2)
+	if err := w.Set(relation.Tuple{1, 2}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Get(relation.Tuple{1, 2}); got != 0.5 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := w.Get(relation.Tuple{9, 9}); got != 0 {
+		t.Errorf("missing tuple weight = %v, want 0", got)
+	}
+	if err := w.Set(relation.Tuple{1}, 1); err == nil {
+		t.Error("want arity error")
+	}
+	if err := w.Set(relation.Tuple{1, 1}, -1); err == nil {
+		t.Error("want negativity error")
+	}
+}
+
+func TestIsEdgeCover(t *testing.T) {
+	q := query.Chain(3)
+	// (1,0,1) covers every variable of L3.
+	if !IsEdgeCover(q, []*big.Rat{rat(1, 1), rat(0, 1), rat(1, 1)}) {
+		t.Error("(1,0,1) should cover L3")
+	}
+	// (1,0,0) leaves x2,x3 uncovered.
+	if IsEdgeCover(q, []*big.Rat{rat(1, 1), rat(0, 1), rat(0, 1)}) {
+		t.Error("(1,0,0) should not cover L3")
+	}
+	// C3 with all 1/2 covers.
+	c := query.Triangle()
+	if !IsEdgeCover(c, []*big.Rat{rat(1, 2), rat(1, 2), rat(1, 2)}) {
+		t.Error("(1/2,1/2,1/2) should cover C3")
+	}
+	if IsEdgeCover(q, []*big.Rat{rat(1, 1)}) {
+		t.Error("wrong length is not a cover")
+	}
+	if IsEdgeCover(q, []*big.Rat{rat(-1, 1), rat(1, 1), rat(1, 1)}) {
+		t.Error("negative values are not a cover")
+	}
+}
+
+// TestC3InequalityExample checks the paper's C3 instance:
+// Σ α_{xy} β_{yz} γ_{zx} ≤ √(Σα² · Σβ² · Σγ²) with cover (1/2,1/2,1/2).
+func TestC3InequalityExample(t *testing.T) {
+	q := query.Triangle()
+	rng := rand.New(rand.NewPCG(1, 1))
+	ws := map[string]*Weights{}
+	for _, a := range q.Atoms {
+		w := NewWeights(2)
+		for i := 0; i < 30; i++ {
+			w.W[relation.Tuple{rng.IntN(10) + 1, rng.IntN(10) + 1}.Key()] = rng.Float64()
+		}
+		ws[a.Name] = w
+	}
+	u := []*big.Rat{rat(1, 2), rat(1, 2), rat(1, 2)}
+	lhs, rhs, err := Verify(q, ws, u, 1e-9)
+	if err != nil {
+		t.Fatalf("lhs=%v rhs=%v: %v", lhs, rhs, err)
+	}
+}
+
+// TestL3InequalityWithZeroCover checks the max-convention for u_j = 0:
+// cover (1,0,1) on L3 gives Σ αβγ ≤ Σα · max β · Σγ.
+func TestL3InequalityWithZeroCover(t *testing.T) {
+	q := query.Chain(3)
+	rng := rand.New(rand.NewPCG(2, 2))
+	ws := map[string]*Weights{}
+	for _, a := range q.Atoms {
+		w := NewWeights(2)
+		for i := 0; i < 25; i++ {
+			w.W[relation.Tuple{rng.IntN(8) + 1, rng.IntN(8) + 1}.Key()] = rng.Float64() * 2
+		}
+		ws[a.Name] = w
+	}
+	u := []*big.Rat{rat(1, 1), rat(0, 1), rat(1, 1)}
+	lhs, rhs, err := Verify(q, ws, u, 1e-9)
+	if err != nil {
+		t.Fatalf("lhs=%v rhs=%v: %v", lhs, rhs, err)
+	}
+	// Cross-check RHS against the closed form.
+	s1, s3 := 0.0, 0.0
+	mx := 0.0
+	for _, wt := range ws["S1"].W {
+		s1 += wt
+	}
+	for _, wt := range ws["S3"].W {
+		s3 += wt
+	}
+	for _, wt := range ws["S2"].W {
+		if wt > mx {
+			mx = wt
+		}
+	}
+	want := s1 * mx * s3
+	if math.Abs(rhs-want) > 1e-9*want {
+		t.Errorf("RHS = %v, closed form %v", rhs, want)
+	}
+}
+
+// TestInequalityProperty: random sparse weights on random families
+// never violate the inequality with the optimal edge packing taken as
+// a cover when tight, or the all-ones cover otherwise.
+func TestInequalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		var q *query.Query
+		switch rng.IntN(3) {
+		case 0:
+			q = query.Chain(1 + rng.IntN(4))
+		case 1:
+			q = query.Cycle(3 + rng.IntN(3))
+		default:
+			q = query.Star(1 + rng.IntN(4))
+		}
+		ws := map[string]*Weights{}
+		for _, a := range q.Atoms {
+			w := NewWeights(a.Arity())
+			for i := 0; i < 1+rng.IntN(20); i++ {
+				tp := make(relation.Tuple, a.Arity())
+				for j := range tp {
+					tp[j] = rng.IntN(6) + 1
+				}
+				w.W[tp.Key()] = rng.Float64() * 3
+			}
+			ws[a.Name] = w
+		}
+		// The all-ones vector is always an edge cover.
+		u := make([]*big.Rat, q.NumAtoms())
+		for j := range u {
+			u[j] = rat(1, 1)
+		}
+		_, _, err := Verify(q, ws, u, 1e-6)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAGMBoundOnMatchings: |q(I)| ≤ Π |S_j|^{u_j} for real databases;
+// for C3 over matchings this is |C3| ≤ n^{3/2}, and the actual count
+// (≈1) is far below.
+func TestAGMBoundOnMatchings(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	q := query.Triangle()
+	n := 100
+	db := relation.MatchingDatabase(rng, q, n)
+	u := []*big.Rat{rat(1, 2), rat(1, 2), rat(1, 2)}
+	bound, err := SizeBound(q, db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(float64(n), 1.5)
+	if math.Abs(bound-want) > 1e-6*want {
+		t.Errorf("bound = %v, want n^{3/2} = %v", bound, want)
+	}
+	truth, err := core.GroundTruth(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(truth)) > bound {
+		t.Errorf("actual %d exceeds AGM bound %v", len(truth), bound)
+	}
+	// Indicator weights: LHS equals the exact answer count.
+	ws := indicatorsFor(q, db)
+	lhs, err := LHS(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(math.Round(lhs)) != len(truth) {
+		t.Errorf("indicator LHS = %v, want |q(I)| = %d", lhs, len(truth))
+	}
+}
+
+func TestLHSDisconnected(t *testing.T) {
+	// LHS multiplies across components: R(x),S(y) with 2 and 3 tuples
+	// gives 6.
+	q := query.CartesianPair()
+	ws := map[string]*Weights{
+		"R": NewWeights(1),
+		"S": NewWeights(1),
+	}
+	ws["R"].W["1"] = 1
+	ws["R"].W["2"] = 1
+	ws["S"].W["1"] = 1
+	ws["S"].W["2"] = 1
+	ws["S"].W["3"] = 1
+	lhs, err := LHS(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lhs != 6 {
+		t.Errorf("LHS = %v, want 6", lhs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	q := query.Chain(2)
+	if _, err := LHS(q, map[string]*Weights{}); err == nil {
+		t.Error("want error for missing weights")
+	}
+	ws := map[string]*Weights{"S1": NewWeights(1), "S2": NewWeights(2)}
+	if _, err := LHS(q, ws); err == nil {
+		t.Error("want error for arity mismatch")
+	}
+	good := map[string]*Weights{"S1": NewWeights(2), "S2": NewWeights(2)}
+	if _, err := RHS(q, good, []*big.Rat{rat(1, 1)}); err == nil {
+		t.Error("want error for cover length")
+	}
+	if _, _, err := Verify(q, good, []*big.Rat{rat(0, 1), rat(0, 1)}, 0); err == nil {
+		t.Error("want error for non-cover")
+	}
+	db := relation.NewDatabase(4)
+	if _, err := SizeBound(q, db, []*big.Rat{rat(1, 1), rat(1, 1)}); err == nil {
+		t.Error("want error for missing relation in db")
+	}
+}
+
+func TestTupleFromKey(t *testing.T) {
+	tp, err := tupleFromKey("12|3|456", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Equal(relation.Tuple{12, 3, 456}) {
+		t.Errorf("parsed %v", tp)
+	}
+	for _, bad := range []string{"", "1|", "|1", "a|b", "1|2"} {
+		if _, err := tupleFromKey(bad, 3); err == nil {
+			t.Errorf("tupleFromKey(%q): want error", bad)
+		}
+	}
+}

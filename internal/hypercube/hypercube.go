@@ -1,0 +1,466 @@
+// Package hypercube implements the HyperCube (HC) algorithm of
+// Section 3.1 of Beame, Koutris, Suciu (PODS 2013), the one-round
+// upper bound of Theorem 1.1.
+//
+// Given a query q with fractional vertex cover v and τ = Σ v_i, each
+// variable x_i receives a share exponent e_i = v_i/τ and a share
+// p_i ≈ p^{e_i}; the p servers form a grid [p_1]×…×[p_k]. Independent
+// hash functions h_i: [n] → [p_i] route every tuple of S_j to all grid
+// points that agree with the tuple's hashed coordinates on vars(S_j);
+// the tuple is replicated along the dimensions S_j does not mention.
+// Every potential answer (a_1,…,a_k) is then seen, in one round, by
+// the server (h_1(a_1),…,h_k(a_k)), which outputs it via a local join.
+//
+// The package also implements the answer-sampling variant of
+// Proposition 3.11: when ε is below the query's space exponent, the
+// full grid would need more than p servers, so p random grid points
+// are materialized and only a Θ(p^{1−(1−ε)τ*}) fraction of the answers
+// is found — exactly the fraction the Theorem 3.3 lower bound allows.
+package hypercube
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/localjoin"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Shares fixes the hypercube geometry: one integer share per variable.
+type Shares struct {
+	// Vars lists the query variables, in query.Vars() order.
+	Vars []string
+	// Dims holds the integer share p_i of each variable.
+	Dims []int
+}
+
+// GridSize returns ∏ p_i, the number of grid points.
+func (s *Shares) GridSize() int {
+	size := 1
+	for _, d := range s.Dims {
+		size *= d
+	}
+	return size
+}
+
+// ServerOf maps grid coordinates to a point id via mixed-radix
+// encoding.
+func (s *Shares) ServerOf(coords []int) int {
+	id := 0
+	for i, c := range coords {
+		id = id*s.Dims[i] + c
+	}
+	return id
+}
+
+// CoordsOf inverts ServerOf.
+func (s *Shares) CoordsOf(point int) []int {
+	coords := make([]int, len(s.Dims))
+	for i := len(s.Dims) - 1; i >= 0; i-- {
+		coords[i] = point % s.Dims[i]
+		point /= s.Dims[i]
+	}
+	return coords
+}
+
+// DimOf returns the grid dimension of variable v, or -1.
+func (s *Shares) DimOf(v string) int {
+	for i, sv := range s.Vars {
+		if sv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the share vector.
+func (s *Shares) String() string {
+	out := "["
+	for i, v := range s.Vars {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", v, s.Dims[i])
+	}
+	return out + "]"
+}
+
+// RoundingMode selects how real-valued shares p^{e_i} become integers.
+type RoundingMode int
+
+// Share rounding strategies (the ablation in DESIGN.md §5).
+const (
+	// GreedyRounding floors the real shares and then greedily raises
+	// the dimension with the largest deficit while the product stays
+	// within p. This is the default.
+	GreedyRounding RoundingMode = iota
+	// FloorRounding floors the real shares and stops — the naive
+	// baseline; it can leave much of the budget unused.
+	FloorRounding
+)
+
+// ComputeShares turns share exponents into integer shares for p
+// servers. exps must be non-negative; they are normally e_i = v_i/τ*
+// and sum to 1, but callers may pass any exponent vector (the sampled
+// variant of Prop 3.11 passes (1−ε)·v_i whose product target exceeds
+// p — the grid is then larger than p, which the caller handles).
+//
+// budget is the grid-size budget (usually p). The greedy mode
+// guarantees 1 ≤ ∏ p_i ≤ budget when Σ exps ≤ 1; when Σ exps > 1 the
+// product targets budget^{Σ exps} instead.
+func ComputeShares(vars []string, exps []float64, budget int, mode RoundingMode) (*Shares, error) {
+	if len(vars) != len(exps) {
+		return nil, fmt.Errorf("hypercube: %d vars but %d exponents", len(vars), len(exps))
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("hypercube: budget %d < 1", budget)
+	}
+	sum := 0.0
+	for _, e := range exps {
+		if e < 0 {
+			return nil, fmt.Errorf("hypercube: negative exponent %v", e)
+		}
+		sum += e
+	}
+	target := make([]float64, len(exps))
+	for i, e := range exps {
+		target[i] = math.Pow(float64(budget), e)
+	}
+	// The grid-size budget grows with the exponent sum (Prop 3.11 uses
+	// Σ exps = (1−ε)τ* > 1).
+	gridBudget := math.Pow(float64(budget), math.Max(1, sum))
+	// Guard against float error pushing the budget below the target
+	// product.
+	gridBudget *= 1 + 1e-9
+
+	dims := make([]int, len(exps))
+	prod := 1.0
+	for i, t := range target {
+		dims[i] = int(t)
+		if dims[i] < 1 {
+			dims[i] = 1
+		}
+		prod *= float64(dims[i])
+	}
+	if mode == GreedyRounding {
+		for {
+			best := -1
+			bestDeficit := 1.0
+			for i := range dims {
+				if exps[i] == 0 {
+					continue
+				}
+				next := prod / float64(dims[i]) * float64(dims[i]+1)
+				if next > gridBudget {
+					continue
+				}
+				deficit := float64(dims[i]) / target[i] // < 1 means under target
+				if deficit < bestDeficit {
+					bestDeficit = deficit
+					best = i
+				}
+			}
+			if best < 0 || bestDeficit >= 1 {
+				break
+			}
+			prod = prod / float64(dims[best]) * float64(dims[best]+1)
+			dims[best]++
+		}
+	}
+	return &Shares{Vars: append([]string(nil), vars...), Dims: dims}, nil
+}
+
+// SharesForQuery computes the canonical HC shares for q on p servers:
+// e_i = v_i/τ* from the optimal fractional vertex cover.
+func SharesForQuery(q *query.Query, p int, mode RoundingMode) (*Shares, error) {
+	r, err := cover.Solve(q)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeShares(q.Vars(), r.ShareExponentFloats(), p, mode)
+}
+
+// hash64 is a splitmix64-style mixer: an independent-looking hash per
+// (value, dimension-seed) pair.
+func hash64(x, seed uint64) uint64 {
+	z := x + seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hasher maps domain values to grid coordinates, one independent hash
+// per dimension.
+type Hasher struct {
+	seeds []uint64
+	dims  []int
+}
+
+// NewHasher builds per-dimension hash functions from a master seed.
+func NewHasher(s *Shares, seed uint64) *Hasher {
+	h := &Hasher{dims: s.Dims, seeds: make([]uint64, len(s.Dims))}
+	for i := range h.seeds {
+		h.seeds[i] = hash64(uint64(i)+1, seed)
+	}
+	return h
+}
+
+// Coord returns h_i(value) ∈ [0, p_i).
+func (h *Hasher) Coord(dim, value int) int {
+	if h.dims[dim] == 1 {
+		return 0
+	}
+	return int(hash64(uint64(value), h.seeds[dim]) % uint64(h.dims[dim]))
+}
+
+// Destinations lists the grid points that must receive a tuple of
+// atom: coordinates of the atom's variables are fixed by the hashes,
+// all other dimensions range over their full shares.
+func Destinations(s *Shares, h *Hasher, atom query.Atom, t relation.Tuple) []int {
+	k := len(s.Dims)
+	fixed := make([]int, k)
+	isFixed := make([]bool, k)
+	for pos, v := range atom.Vars {
+		d := s.DimOf(v)
+		if d < 0 {
+			continue
+		}
+		c := h.Coord(d, t[pos])
+		if isFixed[d] && fixed[d] != c {
+			// Repeated variable hashed inconsistently cannot happen
+			// (same value, same hash); conflicting values mean the
+			// tuple can never participate in an answer.
+			return nil
+		}
+		fixed[d] = c
+		isFixed[d] = true
+	}
+	var free []int
+	for d := 0; d < k; d++ {
+		if !isFixed[d] {
+			free = append(free, d)
+		}
+	}
+	coords := make([]int, k)
+	copy(coords, fixed)
+	var out []int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			out = append(out, s.ServerOf(coords))
+			return
+		}
+		d := free[i]
+		for c := 0; c < s.Dims[d]; c++ {
+			coords[d] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Options configures a HyperCube run.
+type Options struct {
+	// Epsilon is the space exponent of the simulated MPC(ε) model; it
+	// determines the receive cap. Defaults should be the query's space
+	// exponent 1−1/τ*.
+	Epsilon float64
+	// CapConstant is c in the budget c·N/p^{1−ε}; ≤ 0 disables
+	// enforcement.
+	CapConstant float64
+	// Seed drives hash-function choice (and sampling in RunSampled).
+	Seed uint64
+	// Rounding selects the integer share strategy.
+	Rounding RoundingMode
+	// Strategy selects the per-worker local join algorithm.
+	Strategy localjoin.Strategy
+}
+
+// Result reports a HyperCube execution.
+type Result struct {
+	// Answers is the union of the tuples output by all servers.
+	Answers []relation.Tuple
+	// Stats is the engine's communication record.
+	Stats *mpc.Stats
+	// Shares is the grid geometry used.
+	Shares *Shares
+	// ReceiveCap is the enforced per-worker budget in bits (0 = off).
+	ReceiveCap int64
+	// CapExceeded reports whether some worker exceeded the budget.
+	CapExceeded bool
+	// GridPoints is the number of materialized grid points (= servers
+	// used; less than p when shares round down, p in RunSampled).
+	GridPoints int
+}
+
+// Run executes the one-round HC algorithm for q over db on p servers
+// and returns all answers found (on matching databases this is the
+// complete answer when ε ≥ 1−1/τ*).
+func Run(q *query.Query, db *relation.Database, p int, opts Options) (*Result, error) {
+	shares, err := SharesForQuery(q, p, opts.Rounding)
+	if err != nil {
+		return nil, err
+	}
+	return runWithShares(q, db, p, shares, opts, nil)
+}
+
+// RunWithShares is Run with caller-provided shares (used by tests and
+// by the multiround executor, which computes shares per plan operator).
+func RunWithShares(q *query.Query, db *relation.Database, p int, shares *Shares, opts Options) (*Result, error) {
+	return runWithShares(q, db, p, shares, opts, nil)
+}
+
+// RunSampled executes the Proposition 3.11 algorithm: shares use the
+// exponents (1−ε)·v_i, producing a virtual grid of ~p^{(1−ε)τ*} > p
+// points, of which p are chosen uniformly at random and assigned to
+// the servers; tuples routed to unmaterialized points are dropped.
+func RunSampled(q *query.Query, db *relation.Database, p int, opts Options) (*Result, error) {
+	r, err := cover.Solve(q)
+	if err != nil {
+		return nil, err
+	}
+	exps := make([]float64, q.NumVars())
+	for i, v := range r.VertexCover {
+		f, _ := v.Float64()
+		exps[i] = (1 - opts.Epsilon) * f
+	}
+	shares, err := ComputeShares(q.Vars(), exps, p, opts.Rounding)
+	if err != nil {
+		return nil, err
+	}
+	grid := shares.GridSize()
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x5eed))
+	var chosen map[int]int // grid point → server
+	if grid <= p {
+		chosen = make(map[int]int, grid)
+		for g := 0; g < grid; g++ {
+			chosen[g] = g
+		}
+	} else {
+		chosen = make(map[int]int, p)
+		perm := rng.Perm(grid)
+		for srv := 0; srv < p; srv++ {
+			chosen[perm[srv]] = srv
+		}
+	}
+	return runWithShares(q, db, p, shares, opts, chosen)
+}
+
+// runWithShares is the shared core. sample, when non-nil, maps
+// materialized grid points to servers; nil materializes the whole grid
+// (which must then fit in p).
+func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares, opts Options, sample map[int]int) (*Result, error) {
+	if sample == nil && shares.GridSize() > p {
+		return nil, fmt.Errorf("hypercube: grid size %d exceeds %d servers", shares.GridSize(), p)
+	}
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Workers:     p,
+		Epsilon:     opts.Epsilon,
+		InputBits:   db.InputBits(),
+		CapConstant: opts.CapConstant,
+		DomainN:     db.N,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hasher := NewHasher(shares, opts.Seed)
+
+	// Round 1: every input server scatters its relation along the grid.
+	cluster.BeginRound()
+	for _, a := range q.Atoms {
+		rel, ok := db.Relation(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("hypercube: database missing relation %s", a.Name)
+		}
+		atom := a
+		err := cluster.Scatter(rel, func(t relation.Tuple) []int {
+			points := Destinations(shares, hasher, atom, t)
+			if sample == nil {
+				return points
+			}
+			var dsts []int
+			for _, g := range points {
+				if srv, ok := sample[g]; ok {
+					dsts = append(dsts, srv)
+				}
+			}
+			return dsts
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	capErr := cluster.EndRound()
+	if capErr != nil && !errors.Is(capErr, mpc.ErrCapExceeded) {
+		return nil, capErr
+	}
+
+	// Local computation (free in the MPC cost model): each worker joins
+	// what it received.
+	answers := make([][]relation.Tuple, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			w := cluster.Worker(i)
+			b := localjoin.Bindings{}
+			for _, a := range q.Atoms {
+				b[a.Name] = w.Received(a.Name)
+			}
+			answers[i], errs[i] = localjoin.Evaluate(q, b, opts.Strategy)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	merged := dedupSort(answers)
+
+	grid := shares.GridSize()
+	if sample != nil && grid > p {
+		grid = p
+	}
+	return &Result{
+		Answers:     merged,
+		Stats:       cluster.Stats(),
+		Shares:      shares,
+		ReceiveCap:  cluster.Config().ReceiveCap(),
+		CapExceeded: capErr != nil,
+		GridPoints:  grid,
+	}, nil
+}
+
+func dedupSort(groups [][]relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+	for _, g := range groups {
+		for _, t := range g {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TheoreticalLoad returns the paper's per-server tuple bound for one
+// relation under HC: n / p^{1/τ*} (proof of Proposition 3.2, with
+// ε = 1−1/τ*).
+func TheoreticalLoad(n, p int, tau float64) float64 {
+	return float64(n) / math.Pow(float64(p), 1/tau)
+}

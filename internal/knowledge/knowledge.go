@@ -1,0 +1,126 @@
+// Package knowledge simulates the information-theoretic core of the
+// paper's one-round lower bound (Section 3.2): how many tuples of a
+// matching a server can *know* after receiving a bounded number of
+// bits, and how little of the query output that knowledge pins down.
+//
+// Lemma 3.6: encoding an a-dimensional matching over [n] takes
+// (a−1)·log2(n!) bits; a message of f·(a−1)·log2(n!) bits lets the
+// receiver know at most f·n tuples in expectation. The package models
+// the extreme (and optimal, for prefix codes) messaging scheme that
+// simply transmits tuples one by one — the i-th tuple of a matching
+// costs (a−1)·log2(n−i) bits because each remaining column has n−i
+// candidate values — and exposes the resulting knowledge sets.
+//
+// Lemma 3.7 / Theorem 3.3 then bound the *answers* derivable from
+// per-relation knowledge: with a tight fractional edge packing u,
+// E[known answers] ≤ Π_j f_j^{u_j} · E[|q(I)|]. KnownAnswers measures
+// the left side directly by joining the knowledge sets.
+package knowledge
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/localjoin"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// MatchingBits returns (arity−1)·log2(n!), the exact encoding size of
+// an a-dimensional matching over [n] in bits (Section 3.2.1).
+func MatchingBits(n, arity int) (float64, error) {
+	if n < 1 || arity < 1 {
+		return 0, fmt.Errorf("knowledge: n = %d, arity = %d", n, arity)
+	}
+	return float64(arity-1) * logFactorial(n), nil
+}
+
+// logFactorial returns log2(n!) via direct summation (exact enough for
+// the n used in experiments; Stirling is avoided to keep error tiny).
+func logFactorial(n int) float64 {
+	s := 0.0
+	for i := 2; i <= n; i++ {
+		s += math.Log2(float64(i))
+	}
+	return s
+}
+
+// PrefixKnowledge returns the tuples of the matching rel a server
+// knows after receiving at most budgetBits bits under the sequential
+// prefix encoding: tuple i costs (arity−1)·log2(n−i) bits. The second
+// return value is the number of bits actually consumed.
+func PrefixKnowledge(rel *relation.Relation, n int, budgetBits float64) ([]relation.Tuple, float64, error) {
+	if !rel.IsMatching(n) {
+		return nil, 0, fmt.Errorf("knowledge: relation %s is not a matching over [%d]", rel.Name, n)
+	}
+	arity := rel.Arity()
+	used := 0.0
+	// Tolerance absorbs summation-order float error so a budget of
+	// exactly the full encoding admits every tuple.
+	slack := 1e-9 * (budgetBits + 1)
+	var known []relation.Tuple
+	for i, t := range rel.Tuples {
+		cost := float64(arity-1) * math.Log2(float64(n-i))
+		if n-i <= 1 {
+			cost = 0 // the last tuple is forced
+		}
+		if used+cost > budgetBits+slack {
+			break
+		}
+		used += cost
+		known = append(known, t)
+	}
+	return known, used, nil
+}
+
+// FractionKnowledge is PrefixKnowledge with the budget given as a
+// fraction f of the matching's full encoding size. By Lemma 3.6 the
+// returned tuple count is ≤ f·n + O(1) (the prefix scheme is the
+// equality case up to the non-uniform per-tuple costs).
+func FractionKnowledge(rel *relation.Relation, n int, f float64) ([]relation.Tuple, error) {
+	if f < 0 || f > 1 {
+		return nil, fmt.Errorf("knowledge: fraction %v outside [0,1]", f)
+	}
+	total, err := MatchingBits(n, rel.Arity())
+	if err != nil {
+		return nil, err
+	}
+	known, _, err := PrefixKnowledge(rel, n, f*total)
+	return known, err
+}
+
+// KnownAnswers joins per-relation knowledge sets: the query answers a
+// server can output knowing only those tuples (the set K_m(q) of
+// Section 3.2).
+func KnownAnswers(q *query.Query, known map[string][]relation.Tuple) ([]relation.Tuple, error) {
+	b := localjoin.Bindings{}
+	for _, a := range q.Atoms {
+		b[a.Name] = known[a.Name]
+	}
+	return localjoin.Evaluate(q, b, localjoin.HashJoin)
+}
+
+// AnswerBound returns the Lemma 3.7-style ceiling
+// Π_j f_j^{u_j} · expectedAnswers for a fractional edge packing u
+// (floats) and per-relation knowledge fractions f_j, both indexed like
+// q.Atoms.
+func AnswerBound(q *query.Query, fractions, packing []float64, expectedAnswers float64) (float64, error) {
+	if len(fractions) != q.NumAtoms() || len(packing) != q.NumAtoms() {
+		return 0, fmt.Errorf("knowledge: need %d fractions and packing values", q.NumAtoms())
+	}
+	prod := expectedAnswers
+	for j := range fractions {
+		f, u := fractions[j], packing[j]
+		if f < 0 || f > 1 || u < 0 {
+			return 0, fmt.Errorf("knowledge: invalid fraction %v or packing %v", f, u)
+		}
+		if u == 0 {
+			continue
+		}
+		if f == 0 {
+			return 0, nil
+		}
+		prod *= math.Pow(f, u)
+	}
+	return prod, nil
+}

@@ -1,0 +1,233 @@
+package knowledge
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/theory"
+)
+
+func TestMatchingBits(t *testing.T) {
+	// Binary matching over [4]: log2(4!) = log2(24) ≈ 4.585 bits.
+	got, err := MatchingBits(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log2(24)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MatchingBits(4,2) = %v, want %v", got, want)
+	}
+	// Ternary: twice that.
+	got3, err := MatchingBits(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got3-2*want) > 1e-9 {
+		t.Errorf("MatchingBits(4,3) = %v, want %v", got3, 2*want)
+	}
+	// Unary matchings are free (there is only one).
+	got1, err := MatchingBits(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != 0 {
+		t.Errorf("MatchingBits(10,1) = %v, want 0", got1)
+	}
+	if _, err := MatchingBits(0, 2); err == nil {
+		t.Error("want error for n=0")
+	}
+}
+
+func TestPrefixKnowledgeBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	n := 64
+	rel := relation.Matching(rng, "S", []string{"x", "y"}, n)
+	total, err := MatchingBits(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full budget: everything known.
+	known, used, err := PrefixKnowledge(rel, n, total+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(known) != n {
+		t.Errorf("full budget knows %d tuples, want %d", len(known), n)
+	}
+	if used > total+1e-6 {
+		t.Errorf("used %v exceeds total %v", used, total)
+	}
+	// Zero budget: nothing.
+	known, _, err = PrefixKnowledge(rel, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(known) != 0 {
+		t.Errorf("zero budget knows %d tuples", len(known))
+	}
+	// Non-matching input rejected.
+	bad := relation.New("B", "x", "y")
+	bad.MustAdd(relation.Tuple{1, 1})
+	if _, _, err := PrefixKnowledge(bad, n, 10); err == nil {
+		t.Error("want error for non-matching")
+	}
+}
+
+// TestLemma36Property: a fraction-f message yields at most ≈ f·n known
+// tuples. The prefix scheme's per-tuple cost decreases with i (later
+// tuples are cheaper), so the count can slightly exceed f·n; Lemma 3.6
+// is an expectation bound with the slack absorbed by entropy — we
+// check the count never exceeds f·n by more than the cheap tail.
+func TestLemma36Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		n := 16 + rng.IntN(100)
+		arity := 2 + rng.IntN(2)
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		rel := relation.Matching(rng, "S", attrs, n)
+		frac := rng.Float64()
+		known, err := FractionKnowledge(rel, n, frac)
+		if err != nil {
+			return false
+		}
+		// Count bound: the first m tuples cost at least
+		// (a−1)·m·log2(n−m+1) bits, so m·log2(n−m+1) ≤ f·log2(n!)
+		// — validate the direct implication |known| within the budget.
+		if frac == 1 && len(known) != n {
+			return false
+		}
+		// Loose sanity: knowing more than f·n + n/log2(n) tuples would
+		// contradict the entropy argument.
+		slack := float64(n)/math.Log2(float64(n)+2) + 2
+		return float64(len(known)) <= frac*float64(n)+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKnownAnswersChain: knowing fractions f1, f2 of two composed
+// permutations yields about f1·f2·n known answers of L2, matching the
+// AnswerBound with the tight packing (1,1)… wait — the packing of L2
+// has τ* = 1 (u = (1,0) or (0,1)); the bound Π f^{u_j}·n = f1·n is
+// looser than the true f1·f2·n. Both directions are asserted.
+func TestKnownAnswersChain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 200
+	q := query.Chain(2)
+	db := relation.MatchingDatabase(rng, q, n)
+	s1, _ := db.Relation("S1")
+	s2, _ := db.Relation("S2")
+	k1, err := FractionKnowledge(s1, n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := FractionKnowledge(s2, n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := KnownAnswers(q, map[string][]relation.Tuple{
+		"S1": k1, "S2": k2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ≈ 0.25·n by independence of the two prefixes.
+	got := float64(len(answers))
+	if got < 0.1*float64(n) || got > 0.45*float64(n) {
+		t.Errorf("known answers = %v, want ≈ 0.25·n = %v", got, 0.25*float64(n))
+	}
+	// The Lemma 3.7 ceiling with packing (1,0): f1^1·n = 0.5n ≥ got.
+	bound, err := AnswerBound(q, []float64{0.5, 0.5}, []float64{1, 0}, float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > bound {
+		t.Errorf("known answers %v exceed Lemma 3.7 bound %v", got, bound)
+	}
+}
+
+// TestKnowledgeCeilingAcrossFractions sweeps f for C3 and checks the
+// measured known-answer count never exceeds the Friedgut/packing
+// ceiling Π f^{u_j}·E[|q|] with the tight packing (1/2,1/2,1/2),
+// aggregated over many instances.
+func TestKnowledgeCeilingAcrossFractions(t *testing.T) {
+	q := query.Triangle()
+	r := cover.MustSolve(q)
+	packing := make([]float64, q.NumAtoms())
+	for j, u := range r.EdgePacking {
+		packing[j], _ = u.Float64()
+	}
+	n := 60
+	trials := 150
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		rng := rand.New(rand.NewPCG(uint64(frac*100), 3))
+		totalKnown := 0.0
+		for trial := 0; trial < trials; trial++ {
+			db := relation.MatchingDatabase(rng, q, n)
+			known := map[string][]relation.Tuple{}
+			for _, a := range q.Atoms {
+				rel, _ := db.Relation(a.Name)
+				k, err := FractionKnowledge(rel, n, frac)
+				if err != nil {
+					t.Fatal(err)
+				}
+				known[a.Name] = k
+			}
+			ans, err := KnownAnswers(q, known)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalKnown += float64(len(ans))
+		}
+		mean := totalKnown / float64(trials)
+		expected, err := theory.ExpectedAnswers(q, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := AnswerBound(q, []float64{frac, frac, frac}, packing, expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow sampling slack: the ceiling is an expectation bound.
+		if mean > bound*1.6+0.1 {
+			t.Errorf("f=%v: mean known answers %v exceed ceiling %v", frac, mean, bound)
+		}
+	}
+}
+
+func TestAnswerBoundValidation(t *testing.T) {
+	q := query.Chain(2)
+	if _, err := AnswerBound(q, []float64{0.5}, []float64{1, 0}, 10); err == nil {
+		t.Error("want error for wrong fraction count")
+	}
+	if _, err := AnswerBound(q, []float64{2, 0.5}, []float64{1, 0}, 10); err == nil {
+		t.Error("want error for fraction > 1")
+	}
+	if _, err := AnswerBound(q, []float64{0.5, 0.5}, []float64{-1, 0}, 10); err == nil {
+		t.Error("want error for negative packing")
+	}
+	got, err := AnswerBound(q, []float64{0, 0.5}, []float64{1, 0}, 10)
+	if err != nil || got != 0 {
+		t.Errorf("zero fraction with positive packing should zero the bound, got %v, %v", got, err)
+	}
+}
+
+func TestFractionKnowledgeValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	rel := relation.Matching(rng, "S", []string{"x", "y"}, 8)
+	if _, err := FractionKnowledge(rel, 8, -0.1); err == nil {
+		t.Error("want error for negative fraction")
+	}
+	if _, err := FractionKnowledge(rel, 8, 1.1); err == nil {
+		t.Error("want error for fraction > 1")
+	}
+}

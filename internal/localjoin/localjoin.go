@@ -1,0 +1,424 @@
+// Package localjoin evaluates a full conjunctive query on data held
+// in memory. It is used in two roles: as the local computation every
+// MPC worker performs on the tuples it received (the paper gives the
+// servers unlimited computational power, so any correct evaluator is
+// faithful to the model), and as the single-node reference evaluator
+// that supplies ground truth in tests and experiments.
+//
+// Two strategies are provided: a pairwise hash-join pipeline that
+// joins atoms in a connectivity-respecting order, and a generic
+// backtracking (tuple-at-a-time, worst-case-optimal-style) join. Both
+// return identical results; the benchmark suite compares their
+// performance (an ablation called out in DESIGN.md).
+package localjoin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Strategy selects the join algorithm.
+type Strategy int
+
+// Available strategies.
+const (
+	// HashJoin joins atoms pairwise with hash indexes.
+	HashJoin Strategy = iota
+	// Backtracking binds variables one at a time, checking every atom
+	// incrementally.
+	Backtracking
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case HashJoin:
+		return "hashjoin"
+	case Backtracking:
+		return "backtracking"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Bindings maps relation name → tuples available to the evaluator.
+// Tuple positions correspond to the atom's variable positions.
+type Bindings map[string][]relation.Tuple
+
+// FromDatabase builds Bindings for q from a database, validating that
+// every atom has a relation of matching arity.
+func FromDatabase(q *query.Query, db *relation.Database) (Bindings, error) {
+	b := make(Bindings, q.NumAtoms())
+	for _, a := range q.Atoms {
+		r, ok := db.Relation(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("localjoin: database has no relation %s", a.Name)
+		}
+		if r.Arity() != a.Arity() {
+			return nil, fmt.Errorf("localjoin: relation %s arity %d != atom arity %d",
+				a.Name, r.Arity(), a.Arity())
+		}
+		b[a.Name] = r.Tuples
+	}
+	return b, nil
+}
+
+// Evaluate computes q over the bindings and returns the answer tuples
+// in the variable order q.Vars(), deduplicated and in deterministic
+// (sorted) order.
+func Evaluate(q *query.Query, b Bindings, strategy Strategy) ([]relation.Tuple, error) {
+	for _, a := range q.Atoms {
+		if _, ok := b[a.Name]; !ok {
+			// A missing relation is an empty relation: no answers.
+			return nil, nil
+		}
+	}
+	var out []relation.Tuple
+	var err error
+	switch strategy {
+	case HashJoin:
+		out, err = evalHashJoin(q, b)
+	case Backtracking:
+		out, err = evalBacktracking(q, b)
+	default:
+		return nil, fmt.Errorf("localjoin: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dedupSort(out), nil
+}
+
+// dedupSort removes duplicates and sorts lexicographically.
+func dedupSort(ts []relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// atomOrder returns an ordering of atom indices in which every atom
+// after the first within a component shares a variable with an
+// earlier atom, and components are visited one after another.
+func atomOrder(q *query.Query) []int {
+	var order []int
+	for _, comp := range q.Components() {
+		placed := make(map[int]bool)
+		vars := make(map[string]bool)
+		remaining := append([]int(nil), comp...)
+		for len(remaining) > 0 {
+			chosen := -1
+			for i, ai := range remaining {
+				if len(placed) == 0 {
+					chosen = i
+					break
+				}
+				for _, v := range q.Atoms[ai].Vars {
+					if vars[v] {
+						chosen = i
+						break
+					}
+				}
+				if chosen >= 0 {
+					break
+				}
+			}
+			if chosen < 0 {
+				chosen = 0 // disconnected within component cannot happen
+			}
+			ai := remaining[chosen]
+			remaining = append(remaining[:chosen], remaining[chosen+1:]...)
+			placed[ai] = true
+			for _, v := range q.Atoms[ai].Vars {
+				vars[v] = true
+			}
+			order = append(order, ai)
+		}
+	}
+	return order
+}
+
+// evalHashJoin joins atoms pairwise along atomOrder, carrying an
+// intermediate relation whose schema is the distinct variables seen so
+// far, then projects onto q.Vars() order.
+func evalHashJoin(q *query.Query, b Bindings) ([]relation.Tuple, error) {
+	order := atomOrder(q)
+	var acc *relation.Relation
+	for _, ai := range order {
+		atom := q.Atoms[ai]
+		r, err := atomRelation(atom, b[atom.Name])
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = r
+		} else {
+			acc = relation.NaturalJoin(acc, r)
+		}
+		if len(acc.Tuples) == 0 {
+			return nil, nil
+		}
+	}
+	// Reorder columns to q.Vars().
+	idx := make([]int, q.NumVars())
+	for i, v := range q.Vars() {
+		j := acc.AttrIndex(v)
+		if j < 0 {
+			return nil, fmt.Errorf("localjoin: internal: variable %s missing from join result", v)
+		}
+		idx[i] = j
+	}
+	out := make([]relation.Tuple, 0, len(acc.Tuples))
+	for _, t := range acc.Tuples {
+		row := make(relation.Tuple, len(idx))
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// atomRelation converts an atom's tuples into a Relation whose schema
+// is the atom's distinct variables; tuples with conflicting values for
+// a repeated variable (e.g. S(x,x) with (1,2)) are filtered out.
+func atomRelation(atom query.Atom, tuples []relation.Tuple) (*relation.Relation, error) {
+	distinct := atom.DistinctVars()
+	r := relation.New(atom.Name, distinct...)
+	pos := make([]int, len(distinct))
+	for i, v := range distinct {
+		for j, av := range atom.Vars {
+			if av == v {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	for _, t := range tuples {
+		if len(t) != atom.Arity() {
+			return nil, fmt.Errorf("localjoin: tuple arity %d != atom %s arity %d",
+				len(t), atom.Name, atom.Arity())
+		}
+		if !consistentRepeats(atom, t) {
+			continue
+		}
+		row := make(relation.Tuple, len(pos))
+		for i, j := range pos {
+			row[i] = t[j]
+		}
+		r.Tuples = append(r.Tuples, row)
+	}
+	return r, nil
+}
+
+// consistentRepeats checks repeated-variable positions agree.
+func consistentRepeats(atom query.Atom, t relation.Tuple) bool {
+	first := make(map[string]int, len(atom.Vars))
+	for j, v := range atom.Vars {
+		if fj, ok := first[v]; ok {
+			if t[fj] != t[j] {
+				return false
+			}
+		} else {
+			first[v] = j
+		}
+	}
+	return true
+}
+
+// evalBacktracking binds query variables one at a time. Variables are
+// ordered so each new variable (after the first in its component)
+// occurs in an atom with an already-bound variable; candidate values
+// come from the smallest atom containing the variable, restricted by
+// already-bound positions via hash indexes.
+func evalBacktracking(q *query.Query, b Bindings) ([]relation.Tuple, error) {
+	for _, a := range q.Atoms {
+		for _, t := range b[a.Name] {
+			if len(t) != a.Arity() {
+				return nil, fmt.Errorf("localjoin: tuple arity %d != atom %s arity %d",
+					len(t), a.Name, a.Arity())
+			}
+		}
+	}
+	vars := q.Vars()
+	k := len(vars)
+	varOrder := variableOrder(q)
+	binding := make(map[string]int, k)
+	var out []relation.Tuple
+
+	// Index every atom's tuples by key for O(1) closed-atom membership
+	// checks, and precompute at which depth each atom closes (all its
+	// variables bound).
+	index := make(map[string]map[string]bool, q.NumAtoms())
+	for _, a := range q.Atoms {
+		set := make(map[string]bool, len(b[a.Name]))
+		for _, t := range b[a.Name] {
+			set[t.Key()] = true
+		}
+		index[a.Name] = set
+	}
+	depthOf := make(map[string]int, k)
+	for d, v := range varOrder {
+		depthOf[v] = d
+	}
+	closesAt := make([][]int, k) // depth → atoms that close there
+	for ai, a := range q.Atoms {
+		maxDepth := 0
+		for _, v := range a.Vars {
+			if d := depthOf[v]; d > maxDepth {
+				maxDepth = d
+			}
+		}
+		closesAt[maxDepth] = append(closesAt[maxDepth], ai)
+	}
+
+	var assign func(depth int)
+	assign = func(depth int) {
+		if depth == k {
+			row := make(relation.Tuple, k)
+			for i, v := range vars {
+				row[i] = binding[v]
+			}
+			out = append(out, row)
+			return
+		}
+		v := varOrder[depth]
+		for _, val := range candidates(q, b, v, binding) {
+			binding[v] = val
+			ok := true
+			for _, ai := range closesAt[depth] {
+				a := q.Atoms[ai]
+				probe := make(relation.Tuple, a.Arity())
+				for j, av := range a.Vars {
+					probe[j] = binding[av]
+				}
+				if !index[a.Name][probe.Key()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assign(depth + 1)
+			}
+			delete(binding, v)
+		}
+	}
+	assign(0)
+	return out, nil
+}
+
+// variableOrder returns variables ordered to keep each prefix
+// connected within its component.
+func variableOrder(q *query.Query) []string {
+	var order []string
+	seen := make(map[string]bool)
+	for _, comp := range q.Components() {
+		// BFS over variables of this component.
+		var queue []string
+		for _, ai := range comp {
+			for _, v := range q.Atoms[ai].Vars {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+					break
+				}
+			}
+			break
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ai := range q.AtomsOf(v) {
+				for _, w := range q.Atoms[ai].Vars {
+					if !seen[w] {
+						seen[w] = true
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		// Pick up any stragglers of the component (shouldn't happen).
+		for _, ai := range comp {
+			for _, v := range q.Atoms[ai].Vars {
+				if !seen[v] {
+					seen[v] = true
+					order = append(order, v)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// candidates returns the possible values for variable v given the
+// current partial binding: the v-values of tuples (in the smallest
+// atom containing v) that agree with the binding.
+func candidates(q *query.Query, b Bindings, v string, binding map[string]int) []int {
+	atomIdxs := q.AtomsOf(v)
+	best := atomIdxs[0]
+	for _, ai := range atomIdxs[1:] {
+		if len(b[q.Atoms[ai].Name]) < len(b[q.Atoms[best].Name]) {
+			best = ai
+		}
+	}
+	atom := q.Atoms[best]
+	vals := make(map[int]bool)
+	var out []int
+	for _, t := range b[atom.Name] {
+		ok := true
+		var val int
+		for j, av := range atom.Vars {
+			if av == v {
+				val = t[j]
+			} else if bound, has := binding[av]; has && t[j] != bound {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Repeated occurrences of v inside the atom must agree.
+		for j, av := range atom.Vars {
+			if av == v && t[j] != val {
+				ok = false
+				break
+			}
+		}
+		if ok && !vals[val] {
+			vals[val] = true
+			out = append(out, val)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Format renders answer tuples for debugging.
+func Format(q *query.Query, ts []relation.Tuple) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(q.Vars(), ","))
+	sb.WriteByte('\n')
+	for _, t := range ts {
+		for i, v := range t {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,485 @@
+// Package lp implements an exact linear-program solver over rational
+// numbers (math/big.Rat) using the two-phase primal simplex method with
+// Bland's anti-cycling rule.
+//
+// The solver targets the small LPs that arise in parallel query
+// processing — the fractional vertex-cover LP and its dual, the
+// fractional edge-packing LP (Figure 1 of Beame, Koutris, Suciu,
+// PODS 2013). Because the optimal values of these programs are small
+// rationals (for example τ*(C_k) = k/2), exact arithmetic lets callers
+// assert equality instead of comparing floats within a tolerance.
+//
+// All decision variables are implicitly constrained to be non-negative,
+// which matches both LPs of the paper.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+// Constraint relations.
+const (
+	// LE is "less than or equal" (Σ a_i x_i ≤ b).
+	LE Rel = iota
+	// GE is "greater than or equal" (Σ a_i x_i ≥ b).
+	GE
+	// EQ is equality (Σ a_i x_i = b).
+	EQ
+)
+
+// String returns the conventional symbol for the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Constraint is a single linear constraint Σ_i Coeffs[i]·x_i  Rel  RHS.
+// A nil coefficient is treated as zero.
+type Constraint struct {
+	Coeffs []*big.Rat
+	Rel    Rel
+	RHS    *big.Rat
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	// NumVars is the number of decision variables.
+	NumVars int
+	// Objective holds one coefficient per variable; nil means zero.
+	Objective []*big.Rat
+	// Maximize selects the optimization direction.
+	Maximize bool
+	// Constraints are the rows of the program.
+	Constraints []Constraint
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set has no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible set.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// Value is the optimal objective value (in the problem's own
+	// direction); nil unless Status == Optimal.
+	Value *big.Rat
+	// X holds the optimal assignment, one value per variable; nil
+	// unless Status == Optimal.
+	X []*big.Rat
+}
+
+// ErrBadProblem reports a structurally invalid program.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// NewProblem returns an empty program over n variables.
+func NewProblem(n int, maximize bool) *Problem {
+	return &Problem{
+		NumVars:   n,
+		Objective: make([]*big.Rat, n),
+		Maximize:  maximize,
+	}
+}
+
+// SetObjective sets the objective coefficient of variable i.
+func (p *Problem) SetObjective(i int, c *big.Rat) {
+	p.Objective[i] = new(big.Rat).Set(c)
+}
+
+// AddConstraint appends a constraint. The coefficient slice is copied.
+func (p *Problem) AddConstraint(coeffs []*big.Rat, rel Rel, rhs *big.Rat) {
+	cc := make([]*big.Rat, p.NumVars)
+	for i := 0; i < len(coeffs) && i < p.NumVars; i++ {
+		if coeffs[i] != nil {
+			cc[i] = new(big.Rat).Set(coeffs[i])
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{
+		Coeffs: cc,
+		Rel:    rel,
+		RHS:    new(big.Rat).Set(rhs),
+	})
+}
+
+// validate performs structural checks before solving.
+func (p *Problem) validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("%w: objective has %d coefficients for %d variables",
+			ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients for %d variables",
+				ErrBadProblem, i, len(c.Coeffs), p.NumVars)
+		}
+		if c.RHS == nil {
+			return fmt.Errorf("%w: constraint %d has nil RHS", ErrBadProblem, i)
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau with m constraint rows and an
+// objective row, all over exact rationals.
+type tableau struct {
+	m, n  int         // rows, total columns (excluding RHS)
+	a     [][]big.Rat // m×n constraint matrix
+	b     []big.Rat   // RHS, length m
+	c     []big.Rat   // objective row (reduced costs), length n
+	obj   big.Rat     // current objective value (negated running total)
+	basis []int       // basic variable of each row
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n}
+	t.a = make([][]big.Rat, m)
+	rows := make([]big.Rat, m*n)
+	for i := range t.a {
+		t.a[i] = rows[i*n : (i+1)*n]
+	}
+	t.b = make([]big.Rat, m)
+	t.c = make([]big.Rat, n)
+	t.basis = make([]int, m)
+	return t
+}
+
+// pivot performs a full pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	piv := new(big.Rat).Set(&t.a[row][col])
+	inv := new(big.Rat).Inv(piv)
+	// Scale pivot row.
+	for j := 0; j < t.n; j++ {
+		t.a[row][j].Mul(&t.a[row][j], inv)
+	}
+	t.b[row].Mul(&t.b[row], inv)
+	// Eliminate the pivot column from every other row.
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		factor := new(big.Rat).Set(&t.a[i][col])
+		if factor.Sign() == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			tmp.Mul(factor, &t.a[row][j])
+			t.a[i][j].Sub(&t.a[i][j], tmp)
+		}
+		tmp.Mul(factor, &t.b[row])
+		t.b[i].Sub(&t.b[i], tmp)
+	}
+	// Eliminate from the objective row.
+	factor := new(big.Rat).Set(&t.c[col])
+	if factor.Sign() != 0 {
+		for j := 0; j < t.n; j++ {
+			tmp.Mul(factor, &t.a[row][j])
+			t.c[j].Sub(&t.c[j], tmp)
+		}
+		tmp.Mul(factor, &t.b[row])
+		t.obj.Sub(&t.obj, tmp)
+	}
+	t.basis[row] = col
+}
+
+// iterate runs primal simplex iterations (maximization: enter on
+// positive reduced cost) until optimality or unboundedness, using
+// Bland's rule to guarantee termination.
+func (t *tableau) iterate(allowed func(col int) bool) Status {
+	for {
+		// Entering variable: smallest index with positive reduced cost.
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if allowed != nil && !allowed(j) {
+				continue
+			}
+			if t.c[j].Sign() > 0 {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal
+		}
+		// Leaving variable: minimum ratio, ties broken by smallest
+		// basis index (Bland).
+		row := -1
+		var best big.Rat
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col].Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(&t.b[i], &t.a[i][col])
+			if row < 0 || ratio.Cmp(&best) < 0 ||
+				(ratio.Cmp(&best) == 0 && t.basis[i] < t.basis[row]) {
+				row = i
+				best.Set(ratio)
+			}
+		}
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// Solve runs two-phase simplex and returns the optimal solution,
+// or a Solution with a non-Optimal status.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Normalize rows so every RHS is non-negative, then count extra
+	// columns: one slack/surplus per inequality, one artificial per
+	// GE/EQ row (after normalization).
+	type rowInfo struct {
+		coeffs []*big.Rat
+		rel    Rel
+		rhs    *big.Rat
+	}
+	rows := make([]rowInfo, m)
+	for i, c := range p.Constraints {
+		ri := rowInfo{coeffs: c.Coeffs, rel: c.Rel, rhs: c.RHS}
+		if c.RHS.Sign() < 0 {
+			neg := make([]*big.Rat, n)
+			for j, v := range c.Coeffs {
+				if v != nil {
+					neg[j] = new(big.Rat).Neg(v)
+				}
+			}
+			ri.coeffs = neg
+			ri.rhs = new(big.Rat).Neg(c.RHS)
+			switch c.Rel {
+			case LE:
+				ri.rel = GE
+			case GE:
+				ri.rel = LE
+			default:
+				ri.rel = EQ
+			}
+		}
+		rows[i] = ri
+	}
+
+	slacks := 0
+	artificials := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			slacks++
+		}
+		if r.rel != LE {
+			artificials++
+		}
+	}
+	total := n + slacks + artificials
+	t := newTableau(m, total)
+
+	one := big.NewRat(1, 1)
+	slackCol := n
+	artCol := n + slacks
+	artStart := artCol
+	for i, r := range rows {
+		for j, v := range r.coeffs {
+			if v != nil {
+				t.a[i][j].Set(v)
+			}
+		}
+		t.b[i].Set(r.rhs)
+		switch r.rel {
+		case LE:
+			t.a[i][slackCol].Set(one)
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol].Neg(one) // surplus
+			slackCol++
+			t.a[i][artCol].Set(one)
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol].Set(one)
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: maximize -(sum of artificials). Express the phase-1
+	// objective in terms of non-basic variables by adding each
+	// artificial's row.
+	if artificials > 0 {
+		for i := range rows {
+			if t.basis[i] >= artStart {
+				for j := 0; j < total; j++ {
+					t.c[j].Add(&t.c[j], &t.a[i][j])
+				}
+				t.obj.Add(&t.obj, &t.b[i])
+			}
+		}
+		for j := artStart; j < total; j++ {
+			t.c[j].Sub(&t.c[j], one)
+		}
+		status := t.iterate(nil)
+		if status == Unbounded {
+			// Phase-1 objective is bounded above by 0; cannot happen.
+			return nil, errors.New("lp: internal error: phase 1 unbounded")
+		}
+		if t.obj.Sign() != 0 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial variables out of the basis.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if t.a[i][j].Sign() != 0 {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the basis keeps the artificial at
+				// value zero; it can never re-enter because phase 2
+				// forbids artificial columns.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: install the real objective (as maximization) and
+	// express it in terms of the current basis.
+	for j := 0; j < total; j++ {
+		t.c[j].SetInt64(0)
+	}
+	t.obj.SetInt64(0)
+	for j := 0; j < n; j++ {
+		if p.Objective[j] == nil {
+			continue
+		}
+		if p.Maximize {
+			t.c[j].Set(p.Objective[j])
+		} else {
+			t.c[j].Neg(p.Objective[j])
+		}
+	}
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		bi := t.basis[i]
+		if bi >= total || t.c[bi].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(&t.c[bi])
+		for j := 0; j < total; j++ {
+			tmp.Mul(factor, &t.a[i][j])
+			t.c[j].Sub(&t.c[j], tmp)
+		}
+		tmp.Mul(factor, &t.b[i])
+		t.obj.Sub(&t.obj, tmp)
+	}
+	allowed := func(col int) bool { return col < artStart }
+	status := t.iterate(allowed)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]*big.Rat, n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]].Set(&t.b[i])
+		}
+	}
+	// t.obj holds -(max value of the internal maximization).
+	val := new(big.Rat).Neg(&t.obj)
+	if !p.Maximize {
+		val.Neg(val)
+	}
+	return &Solution{Status: Optimal, Value: val, X: x}, nil
+}
+
+// String renders the program in a human-readable algebraic form,
+// useful for debugging and for the mpcplan CLI.
+func (p *Problem) String() string {
+	var sb strings.Builder
+	if p.Maximize {
+		sb.WriteString("maximize ")
+	} else {
+		sb.WriteString("minimize ")
+	}
+	sb.WriteString(linear(p.Objective))
+	sb.WriteString("\nsubject to\n")
+	for _, c := range p.Constraints {
+		fmt.Fprintf(&sb, "  %s %s %s\n", linear(c.Coeffs), c.Rel, c.RHS.RatString())
+	}
+	sb.WriteString("  x >= 0\n")
+	return sb.String()
+}
+
+func linear(coeffs []*big.Rat) string {
+	var sb strings.Builder
+	first := true
+	for i, c := range coeffs {
+		if c == nil || c.Sign() == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString(" + ")
+		}
+		first = false
+		if c.Cmp(big.NewRat(1, 1)) == 0 {
+			fmt.Fprintf(&sb, "x%d", i)
+		} else {
+			fmt.Fprintf(&sb, "%s*x%d", c.RatString(), i)
+		}
+	}
+	if first {
+		return "0"
+	}
+	return sb.String()
+}

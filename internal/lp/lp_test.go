@@ -1,0 +1,326 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6  → x=4, y=0, value 12.
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(3, 1))
+	p.SetObjective(1, rat(2, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, LE, rat(4, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(3, 1)}, LE, rat(6, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Value.Cmp(rat(12, 1)) != 0 {
+		t.Errorf("value = %s, want 12", sol.Value.RatString())
+	}
+	if sol.X[0].Cmp(rat(4, 1)) != 0 || sol.X[1].Sign() != 0 {
+		t.Errorf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestSolveSimpleMinWithGE(t *testing.T) {
+	// minimize x + y s.t. x + 2y >= 3, 2x + y >= 3 → x=y=1, value 2.
+	p := NewProblem(2, false)
+	p.SetObjective(0, rat(1, 1))
+	p.SetObjective(1, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(2, 1)}, GE, rat(3, 1))
+	p.AddConstraint([]*big.Rat{rat(2, 1), rat(1, 1)}, GE, rat(3, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Value.Cmp(rat(2, 1)) != 0 {
+		t.Errorf("value = %s, want 2", sol.Value.RatString())
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// maximize x s.t. x + y = 5, x <= 3 → x=3, value 3.
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, EQ, rat(5, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), nil}, LE, rat(3, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Value.Cmp(rat(3, 1)) != 0 {
+		t.Errorf("value = %s, want 3", sol.Value.RatString())
+	}
+	if sol.X[1].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("y = %s, want 2", sol.X[1].RatString())
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot both hold.
+	p := NewProblem(1, true)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1)}, LE, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1)}, GE, rat(2, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// maximize x with no upper bound.
+	p := NewProblem(1, true)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1)}, GE, rat(1, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// minimize x s.t. -x <= -2 (i.e. x >= 2) → value 2.
+	p := NewProblem(1, false)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(-1, 1)}, LE, rat(-2, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Value.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("got %v %v, want optimal 2", sol.Status, sol.Value)
+	}
+}
+
+func TestSolveFractionalOptimum(t *testing.T) {
+	// The triangle cover LP: minimize v1+v2+v3 with vi+vj >= 1 for all
+	// pairs → each vi = 1/2, value 3/2.
+	p := NewProblem(3, false)
+	for i := 0; i < 3; i++ {
+		p.SetObjective(i, rat(1, 1))
+	}
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1), nil}, GE, rat(1, 1))
+	p.AddConstraint([]*big.Rat{nil, rat(1, 1), rat(1, 1)}, GE, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), nil, rat(1, 1)}, GE, rat(1, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Value.Cmp(rat(3, 2)) != 0 {
+		t.Errorf("value = %s, want 3/2", sol.Value.RatString())
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints meeting at the optimum.
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(1, 1))
+	p.SetObjective(1, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), nil}, LE, rat(1, 1))
+	p.AddConstraint([]*big.Rat{nil, rat(1, 1)}, LE, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, LE, rat(2, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Value.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("got %v %v, want optimal 2", sol.Status, sol.Value)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Two copies of the same equality produce a redundant artificial row.
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, EQ, rat(2, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, EQ, rat(2, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Value.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("got %v %v, want optimal 2", sol.Status, sol.Value)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Problem{NumVars: 0}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("want error for zero variables")
+	}
+	p2 := NewProblem(2, true)
+	p2.Constraints = append(p2.Constraints, Constraint{Coeffs: []*big.Rat{rat(1, 1)}, RHS: rat(1, 1)})
+	if _, err := Solve(p2); err == nil {
+		t.Fatal("want error for coefficient count mismatch")
+	}
+	p3 := NewProblem(1, true)
+	p3.Constraints = append(p3.Constraints, Constraint{Coeffs: []*big.Rat{rat(1, 1)}})
+	if _, err := Solve(p3); err == nil {
+		t.Fatal("want error for nil RHS")
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := NewProblem(2, false)
+	p.SetObjective(0, rat(1, 1))
+	p.SetObjective(1, rat(1, 2))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, GE, rat(1, 1))
+	s := p.String()
+	for _, want := range []string{"minimize", "x0", "1/2*x1", ">="} {
+		if !containsStr(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// randomCoverLP builds a set-cover-style LP: minimize Σx over random
+// coverage constraints. Such LPs are always feasible and bounded, which
+// makes them good fodder for duality property testing.
+func randomCoverLP(rng *rand.Rand, nVars, nCons int) (*Problem, [][]int) {
+	primal := NewProblem(nVars, false)
+	sets := make([][]int, nCons)
+	for i := 0; i < nVars; i++ {
+		primal.SetObjective(i, rat(1, 1))
+	}
+	for j := 0; j < nCons; j++ {
+		size := 1 + rng.IntN(nVars)
+		seen := map[int]bool{}
+		coeffs := make([]*big.Rat, nVars)
+		for len(seen) < size {
+			v := rng.IntN(nVars)
+			if !seen[v] {
+				seen[v] = true
+				coeffs[v] = rat(1, 1)
+				sets[j] = append(sets[j], v)
+			}
+		}
+		primal.AddConstraint(coeffs, GE, rat(1, 1))
+	}
+	return primal, sets
+}
+
+// dualOf builds the packing dual of a cover LP produced by randomCoverLP.
+func dualOf(sets [][]int, nVars int) *Problem {
+	dual := NewProblem(len(sets), true)
+	for j := range sets {
+		dual.SetObjective(j, rat(1, 1))
+	}
+	for i := 0; i < nVars; i++ {
+		coeffs := make([]*big.Rat, len(sets))
+		any := false
+		for j, s := range sets {
+			for _, v := range s {
+				if v == i {
+					coeffs[j] = rat(1, 1)
+					any = true
+				}
+			}
+		}
+		if any {
+			dual.AddConstraint(coeffs, LE, rat(1, 1))
+		}
+	}
+	return dual
+}
+
+// TestStrongDualityProperty checks LP strong duality on random
+// cover/packing pairs: the primal minimum equals the dual maximum.
+func TestStrongDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		nVars := 2 + r.IntN(5)
+		nCons := 1 + r.IntN(6)
+		primal, sets := randomCoverLP(rng, nVars, nCons)
+		dual := dualOf(sets, nVars)
+		ps, err := Solve(primal)
+		if err != nil || ps.Status != Optimal {
+			return false
+		}
+		ds, err := Solve(dual)
+		if err != nil || ds.Status != Optimal {
+			return false
+		}
+		return ps.Value.Cmp(ds.Value) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFeasibilityOfSolution verifies that returned optima satisfy every
+// constraint exactly.
+func TestFeasibilityOfSolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		p, _ := randomCoverLP(rng, 2+rng.IntN(6), 1+rng.IntN(8))
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		for ci, c := range p.Constraints {
+			lhs := new(big.Rat)
+			for i, coef := range c.Coeffs {
+				if coef != nil {
+					term := new(big.Rat).Mul(coef, sol.X[i])
+					lhs.Add(lhs, term)
+				}
+			}
+			ok := false
+			switch c.Rel {
+			case LE:
+				ok = lhs.Cmp(c.RHS) <= 0
+			case GE:
+				ok = lhs.Cmp(c.RHS) >= 0
+			case EQ:
+				ok = lhs.Cmp(c.RHS) == 0
+			}
+			if !ok {
+				t.Fatalf("trial %d: constraint %d violated: %s %s %s",
+					trial, ci, lhs.RatString(), c.Rel, c.RHS.RatString())
+			}
+		}
+		for i, x := range sol.X {
+			if x.Sign() < 0 {
+				t.Fatalf("trial %d: x%d = %s < 0", trial, i, x.RatString())
+			}
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("unexpected Rel strings")
+	}
+	if Rel(99).String() == "" {
+		t.Error("unknown Rel should still render")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("unexpected Status strings")
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown Status should still render")
+	}
+}

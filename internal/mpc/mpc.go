@@ -1,0 +1,429 @@
+// Package mpc simulates the Massively Parallel Communication model
+// MPC(ε) of Beame, Koutris, Suciu (PODS 2013, Section 2.1).
+//
+// A Cluster holds p workers connected by private channels. Computation
+// proceeds in synchronous rounds: every worker runs a step function
+// (concurrently, one goroutine per worker — the simulation's analogue
+// of independent servers), the produced messages are routed, and the
+// engine accounts the bits each worker *receives*. The model's single
+// resource constraint is enforced here: per round a worker may receive
+// at most c·N/p^{1−ε} bits, where N is the input size in bits and
+// ε ∈ [0,1] is the space exponent.
+//
+// The paper's "input servers" (Section 2.4) are modelled by Scatter,
+// which routes the tuples of one base relation to workers during the
+// first round; it performs the same receive accounting.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Workers is p, the number of servers. Must be ≥ 1.
+	Workers int
+	// Epsilon is the space exponent ε ∈ [0,1].
+	Epsilon float64
+	// InputBits is N, the input size in bits, used by the receive cap.
+	InputBits int64
+	// CapConstant is the constant c in the per-round receive cap
+	// c·N/p^{1−ε}. Zero or negative disables enforcement (the engine
+	// still records loads, so experiments can report them).
+	CapConstant float64
+	// DomainN is the domain size n; it fixes the bit cost of a tuple
+	// value (⌈log2(n+1)⌉ bits).
+	DomainN int
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("mpc: Workers = %d, need ≥ 1", c.Workers)
+	}
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("mpc: Epsilon = %v outside [0,1]", c.Epsilon)
+	}
+	if c.DomainN < 1 {
+		return fmt.Errorf("mpc: DomainN = %d, need ≥ 1", c.DomainN)
+	}
+	return nil
+}
+
+// ReceiveCap returns the per-round per-worker receive budget in bits:
+// c·N/p^{1−ε}. Returns 0 when enforcement is disabled.
+func (c Config) ReceiveCap() int64 {
+	if c.CapConstant <= 0 {
+		return 0
+	}
+	cap := c.CapConstant * float64(c.InputBits) / math.Pow(float64(c.Workers), 1-c.Epsilon)
+	return int64(math.Ceil(cap))
+}
+
+// Message is one point-to-point message: tuples of a named relation or
+// view sent to worker To. In the tuple-based model (Section 4.2.1) all
+// messages after round one have this shape; round-one messages from
+// input servers use the same representation.
+type Message struct {
+	// To is the destination worker id in [0, p).
+	To int
+	// Rel names the relation or view the tuples belong to.
+	Rel string
+	// Tuples is the payload.
+	Tuples []relation.Tuple
+}
+
+// ErrCapExceeded reports a worker receiving more bits in a round than
+// the MPC(ε) budget allows.
+var ErrCapExceeded = errors.New("mpc: receive cap exceeded")
+
+// Worker is one server's local state: the tuples it has received,
+// grouped by relation/view name. Workers have unlimited compute; all
+// cost accounting happens on communication.
+type Worker struct {
+	// ID is the worker index in [0, p).
+	ID int
+
+	mu    sync.Mutex
+	store map[string][]relation.Tuple
+}
+
+func newWorker(id int) *Worker {
+	return &Worker{ID: id, store: make(map[string][]relation.Tuple)}
+}
+
+// Received returns the tuples of the named relation this worker has
+// received so far (across all rounds). The slice must not be modified.
+func (w *Worker) Received(rel string) []relation.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.store[rel]
+}
+
+// Relations returns the names of all relations the worker holds, in
+// sorted order.
+func (w *Worker) Relations() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.store))
+	for name := range w.store {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Store returns a snapshot map of all held tuples (shared slices; do
+// not modify).
+func (w *Worker) Store() map[string][]relation.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string][]relation.Tuple, len(w.store))
+	for k, v := range w.store {
+		out[k] = v
+	}
+	return out
+}
+
+// add appends tuples to the worker's store.
+func (w *Worker) add(rel string, ts []relation.Tuple) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.store[rel] = append(w.store[rel], ts...)
+}
+
+// RoundStats records the communication of one round.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// TotalBits is the sum of bits received by all workers.
+	TotalBits int64
+	// TotalTuples is the number of tuples received by all workers.
+	TotalTuples int64
+	// MaxReceivedBits is the largest per-worker received bit count.
+	MaxReceivedBits int64
+	// MaxReceivedTuples is the largest per-worker received tuple count.
+	MaxReceivedTuples int64
+	// PerWorkerBits holds bits received by each worker.
+	PerWorkerBits []int64
+	// PerWorkerTuples holds tuples received by each worker.
+	PerWorkerTuples []int64
+}
+
+// Stats aggregates per-round statistics for a run.
+type Stats struct {
+	Rounds []RoundStats
+}
+
+// TotalBits sums received bits over all rounds.
+func (s *Stats) TotalBits() int64 {
+	var total int64
+	for _, r := range s.Rounds {
+		total += r.TotalBits
+	}
+	return total
+}
+
+// MaxLoadBits returns the largest per-worker per-round received bits.
+func (s *Stats) MaxLoadBits() int64 {
+	var m int64
+	for _, r := range s.Rounds {
+		if r.MaxReceivedBits > m {
+			m = r.MaxReceivedBits
+		}
+	}
+	return m
+}
+
+// MaxLoadTuples returns the largest per-worker per-round received
+// tuple count.
+func (s *Stats) MaxLoadTuples() int64 {
+	var m int64
+	for _, r := range s.Rounds {
+		if r.MaxReceivedTuples > m {
+			m = r.MaxReceivedTuples
+		}
+	}
+	return m
+}
+
+// NumRounds returns the number of communication rounds executed.
+func (s *Stats) NumRounds() int { return len(s.Rounds) }
+
+// Replication returns total received bits divided by the input size —
+// the observed replication rate (the model predicts O(p^ε) per round).
+func (s *Stats) Replication(inputBits int64) float64 {
+	if inputBits == 0 {
+		return 0
+	}
+	return float64(s.TotalBits()) / float64(inputBits)
+}
+
+// Cluster is a running MPC(ε) simulation.
+type Cluster struct {
+	cfg     Config
+	workers []*Worker
+	stats   Stats
+	round   int
+	open    bool // a BeginRound round is accumulating deliveries
+}
+
+// NewCluster builds a cluster of cfg.Workers idle workers.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	c.workers = make([]*Worker, cfg.Workers)
+	for i := range c.workers {
+		c.workers[i] = newWorker(i)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Workers returns the worker slice (shared; callers read state only).
+func (c *Cluster) Workers() []*Worker { return c.workers }
+
+// Worker returns worker i.
+func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
+
+// Stats returns the accumulated statistics.
+func (c *Cluster) Stats() *Stats { return &c.stats }
+
+// Round returns the number of completed rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// TupleBits returns the bit cost of one tuple of the given arity:
+// arity · ⌈log2(n+1)⌉, the Θ(log n) tuple encoding of Section 4.2.1.
+func (c *Cluster) TupleBits(arity int) int64 {
+	return int64(arity) * int64(relation.BitsPerValue(c.cfg.DomainN))
+}
+
+// StepFunc computes one worker's outgoing messages for a round. It is
+// invoked concurrently for all workers; it must only read the worker's
+// own state (the model's servers cannot see each other's memory).
+type StepFunc func(round int, w *Worker) []Message
+
+// RunRound executes one communication round: every worker's step runs
+// in its own goroutine, then messages are delivered and accounted.
+// If the receive cap is enforced and violated, the round still
+// completes (statistics are recorded) and ErrCapExceeded is returned.
+func (c *Cluster) RunRound(step StepFunc) error {
+	c.round++
+	out := make([][]Message, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			out[i] = step(c.round, w)
+		}(i, w)
+	}
+	wg.Wait()
+	var all []Message
+	for _, ms := range out {
+		all = append(all, ms...)
+	}
+	return c.deliver(all)
+}
+
+// Scatter performs an input-server round-one transmission for one base
+// relation: route(t) lists the destination workers of each tuple.
+// Multiple Scatter calls within the same logical round should be
+// grouped with BeginRound/EndRound; Scatter alone accounts its
+// delivery as part of the current open round if one exists, otherwise
+// as a fresh round.
+func (c *Cluster) Scatter(rel *relation.Relation, route func(t relation.Tuple) []int) error {
+	msgs := make(map[int]*Message)
+	for _, t := range rel.Tuples {
+		for _, dst := range route(t) {
+			if dst < 0 || dst >= len(c.workers) {
+				return fmt.Errorf("mpc: scatter %s: destination %d out of range", rel.Name, dst)
+			}
+			m, ok := msgs[dst]
+			if !ok {
+				m = &Message{To: dst, Rel: rel.Name}
+				msgs[dst] = m
+			}
+			m.Tuples = append(m.Tuples, t)
+		}
+	}
+	var all []Message
+	for _, m := range msgs {
+		all = append(all, *m)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].To < all[j].To })
+	return c.deliverIntoOpenRound(all)
+}
+
+// Broadcast sends every tuple of rel to all workers (used for tiny
+// relations such as the √n-sized unary endpoints in Prop 3.12).
+func (c *Cluster) Broadcast(rel *relation.Relation) error {
+	return c.Scatter(rel, func(relation.Tuple) []int {
+		dsts := make([]int, len(c.workers))
+		for i := range dsts {
+			dsts[i] = i
+		}
+		return dsts
+	})
+}
+
+// BeginRound opens a new round into which a sequence of Scatter or
+// Broadcast calls accumulate — they logically belong to a single
+// communication step (e.g. all input servers transmitting in round 1).
+func (c *Cluster) BeginRound() {
+	c.round++
+	c.open = true
+	c.stats.Rounds = append(c.stats.Rounds, RoundStats{
+		Round:         c.round,
+		PerWorkerBits: make([]int64, len(c.workers)),
+	})
+}
+
+// EndRound closes the round opened by BeginRound and reports a cap
+// violation, if any.
+func (c *Cluster) EndRound() error {
+	if !c.open {
+		return errors.New("mpc: EndRound without BeginRound")
+	}
+	c.open = false
+	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
+}
+
+// deliver routes messages as a fresh (already counted) round.
+func (c *Cluster) deliver(all []Message) error {
+	rs := RoundStats{Round: c.round, PerWorkerBits: make([]int64, len(c.workers))}
+	if err := c.route(all, &rs); err != nil {
+		return err
+	}
+	c.stats.Rounds = append(c.stats.Rounds, rs)
+	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
+}
+
+// deliverIntoOpenRound routes messages into the round opened by
+// BeginRound, or a fresh self-contained round if none is open.
+func (c *Cluster) deliverIntoOpenRound(all []Message) error {
+	if c.open {
+		return c.route(all, &c.stats.Rounds[len(c.stats.Rounds)-1])
+	}
+	c.round++
+	rs := RoundStats{Round: c.round, PerWorkerBits: make([]int64, len(c.workers))}
+	if err := c.route(all, &rs); err != nil {
+		return err
+	}
+	c.stats.Rounds = append(c.stats.Rounds, rs)
+	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
+}
+
+// route appends tuples to destinations and updates rs cumulatively
+// (several deliveries may share one round via BeginRound).
+func (c *Cluster) route(all []Message, rs *RoundStats) error {
+	if rs.PerWorkerTuples == nil {
+		rs.PerWorkerTuples = make([]int64, len(c.workers))
+	}
+	for _, m := range all {
+		if m.To < 0 || m.To >= len(c.workers) {
+			return fmt.Errorf("mpc: message to worker %d out of range [0,%d)", m.To, len(c.workers))
+		}
+		if len(m.Tuples) == 0 {
+			continue
+		}
+		arity := len(m.Tuples[0])
+		bits := c.TupleBits(arity) * int64(len(m.Tuples))
+		c.workers[m.To].add(m.Rel, m.Tuples)
+		rs.PerWorkerBits[m.To] += bits
+		rs.PerWorkerTuples[m.To] += int64(len(m.Tuples))
+		rs.TotalBits += bits
+		rs.TotalTuples += int64(len(m.Tuples))
+		if rs.PerWorkerBits[m.To] > rs.MaxReceivedBits {
+			rs.MaxReceivedBits = rs.PerWorkerBits[m.To]
+		}
+		if rs.PerWorkerTuples[m.To] > rs.MaxReceivedTuples {
+			rs.MaxReceivedTuples = rs.PerWorkerTuples[m.To]
+		}
+	}
+	return nil
+}
+
+// checkCap validates the round against the receive budget.
+func (c *Cluster) checkCap(rs *RoundStats) error {
+	budget := c.cfg.ReceiveCap()
+	if budget <= 0 {
+		return nil
+	}
+	for w, bits := range rs.PerWorkerBits {
+		if bits > budget {
+			return fmt.Errorf("%w: worker %d received %d bits in round %d, budget %d",
+				ErrCapExceeded, w, bits, rs.Round, budget)
+		}
+	}
+	return nil
+}
+
+// GatherAnswers collects deduplicated, sorted tuples stored under the
+// given view name across all workers — the union of per-server query
+// outputs.
+func (c *Cluster) GatherAnswers(view string) []relation.Tuple {
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+	for _, w := range c.workers {
+		for _, t := range w.Received(view) {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

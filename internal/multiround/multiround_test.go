@@ -1,0 +1,279 @@
+package multiround
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/localjoin"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/theory"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func groundTruth(t *testing.T, q *query.Query, db *relation.Database) []relation.Tuple {
+	t.Helper()
+	b, err := localjoin.FromDatabase(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := localjoin.Evaluate(q, b, localjoin.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBuildChainDepth: the greedy plan for L_k at ε uses exactly
+// ⌈log_{kε} k⌉ rounds, matching Example 4.2 and Corollary 4.8.
+func TestBuildChainDepth(t *testing.T) {
+	cases := []struct {
+		k    int
+		eps  *big.Rat
+		want int
+	}{
+		{2, rat(0, 1), 1},
+		{4, rat(0, 1), 2},
+		{5, rat(0, 1), 3},
+		{8, rat(0, 1), 3},
+		{16, rat(0, 1), 4},
+		{16, rat(1, 2), 2}, // Example 4.2: two rounds of L4 operators
+		{64, rat(1, 2), 3},
+		{4, rat(1, 2), 1},
+		{36, rat(2, 3), 2}, // kε = 6
+	}
+	for _, c := range cases {
+		plan, err := Build(query.Chain(c.k), c.eps)
+		if err != nil {
+			t.Fatalf("Build(L%d, %s): %v", c.k, c.eps.RatString(), err)
+		}
+		if got := plan.Rounds(); got != c.want {
+			t.Errorf("L%d at ε=%s: %d rounds, want %d\n%s",
+				c.k, c.eps.RatString(), got, c.want, plan)
+		}
+	}
+}
+
+// TestBuildMatchesTheoryBounds: for tree-like queries the greedy plan
+// must sit between the Corollary 4.8 lower bound and the Lemma 4.3
+// upper bound.
+func TestBuildMatchesTheoryBounds(t *testing.T) {
+	eps := []*big.Rat{rat(0, 1), rat(1, 2)}
+	queries := []*query.Query{
+		query.Chain(3), query.Chain(7), query.Chain(12),
+		query.Star(4), query.SpokedWheel(3), query.SpokedWheel(5),
+	}
+	for _, e := range eps {
+		for _, q := range queries {
+			plan, err := Build(q, e)
+			if err != nil {
+				t.Fatalf("Build(%s, %s): %v", q.Name, e.RatString(), err)
+			}
+			lo, err := theory.RoundsLowerBound(q, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			up, err := theory.RoundsUpperBound(q, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := plan.Rounds()
+			if got < lo {
+				t.Errorf("%s at ε=%s: plan uses %d rounds, below lower bound %d (plan bug)",
+					q.Name, e.RatString(), got, lo)
+			}
+			if got > up {
+				t.Errorf("%s at ε=%s: plan uses %d rounds, above upper bound %d",
+					q.Name, e.RatString(), got, up)
+			}
+		}
+	}
+}
+
+func TestBuildSPk(t *testing.T) {
+	// SP_k has a 2-round plan at ε = 0 (Example 4.2).
+	for _, k := range []int{2, 3, 5} {
+		plan, err := Build(query.SpokedWheel(k), rat(0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.Rounds(); got != 2 {
+			t.Errorf("SP%d: %d rounds, want 2\n%s", k, got, plan)
+		}
+	}
+}
+
+func TestBuildStarOneRound(t *testing.T) {
+	plan, err := Build(query.Star(6), rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Rounds(); got != 1 {
+		t.Errorf("T6: %d rounds, want 1", got)
+	}
+}
+
+func TestBuildCycle(t *testing.T) {
+	// C5 at ε = 0: upper bound 3 rounds; greedy must not exceed it.
+	plan, err := Build(query.Cycle(5), rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := theory.RoundsUpperBound(query.Cycle(5), rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() > up {
+		t.Errorf("C5: %d rounds > upper bound %d", plan.Rounds(), up)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(query.CartesianPair(), rat(0, 1)); err == nil {
+		t.Error("want error for disconnected query")
+	}
+	if _, err := Build(query.Chain(2), rat(1, 1)); err == nil {
+		t.Error("want error for ε = 1")
+	}
+	if _, err := Build(query.Chain(2), rat(-1, 2)); err == nil {
+		t.Error("want error for ε < 0")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := Build(query.Chain(4), rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "round 1") || !strings.Contains(s, "join") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExecuteChainCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	for _, k := range []int{2, 3, 5, 8} {
+		q := query.Chain(k)
+		n := 60
+		db := relation.MatchingDatabase(rng, q, n)
+		truth := groundTruth(t, q, db)
+		plan, err := Build(q, rat(0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(plan, db, 8, Options{Seed: 42})
+		if err != nil {
+			t.Fatalf("L%d: %v", k, err)
+		}
+		if res.Rounds != plan.Rounds() {
+			t.Errorf("L%d: executed %d rounds, plan says %d", k, res.Rounds, plan.Rounds())
+		}
+		assertSameTuples(t, res.Answers, truth)
+	}
+}
+
+// TestExecuteExample42: L16 at ε = 1/2 computes in exactly 2 rounds on
+// p = 16 servers with all answers found.
+func TestExecuteExample42(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	q := query.Chain(16)
+	n := 64
+	db := relation.MatchingDatabase(rng, q, n)
+	truth := groundTruth(t, q, db)
+	plan, err := Build(q, rat(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan, db, 16, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+	assertSameTuples(t, res.Answers, truth)
+	if len(res.Answers) != n {
+		t.Errorf("answers = %d, want %d (chains over matchings)", len(res.Answers), n)
+	}
+}
+
+func TestExecuteSPk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	q := query.SpokedWheel(3)
+	n := 40
+	db := relation.MatchingDatabase(rng, q, n)
+	truth := groundTruth(t, q, db)
+	plan, err := Build(q, rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan, db, 8, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTuples(t, res.Answers, truth)
+}
+
+func TestExecuteCycle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	q := query.Cycle(5)
+	n := 80
+	db := relation.MatchingDatabase(rng, q, n)
+	truth := groundTruth(t, q, db)
+	plan, err := Build(q, rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan, db, 8, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTuples(t, res.Answers, truth)
+}
+
+func TestExecuteSingleAtom(t *testing.T) {
+	q := query.Chain(1)
+	db := relation.NewDatabase(5)
+	s1 := relation.New("S1", "x0", "x1")
+	s1.MustAdd(relation.Tuple{1, 2})
+	db.AddRelation(s1)
+	plan, err := Build(q, rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan, db, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || len(res.Answers) != 1 {
+		t.Errorf("rounds=%d answers=%v", res.Rounds, res.Answers)
+	}
+}
+
+func TestExecuteMissingRelation(t *testing.T) {
+	q := query.Chain(2)
+	db := relation.NewDatabase(5)
+	plan, err := Build(q, rat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(plan, db, 4, Options{}); err == nil {
+		t.Error("want error for missing base relation")
+	}
+}
+
+func assertSameTuples(t *testing.T, got, want []relation.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("tuple %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}

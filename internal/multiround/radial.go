@@ -1,0 +1,213 @@
+package multiround
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/query"
+	"repro/internal/theory"
+)
+
+// BuildRadial constructs the literal Lemma 4.3 plan for a tree-like
+// query over a binary vocabulary: pick a center variable v (minimum
+// eccentricity), decompose the query tree into its root-to-leaf paths
+// (possibly sharing atoms near the center — the paper allows the
+// overlap, it only costs a constant factor), evaluate every path in
+// parallel as a chain of kε-way joins, and join all path results in
+// one final round on the shared variable v (the join of the path views
+// has v universal, so τ* = 1 and it is one-round computable at any ε).
+//
+// The resulting round count is ⌈log_{kε}(rad q)⌉ + 1 when more than
+// one path remains for the final join, matching the lemma; single-path
+// queries (chains rooted at an endpoint of the center) skip the final
+// join. The greedy Build often does as well or better; BuildRadial
+// exists to validate the paper's construction verbatim (and as the
+// upper-bound ablation).
+func BuildRadial(q *query.Query, eps *big.Rat) (*Plan, error) {
+	if !q.TreeLike() {
+		return nil, fmt.Errorf("multiround: BuildRadial requires a tree-like query, got %s", q.Name)
+	}
+	for _, a := range q.Atoms {
+		if a.Arity() != 2 || len(a.DistinctVars()) != 2 {
+			return nil, fmt.Errorf("multiround: BuildRadial requires binary atoms with distinct variables (%s)", a)
+		}
+	}
+	ke, err := theory.KEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	if ke < 2 {
+		return nil, fmt.Errorf("multiround: kε = %d < 2", ke)
+	}
+	plan := &Plan{Query: q, Epsilon: new(big.Rat).Set(eps)}
+	if q.NumAtoms() == 1 {
+		return plan, nil
+	}
+	center, err := q.Center()
+	if err != nil {
+		return nil, err
+	}
+	paths := leafPaths(q, center)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("multiround: internal: no paths from center %s", center)
+	}
+
+	// curAtoms tracks the atom definition of every name in play; the
+	// per-path slices hold the names of the current chain segments.
+	curAtoms := make(map[string]query.Atom, q.NumAtoms())
+	for _, a := range q.Atoms {
+		curAtoms[a.Name] = a
+	}
+	pathNames := make([][]string, len(paths))
+	for i, p := range paths {
+		for _, ai := range p {
+			pathNames[i] = append(pathNames[i], q.Atoms[ai].Name)
+		}
+	}
+
+	level := 0
+	for maxLen(pathNames) > 1 {
+		level++
+		var groups []Group
+		seenView := map[string]string{} // segment signature → view (dedupe shared prefixes)
+		for pi := range pathNames {
+			names := pathNames[pi]
+			if len(names) == 1 {
+				// Passthrough for this level, deduplicated.
+				sig := names[0]
+				if view, ok := seenView[sig]; ok {
+					pathNames[pi] = []string{view}
+					continue
+				}
+				view := fmt.Sprintf("W%d_%d", level, len(groups)+1)
+				groups = append(groups, Group{View: view, Atoms: []string{names[0]}})
+				curAtoms[view] = query.Atom{Name: view, Vars: curAtoms[names[0]].Vars}
+				seenView[sig] = view
+				pathNames[pi] = []string{view}
+				continue
+			}
+			var next []string
+			for start := 0; start < len(names); start += ke {
+				end := start + ke
+				if end > len(names) {
+					end = len(names)
+				}
+				segment := names[start:end]
+				sig := fmt.Sprint(segment)
+				if view, ok := seenView[sig]; ok {
+					next = append(next, view)
+					continue
+				}
+				view := fmt.Sprintf("W%d_%d", level, len(groups)+1)
+				if len(segment) == 1 {
+					groups = append(groups, Group{View: view, Atoms: []string{segment[0]}})
+					curAtoms[view] = query.Atom{Name: view, Vars: curAtoms[segment[0]].Vars}
+				} else {
+					atoms := make([]query.Atom, len(segment))
+					for j, name := range segment {
+						atoms[j] = curAtoms[name]
+					}
+					sub, err := query.New(view, atoms...)
+					if err != nil {
+						return nil, err
+					}
+					groups = append(groups, Group{View: view, Atoms: append([]string(nil), segment...), Query: sub})
+					curAtoms[view] = query.Atom{Name: view, Vars: sub.Vars()}
+				}
+				seenView[sig] = view
+				next = append(next, view)
+			}
+			pathNames[pi] = next
+		}
+		plan.Steps = append(plan.Steps, Step{Groups: groups})
+	}
+
+	// Final round: join all distinct path views (each contains the
+	// center variable, so the join has a universal variable).
+	heads := map[string]bool{}
+	var headNames []string
+	for _, names := range pathNames {
+		if !heads[names[0]] {
+			heads[names[0]] = true
+			headNames = append(headNames, names[0])
+		}
+	}
+	if len(headNames) > 1 {
+		level++
+		atoms := make([]query.Atom, len(headNames))
+		for j, name := range headNames {
+			atoms[j] = curAtoms[name]
+		}
+		view := fmt.Sprintf("W%d_1", level)
+		sub, err := query.New(view, atoms...)
+		if err != nil {
+			return nil, err
+		}
+		plan.Steps = append(plan.Steps, Step{Groups: []Group{{
+			View:  view,
+			Atoms: headNames,
+			Query: sub,
+		}}})
+	} else if len(plan.Steps) > 0 {
+		// Single path: its head view is already the full answer, but
+		// Execute requires the final step to have exactly one group.
+		last := plan.Steps[len(plan.Steps)-1]
+		if len(last.Groups) != 1 {
+			view := fmt.Sprintf("W%d_1", level+1)
+			atoms := []query.Atom{curAtoms[headNames[0]]}
+			sub, err := query.New(view, atoms...)
+			if err != nil {
+				return nil, err
+			}
+			plan.Steps = append(plan.Steps, Step{Groups: []Group{{
+				View:  view,
+				Atoms: headNames,
+				Query: sub,
+			}}})
+		}
+	}
+	return plan, nil
+}
+
+// leafPaths returns, for the tree-like binary query, the atom-index
+// paths from the center variable to every leaf variable.
+func leafPaths(q *query.Query, center string) [][]int {
+	// Adjacency: variable → (neighbor variable, atom index).
+	type edge struct {
+		to   string
+		atom int
+	}
+	adj := map[string][]edge{}
+	for ai, a := range q.Atoms {
+		u, v := a.Vars[0], a.Vars[1]
+		adj[u] = append(adj[u], edge{v, ai})
+		adj[v] = append(adj[v], edge{u, ai})
+	}
+	var paths [][]int
+	var walk func(at, from string, trail []int)
+	walk = func(at, from string, trail []int) {
+		isLeaf := true
+		for _, e := range adj[at] {
+			if e.to == from {
+				continue
+			}
+			isLeaf = false
+			walk(e.to, at, append(trail, e.atom))
+		}
+		if isLeaf && len(trail) > 0 {
+			paths = append(paths, append([]int(nil), trail...))
+		}
+	}
+	walk(center, "", nil)
+	return paths
+}
+
+func maxLen(paths [][]string) int {
+	m := 0
+	for _, p := range paths {
+		if len(p) > m {
+			m = len(p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,164 @@
+// Package plot renders small ASCII charts for the experiment harness:
+// log-log scatter plots of measured-vs-predicted series (answer
+// fractions, round counts) that make the "shape" claims of the paper
+// visible directly in terminal output.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart is a fixed-size ASCII canvas.
+type Chart struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// Title is printed above the canvas.
+	Title string
+	// LogX and LogY select logarithmic axes (points must be positive).
+	LogX, LogY bool
+
+	series []Series
+}
+
+// New returns a chart with sensible terminal dimensions.
+func New(title string) *Chart {
+	return &Chart{Width: 56, Height: 14, Title: title}
+}
+
+// Add appends a series. Points with non-positive coordinates on a log
+// axis are dropped at render time.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if c.Width < 8 || c.Height < 4 {
+		return fmt.Errorf("plot: canvas %dx%d too small", c.Width, c.Height)
+	}
+	tx := func(x float64) (float64, bool) {
+		if c.LogX {
+			if x <= 0 {
+				return 0, false
+			}
+			return math.Log10(x), true
+		}
+		return x, true
+	}
+	ty := func(y float64) (float64, bool) {
+		if c.LogY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return fmt.Errorf("plot: no drawable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(c.Width-1)))
+			row := c.Height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(c.Height-1)))
+			if grid[row][col] == ' ' || grid[row][col] == s.Marker {
+				grid[row][col] = s.Marker
+			} else {
+				grid[row][col] = '*' // overlapping series
+			}
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	topLabel := c.axisLabel(maxY)
+	botLabel := c.axisLabel(minY)
+	labelWidth := len(topLabel)
+	if len(botLabel) > labelWidth {
+		labelWidth = len(botLabel)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		if r == 0 {
+			label = pad(topLabel, labelWidth)
+		}
+		if r == c.Height-1 {
+			label = pad(botLabel, labelWidth)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", c.Width))
+	leftX := c.axisLabelX(minX)
+	rightX := c.axisLabelX(maxX)
+	gap := c.Width - len(leftX) - len(rightX)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), leftX, strings.Repeat(" ", gap), rightX)
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", labelWidth), strings.Join(legend, "   "))
+	return nil
+}
+
+func (c *Chart) axisLabel(v float64) string {
+	if c.LogY {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func (c *Chart) axisLabelX(v float64) string {
+	if c.LogX {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := New("test chart")
+	c.Add(Series{Name: "up", Marker: 'o', X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}})
+	c.Add(Series{Name: "down", Marker: 'x', X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "o up", "x down", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderLogLog(t *testing.T) {
+	c := New("decay")
+	c.LogX, c.LogY = true, true
+	c.Add(Series{Name: "p^-1/2", Marker: '+',
+		X: []float64{4, 16, 64, 256}, Y: []float64{0.5, 0.25, 0.125, 0.0625}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A power law on log-log axes is a straight line. Scanning rows
+	// top to bottom, y decreases, so x (the marker column) must
+	// increase monotonically.
+	lines := strings.Split(buf.String(), "\n")
+	var positions []int
+	for _, line := range lines {
+		if i := strings.IndexByte(line, '+'); i >= 0 && strings.Contains(line, "|") {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) < 3 {
+		t.Fatalf("expected ≥3 plotted rows, got %d:\n%s", len(positions), buf.String())
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] <= positions[i-1] {
+			t.Errorf("power-law line not moving right as y decreases: %v", positions)
+		}
+	}
+}
+
+func TestRenderLogDropsNonPositive(t *testing.T) {
+	c := New("log")
+	c.LogY = true
+	c.Add(Series{Name: "s", Marker: 'o', X: []float64{1, 2}, Y: []float64{0, 1}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	c := New("empty")
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("want error for no points")
+	}
+	c2 := &Chart{Width: 2, Height: 2}
+	c2.Add(Series{Name: "s", Marker: 'o', X: []float64{1}, Y: []float64{1}})
+	if err := c2.Render(&buf); err == nil {
+		t.Error("want error for tiny canvas")
+	}
+	c3 := New("all dropped")
+	c3.LogY = true
+	c3.Add(Series{Name: "s", Marker: 'o', X: []float64{1}, Y: []float64{-1}})
+	if err := c3.Render(&buf); err == nil {
+		t.Error("want error when every point is dropped")
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// All points identical: ranges are padded, no division by zero.
+	c := New("flat")
+	c.Add(Series{Name: "s", Marker: 'o', X: []float64{5, 5}, Y: []float64{3, 3}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	c := New("overlap")
+	c.Add(Series{Name: "a", Marker: 'a', X: []float64{1, 2}, Y: []float64{1, 2}})
+	c.Add(Series{Name: "b", Marker: 'b', X: []float64{1, 2}, Y: []float64{1, 2}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("overlapping points should render as '*'")
+	}
+}

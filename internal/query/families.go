@@ -1,0 +1,120 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file builds the running-example query families of Table 1 and
+// Example 4.2 of the paper.
+
+// Chain returns the linear (chain) query
+// L_k(x0,…,xk) = S1(x0,x1),…,Sk(x_{k-1},x_k).
+func Chain(k int) *Query {
+	if k < 1 {
+		panic(fmt.Sprintf("query.Chain: k = %d < 1", k))
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{varX(j - 1), varX(j)},
+		}
+	}
+	return MustNew(fmt.Sprintf("L%d", k), atoms...)
+}
+
+// Cycle returns the cycle query
+// C_k(x1,…,xk) = S1(x1,x2),…,Sk(xk,x1).
+func Cycle(k int) *Query {
+	if k < 2 {
+		panic(fmt.Sprintf("query.Cycle: k = %d < 2", k))
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		next := j%k + 1
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{varX(j), varX(next)},
+		}
+	}
+	return MustNew(fmt.Sprintf("C%d", k), atoms...)
+}
+
+// Star returns the star query
+// T_k(z,x1,…,xk) = S1(z,x1),…,Sk(z,xk).
+func Star(k int) *Query {
+	if k < 1 {
+		panic(fmt.Sprintf("query.Star: k = %d < 1", k))
+	}
+	atoms := make([]Atom, k)
+	for j := 1; j <= k; j++ {
+		atoms[j-1] = Atom{
+			Name: fmt.Sprintf("S%d", j),
+			Vars: []string{"z", varX(j)},
+		}
+	}
+	return MustNew(fmt.Sprintf("T%d", k), atoms...)
+}
+
+// Binom returns B_{k,m}: one relation S_I per m-element subset I of
+// [k], whose variables are {x_i : i ∈ I} in ascending order.
+func Binom(k, m int) *Query {
+	if m < 1 || m > k {
+		panic(fmt.Sprintf("query.Binom: need 1 <= m <= k, got m=%d k=%d", m, k))
+	}
+	var atoms []Atom
+	subset := make([]int, m)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == m {
+			vs := make([]string, m)
+			name := "S"
+			for i, e := range subset {
+				vs[i] = varX(e)
+				name += fmt.Sprintf("_%d", e)
+			}
+			atoms = append(atoms, Atom{Name: name, Vars: vs})
+			return
+		}
+		for v := start; v <= k; v++ {
+			subset[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(1, 0)
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Name < atoms[j].Name })
+	return MustNew(fmt.Sprintf("B%d_%d", k, m), atoms...)
+}
+
+// SpokedWheel returns SP_k = ∧_{i=1..k} R_i(z,x_i), S_i(x_i,y_i)
+// (Example 4.2): k two-hop spokes sharing the hub variable z.
+func SpokedWheel(k int) *Query {
+	if k < 1 {
+		panic(fmt.Sprintf("query.SpokedWheel: k = %d < 1", k))
+	}
+	atoms := make([]Atom, 0, 2*k)
+	for i := 1; i <= k; i++ {
+		atoms = append(atoms,
+			Atom{Name: fmt.Sprintf("R%d", i), Vars: []string{"z", varX(i)}},
+			Atom{Name: fmt.Sprintf("S%d", i), Vars: []string{varX(i), fmt.Sprintf("y%d", i)}},
+		)
+	}
+	return MustNew(fmt.Sprintf("SP%d", k), atoms...)
+}
+
+// Triangle returns C_3, the triangle query, under its conventional
+// variable naming S1(x1,x2), S2(x2,x3), S3(x3,x1).
+func Triangle() *Query { return Cycle(3) }
+
+// CartesianPair returns the two-atom product query
+// q(x,y) = R(x), S(y) — the drug-interaction workload from the paper's
+// introduction. Note it is disconnected.
+func CartesianPair() *Query {
+	return MustNew("CP",
+		Atom{Name: "R", Vars: []string{"x"}},
+		Atom{Name: "S", Vars: []string{"y"}},
+	)
+}
+
+func varX(i int) string { return fmt.Sprintf("x%d", i) }

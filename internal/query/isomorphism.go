@@ -1,0 +1,84 @@
+package query
+
+// Isomorphic reports whether two queries are isomorphic: there exist
+// bijections between their atoms and between their variables that
+// preserve atom arity and variable positions. The paper reasons up to
+// isomorphism throughout ("L5/{S2,S4} is isomorphic to L3",
+// "C_ℓ/M ≅ C_{⌊ℓ/kε⌋}"); this makes those claims mechanically
+// checkable.
+//
+// The search is backtracking over atom matchings with incremental
+// variable-bijection consistency — exponential in the worst case but
+// instantaneous for the paper's constant-size queries.
+func Isomorphic(q1, q2 *Query) bool {
+	if q1.NumAtoms() != q2.NumAtoms() || q1.NumVars() != q2.NumVars() ||
+		q1.TotalArity() != q2.TotalArity() {
+		return false
+	}
+	n := q1.NumAtoms()
+	// Candidate atoms in q2 for each atom of q1: same arity and same
+	// number of distinct variables.
+	candidates := make([][]int, n)
+	for i, a := range q1.Atoms {
+		for j, b := range q2.Atoms {
+			if a.Arity() == b.Arity() && len(a.DistinctVars()) == len(b.DistinctVars()) {
+				candidates[i] = append(candidates[i], j)
+			}
+		}
+		if len(candidates[i]) == 0 {
+			return false
+		}
+	}
+	usedAtom := make([]bool, n)
+	fwd := make(map[string]string, q1.NumVars()) // q1 var → q2 var
+	rev := make(map[string]string, q1.NumVars()) // q2 var → q1 var
+
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == n {
+			return true
+		}
+		a := q1.Atoms[i]
+		for _, j := range candidates[i] {
+			if usedAtom[j] {
+				continue
+			}
+			b := q2.Atoms[j]
+			// Try to extend the variable bijection position-wise.
+			var added []string
+			ok := true
+			for pos := range a.Vars {
+				v1, v2 := a.Vars[pos], b.Vars[pos]
+				m1, has1 := fwd[v1]
+				m2, has2 := rev[v2]
+				switch {
+				case has1 && m1 != v2:
+					ok = false
+				case has2 && m2 != v1:
+					ok = false
+				case !has1 && !has2:
+					fwd[v1] = v2
+					rev[v2] = v1
+					added = append(added, v1)
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				usedAtom[j] = true
+				if match(i + 1) {
+					return true
+				}
+				usedAtom[j] = false
+			}
+			for _, v1 := range added {
+				v2 := fwd[v1]
+				delete(fwd, v1)
+				delete(rev, v2)
+			}
+		}
+		return false
+	}
+	return match(0)
+}

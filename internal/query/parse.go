@@ -1,0 +1,152 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query from a compact textual syntax:
+//
+//	q(x,y,z) = R(x,y), S(y,z)
+//
+// or, with the head omitted (the head of a full CQ is determined by
+// the body anyway):
+//
+//	R(x,y), S(y,z)
+//
+// Identifiers are letters, digits and underscores beginning with a
+// letter. Whitespace is insignificant.
+func Parse(s string) (*Query, error) {
+	name := "q"
+	body := s
+	if i := strings.Index(s, "="); i >= 0 {
+		head := strings.TrimSpace(s[:i])
+		body = s[i+1:]
+		// Head looks like name(vars...); only the name matters for a
+		// full CQ, but we validate the declared variables if present.
+		open := strings.Index(head, "(")
+		if open < 0 || !strings.HasSuffix(head, ")") {
+			return nil, fmt.Errorf("query parse: malformed head %q", head)
+		}
+		name = strings.TrimSpace(head[:open])
+		if name == "" {
+			return nil, fmt.Errorf("query parse: empty query name in head %q", head)
+		}
+	}
+	atoms, err := parseAtoms(body)
+	if err != nil {
+		return nil, err
+	}
+	q, err := New(name, atoms...)
+	if err != nil {
+		return nil, err
+	}
+	// If a head was declared, check it covers exactly the body variables
+	// (the paper's queries are full).
+	if i := strings.Index(s, "="); i >= 0 {
+		head := strings.TrimSpace(s[:i])
+		open := strings.Index(head, "(")
+		declared := splitIdents(head[open+1 : len(head)-1])
+		if len(declared) > 0 {
+			want := make(map[string]bool, q.NumVars())
+			for _, v := range q.Vars() {
+				want[v] = true
+			}
+			got := make(map[string]bool, len(declared))
+			for _, v := range declared {
+				if !want[v] {
+					return nil, fmt.Errorf("query parse: head variable %s not in body (query must be full)", v)
+				}
+				got[v] = true
+			}
+			for v := range want {
+				if !got[v] {
+					return nil, fmt.Errorf("query parse: body variable %s missing from head (query must be full)", v)
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseAtoms(body string) ([]Atom, error) {
+	var atoms []Atom
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			return nil, fmt.Errorf("query parse: expected atom, got %q", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		if !validIdent(name) {
+			return nil, fmt.Errorf("query parse: invalid relation name %q", name)
+		}
+		closeIdx := strings.Index(rest[open:], ")")
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("query parse: unclosed atom %q", rest)
+		}
+		closeIdx += open
+		vars := splitIdents(rest[open+1 : closeIdx])
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("query parse: atom %s has no variables", name)
+		}
+		for _, v := range vars {
+			if !validIdent(v) {
+				return nil, fmt.Errorf("query parse: invalid variable %q in atom %s", v, name)
+			}
+		}
+		atoms = append(atoms, Atom{Name: name, Vars: vars})
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return nil, fmt.Errorf("query parse: expected ',' between atoms, got %q", rest)
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return nil, fmt.Errorf("query parse: trailing comma")
+		}
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query parse: empty body")
+	}
+	return atoms, nil
+}
+
+func splitIdents(s string) []string {
+	parts := strings.Split(s, ",")
+	var out []string
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !unicode.IsLetter(r) {
+			return false
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWithHead(t *testing.T) {
+	q, err := Parse("q(x,y,z) = R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "q" || q.NumAtoms() != 2 || q.NumVars() != 3 {
+		t.Errorf("parsed %s", q)
+	}
+}
+
+func TestParseWithoutHead(t *testing.T) {
+	q, err := Parse("R(x,y), S(y,z), T(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumAtoms() != 3 || q.Characteristic() != -1 {
+		t.Errorf("parsed %s", q)
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	q, err := Parse("  q( x , y ) =  R( x , y )  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars() != 2 {
+		t.Errorf("vars = %v", q.Vars())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"q(x) =",
+		"q(x = R(x)",
+		"noparens",
+		"R(x,y), , S(y)",
+		"R(x,y),",
+		"R()",
+		"1R(x)",
+		"R(1x)",
+		"q(x,y) = R(x)",     // head var y not in body
+		"q(x) = R(x), S(y)", // body var y missing from head
+		"R(x y)",            // missing comma inside atom is parsed as one ident "x y" → invalid
+		"R(x,y) S(y,z)",     // missing comma between atoms
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, q := range []*Query{Chain(4), Cycle(5), Star(3), SpokedWheel(2), Binom(4, 2)} {
+		s := q.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(String(%s)): %v", q.Name, err)
+		}
+		if got.String() != s {
+			t.Errorf("round trip mismatch:\n in: %s\nout: %s", s, got.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestParseSelfJoinRejected(t *testing.T) {
+	_, err := Parse("R(x,y), R(y,z)")
+	if err == nil || !strings.Contains(err.Error(), "self-join") {
+		t.Errorf("want self-join error, got %v", err)
+	}
+}

@@ -1,0 +1,544 @@
+// Package query models full conjunctive queries without self-joins and
+// the hypergraph machinery used throughout Beame, Koutris, Suciu
+// (PODS 2013): connected components, the characteristic χ(q),
+// contraction q/M, tree-likeness, distances, radius and diameter.
+//
+// A query q(x1,…,xk) = S1(x̄1),…,Sℓ(x̄ℓ) is represented by its list of
+// atoms; because the paper's queries are full, the head is implicitly
+// the set of all variables. Relation names must be distinct (no
+// self-joins), which the constructor enforces.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is a single relational atom S(x1,…,xa). Repeated variables in
+// one atom are allowed (the arity counts positions, not distinct
+// variables), matching the paper's definition of χ.
+type Atom struct {
+	// Name is the relation symbol, unique within a query.
+	Name string
+	// Vars lists the variables at each position.
+	Vars []string
+}
+
+// Arity returns the number of positions of the atom.
+func (a Atom) Arity() int { return len(a.Vars) }
+
+// DistinctVars returns the atom's variables with duplicates removed,
+// in first-occurrence order.
+func (a Atom) DistinctVars() []string {
+	seen := make(map[string]bool, len(a.Vars))
+	var out []string
+	for _, v := range a.Vars {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the atom as Name(v1,v2,…).
+func (a Atom) String() string {
+	return a.Name + "(" + strings.Join(a.Vars, ",") + ")"
+}
+
+// clone returns a deep copy of the atom.
+func (a Atom) clone() Atom {
+	vs := make([]string, len(a.Vars))
+	copy(vs, a.Vars)
+	return Atom{Name: a.Name, Vars: vs}
+}
+
+// Query is a full conjunctive query without self-joins.
+type Query struct {
+	// Name is an optional label (e.g. "L3", "C5") used in output.
+	Name string
+	// Atoms is the query body.
+	Atoms []Atom
+
+	vars     []string       // cached variable order (first occurrence)
+	varIndex map[string]int // variable → index in vars
+}
+
+// New builds a query from atoms, validating that relation names are
+// distinct and every atom has positive arity.
+func New(name string, atoms ...Atom) (*Query, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query %q: no atoms", name)
+	}
+	seen := make(map[string]bool, len(atoms))
+	for _, a := range atoms {
+		if a.Name == "" {
+			return nil, fmt.Errorf("query %q: atom with empty relation name", name)
+		}
+		if len(a.Vars) == 0 {
+			return nil, fmt.Errorf("query %q: atom %s has no variables", name, a.Name)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("query %q: self-join on relation %s not supported", name, a.Name)
+		}
+		seen[a.Name] = true
+		for _, v := range a.Vars {
+			if v == "" {
+				return nil, fmt.Errorf("query %q: atom %s has an empty variable", name, a.Name)
+			}
+		}
+	}
+	q := &Query{Name: name}
+	q.Atoms = make([]Atom, len(atoms))
+	for i, a := range atoms {
+		q.Atoms[i] = a.clone()
+	}
+	q.index()
+	return q, nil
+}
+
+// MustNew is New that panics on error; intended for static query
+// construction in examples and tests.
+func MustNew(name string, atoms ...Atom) *Query {
+	q, err := New(name, atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *Query) index() {
+	q.vars = nil
+	q.varIndex = make(map[string]int)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if _, ok := q.varIndex[v]; !ok {
+				q.varIndex[v] = len(q.vars)
+				q.vars = append(q.vars, v)
+			}
+		}
+	}
+}
+
+// Vars returns the query variables in first-occurrence order. The
+// returned slice must not be modified.
+func (q *Query) Vars() []string { return q.vars }
+
+// NumVars returns k, the number of distinct variables.
+func (q *Query) NumVars() int { return len(q.vars) }
+
+// NumAtoms returns ℓ, the number of atoms.
+func (q *Query) NumAtoms() int { return len(q.Atoms) }
+
+// TotalArity returns a = Σ_j a_j.
+func (q *Query) TotalArity() int {
+	a := 0
+	for _, at := range q.Atoms {
+		a += at.Arity()
+	}
+	return a
+}
+
+// VarIndex returns the index of variable v in Vars(), or -1.
+func (q *Query) VarIndex(v string) int {
+	if i, ok := q.varIndex[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// AtomIndex returns the index of the atom with the given relation
+// name, or -1.
+func (q *Query) AtomIndex(name string) int {
+	for i, a := range q.Atoms {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AtomsOf returns the indices of atoms containing variable v
+// (the paper's atoms(x_i)).
+func (q *Query) AtomsOf(v string) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		for _, av := range a.Vars {
+			if av == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the query as name(vars) = S1(..),S2(..).
+func (q *Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	head := q.Name
+	if head == "" {
+		head = "q"
+	}
+	return head + "(" + strings.Join(q.vars, ",") + ") = " + strings.Join(parts, ",")
+}
+
+// Components returns the connected components of the query as sets of
+// atom indices, each sorted ascending; components are ordered by their
+// smallest atom index. Two atoms are connected when they share a
+// variable.
+func (q *Query) Components() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byVar := make(map[string]int)
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if j, ok := byVar[v]; ok {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// NumComponents returns c, the number of connected components.
+func (q *Query) NumComponents() int { return len(q.Components()) }
+
+// Connected reports whether the query hypergraph is connected.
+func (q *Query) Connected() bool { return q.NumComponents() == 1 }
+
+// Characteristic returns χ(q) = k + ℓ − Σ_j a_j − c (Section 2.3).
+// It is always ≤ 0 (Lemma 2.1(c)).
+func (q *Query) Characteristic() int {
+	return q.NumVars() + q.NumAtoms() - q.TotalArity() - q.NumComponents()
+}
+
+// TreeLike reports whether q is connected with χ(q) = 0. Chain queries
+// L_k and any tree over a binary vocabulary are tree-like; cycles are
+// not.
+func (q *Query) TreeLike() bool {
+	return q.Connected() && q.Characteristic() == 0
+}
+
+// Subquery returns the query induced by the given atom indices (the
+// atoms keep their order). The result shares no memory with q.
+func (q *Query) Subquery(name string, atomIdx []int) (*Query, error) {
+	if len(atomIdx) == 0 {
+		return nil, fmt.Errorf("subquery of %q: no atoms selected", q.Name)
+	}
+	atoms := make([]Atom, 0, len(atomIdx))
+	for _, i := range atomIdx {
+		if i < 0 || i >= len(q.Atoms) {
+			return nil, fmt.Errorf("subquery of %q: atom index %d out of range", q.Name, i)
+		}
+		atoms = append(atoms, q.Atoms[i])
+	}
+	return New(name, atoms...)
+}
+
+// Contract returns q/M: the query obtained by contracting, in the
+// hypergraph of q, all edges belonging to the atoms in M (given as a
+// set of atom indices). Variables of each connected component of M are
+// merged into a single representative variable (the lexicographically
+// smallest, so results are deterministic), and the atoms of M are
+// removed. Contracting all atoms is an error because a query must have
+// at least one atom.
+func (q *Query) Contract(m map[int]bool) (*Query, error) {
+	if len(m) == 0 {
+		return New(q.Name+"/∅", q.Atoms...)
+	}
+	remaining := 0
+	for i := range q.Atoms {
+		if !m[i] {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return nil, fmt.Errorf("contract %q: cannot contract every atom", q.Name)
+	}
+	// Union-find over variables, merging within each atom of M.
+	parent := make(map[string]string, len(q.vars))
+	for _, v := range q.vars {
+		parent[v] = v
+	}
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Keep the lexicographically smaller representative.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for i, a := range q.Atoms {
+		if !m[i] {
+			continue
+		}
+		for _, v := range a.Vars[1:] {
+			union(a.Vars[0], v)
+		}
+	}
+	atoms := make([]Atom, 0, remaining)
+	for i, a := range q.Atoms {
+		if m[i] {
+			continue
+		}
+		vs := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			vs[j] = find(v)
+		}
+		atoms = append(atoms, Atom{Name: a.Name, Vars: vs})
+	}
+	return New(q.Name+"/M", atoms...)
+}
+
+// ContractAtoms is Contract with atoms named rather than indexed.
+func (q *Query) ContractAtoms(names ...string) (*Query, error) {
+	m := make(map[int]bool, len(names))
+	for _, n := range names {
+		i := q.AtomIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("contract %q: no atom named %s", q.Name, n)
+		}
+		m[i] = true
+	}
+	return q.Contract(m)
+}
+
+// Distances returns, for the given source variable, the hypergraph
+// distance d(source, v) to every variable v: the minimum number of
+// hyperedges (atoms) on a path connecting them, with d(v,v) = 0.
+// Unreachable variables get distance -1.
+func (q *Query) Distances(source string) (map[string]int, error) {
+	if q.VarIndex(source) < 0 {
+		return nil, fmt.Errorf("query %q: unknown variable %s", q.Name, source)
+	}
+	dist := make(map[string]int, len(q.vars))
+	for _, v := range q.vars {
+		dist[v] = -1
+	}
+	dist[source] = 0
+	frontier := []string{source}
+	usedAtom := make([]bool, len(q.Atoms))
+	for d := 1; len(frontier) > 0; d++ {
+		var next []string
+		for _, v := range frontier {
+			for _, ai := range q.AtomsOf(v) {
+				if usedAtom[ai] {
+					continue
+				}
+				usedAtom[ai] = true
+				for _, w := range q.Atoms[ai].Vars {
+					if dist[w] == -1 {
+						dist[w] = d
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, nil
+}
+
+// Eccentricity returns max_v d(source, v), or an error if the query is
+// disconnected (some variable unreachable).
+func (q *Query) Eccentricity(source string) (int, error) {
+	dist, err := q.Distances(source)
+	if err != nil {
+		return 0, err
+	}
+	ecc := 0
+	for v, d := range dist {
+		if d < 0 {
+			return 0, fmt.Errorf("query %q: variable %s unreachable from %s", q.Name, v, source)
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// Radius returns rad(q) = min_u max_v d(u,v) over the query hypergraph.
+func (q *Query) Radius() (int, error) {
+	if !q.Connected() {
+		return 0, fmt.Errorf("query %q: radius undefined for disconnected query", q.Name)
+	}
+	best := -1
+	for _, u := range q.vars {
+		e, err := q.Eccentricity(u)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || e < best {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Diameter returns diam(q) = max_{u,v} d(u,v).
+func (q *Query) Diameter() (int, error) {
+	if !q.Connected() {
+		return 0, fmt.Errorf("query %q: diameter undefined for disconnected query", q.Name)
+	}
+	best := 0
+	for _, u := range q.vars {
+		e, err := q.Eccentricity(u)
+		if err != nil {
+			return 0, err
+		}
+		if e > best {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Center returns a variable with minimum eccentricity.
+func (q *Query) Center() (string, error) {
+	if !q.Connected() {
+		return "", fmt.Errorf("query %q: center undefined for disconnected query", q.Name)
+	}
+	bestVar := ""
+	best := -1
+	for _, u := range q.vars {
+		e, err := q.Eccentricity(u)
+		if err != nil {
+			return "", err
+		}
+		if best < 0 || e < best {
+			best = e
+			bestVar = u
+		}
+	}
+	return bestVar, nil
+}
+
+// ConnectedSubqueries enumerates all non-empty connected subsets of
+// atoms (as sorted index slices). The enumeration is exponential in ℓ
+// and intended for the paper's constant-size queries; callers pass a
+// limit to guard against misuse (0 means no limit).
+func (q *Query) ConnectedSubqueries(limit int) ([][]int, error) {
+	n := len(q.Atoms)
+	if n > 24 {
+		return nil, fmt.Errorf("query %q: too many atoms (%d) to enumerate subqueries", q.Name, n)
+	}
+	// Precompute atom adjacency (shared variable).
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		vi := make(map[string]bool)
+		for _, v := range q.Atoms[i].Vars {
+			vi[v] = true
+		}
+		for j := i + 1; j < n; j++ {
+			for _, v := range q.Atoms[j].Vars {
+				if vi[v] {
+					adj[i][j], adj[j][i] = true, true
+					break
+				}
+			}
+		}
+	}
+	connected := func(mask uint32) bool {
+		var start int = -1
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			return false
+		}
+		seen := uint32(1 << start)
+		stack := []int{start}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 && seen&(1<<j) == 0 && adj[x][j] {
+					seen |= 1 << j
+					stack = append(stack, j)
+				}
+			}
+		}
+		return seen == mask
+	}
+	var out [][]int
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		if !connected(mask) {
+			continue
+		}
+		var idx []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				idx = append(idx, i)
+			}
+		}
+		out = append(out, idx)
+		if limit > 0 && len(out) > limit {
+			return nil, fmt.Errorf("query %q: more than %d connected subqueries", q.Name, limit)
+		}
+	}
+	return out, nil
+}
+
+// Rename returns a copy of q with the given name.
+func (q *Query) Rename(name string) *Query {
+	out := MustNew(name, q.Atoms...)
+	return out
+}

@@ -1,0 +1,523 @@
+package query
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("q"); err == nil {
+		t.Error("want error: no atoms")
+	}
+	if _, err := New("q", Atom{Name: "", Vars: []string{"x"}}); err == nil {
+		t.Error("want error: empty relation name")
+	}
+	if _, err := New("q", Atom{Name: "R", Vars: nil}); err == nil {
+		t.Error("want error: no variables")
+	}
+	if _, err := New("q",
+		Atom{Name: "R", Vars: []string{"x"}},
+		Atom{Name: "R", Vars: []string{"y"}}); err == nil {
+		t.Error("want error: self-join")
+	}
+	if _, err := New("q", Atom{Name: "R", Vars: []string{""}}); err == nil {
+		t.Error("want error: empty variable")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	q := Chain(3)
+	if got := q.NumVars(); got != 4 {
+		t.Errorf("NumVars = %d, want 4", got)
+	}
+	if got := q.NumAtoms(); got != 3 {
+		t.Errorf("NumAtoms = %d, want 3", got)
+	}
+	if got := q.TotalArity(); got != 6 {
+		t.Errorf("TotalArity = %d, want 6", got)
+	}
+	if got := q.VarIndex("x2"); got != 2 {
+		t.Errorf("VarIndex(x2) = %d, want 2", got)
+	}
+	if got := q.VarIndex("nope"); got != -1 {
+		t.Errorf("VarIndex(nope) = %d, want -1", got)
+	}
+	if got := q.AtomIndex("S2"); got != 1 {
+		t.Errorf("AtomIndex(S2) = %d, want 1", got)
+	}
+	if got := q.AtomIndex("nope"); got != -1 {
+		t.Errorf("AtomIndex(nope) = %d, want -1", got)
+	}
+	if got := q.AtomsOf("x1"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("AtomsOf(x1) = %v, want [0 1]", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	q := Chain(2)
+	s := q.String()
+	if !strings.Contains(s, "L2(x0,x1,x2)") || !strings.Contains(s, "S1(x0,x1),S2(x1,x2)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// R(x),S(y) is disconnected; add T(x,y) to connect.
+	q := MustNew("q",
+		Atom{Name: "R", Vars: []string{"x"}},
+		Atom{Name: "S", Vars: []string{"y"}},
+	)
+	comps := q.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2", comps)
+	}
+	if q.Connected() {
+		t.Error("q should be disconnected")
+	}
+	q2 := MustNew("q2",
+		Atom{Name: "R", Vars: []string{"x"}},
+		Atom{Name: "S", Vars: []string{"y"}},
+		Atom{Name: "T", Vars: []string{"x", "y"}},
+	)
+	if !q2.Connected() {
+		t.Error("q2 should be connected")
+	}
+}
+
+// TestCharacteristicTable1 checks χ against the values implied by
+// Table 1 (E[|q|] = n^{1+χ}): Lk and Tk have χ = 0 (answer size n),
+// Ck has χ = -1 (answer size 1), B_{k,m} has χ = k-(m-1)·C(k,m)-1.
+func TestCharacteristicTable1(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		if got := Chain(k).Characteristic(); got != 0 {
+			t.Errorf("χ(L%d) = %d, want 0", k, got)
+		}
+		if got := Star(k).Characteristic(); got != 0 {
+			t.Errorf("χ(T%d) = %d, want 0", k, got)
+		}
+		if got := Cycle(k).Characteristic(); got != -1 {
+			t.Errorf("χ(C%d) = %d, want -1", k, got)
+		}
+	}
+	// B_{k,m}: k vars, C(k,m) atoms each of arity m, connected (m>=1,
+	// any two atoms share a variable when 2m > k; in general connected
+	// for m >= 1 and k >= m because subsets overlap chains).
+	cases := []struct{ k, m, want int }{
+		{3, 2, 3 + 3 - 6 - 1},   // -1
+		{4, 2, 4 + 6 - 12 - 1},  // -3
+		{4, 3, 4 + 4 - 12 - 1},  // -5
+		{5, 2, 5 + 10 - 20 - 1}, // -6
+	}
+	for _, c := range cases {
+		q := Binom(c.k, c.m)
+		if got := q.Characteristic(); got != c.want {
+			t.Errorf("χ(B%d,%d) = %d, want %d", c.k, c.m, got, c.want)
+		}
+	}
+}
+
+func TestCharacteristicNonPositiveProperty(t *testing.T) {
+	// Lemma 2.1(c): χ(q) ≤ 0 for every query.
+	f := func(seed uint64) bool {
+		q := randomQuery(rand.New(rand.NewPCG(seed, 11)))
+		return q.Characteristic() <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacteristicAdditiveOverComponents(t *testing.T) {
+	// Lemma 2.1(a): χ(q) = Σ χ(q_i) over connected components.
+	f := func(seed uint64) bool {
+		q := randomQuery(rand.New(rand.NewPCG(seed, 13)))
+		sum := 0
+		for i, comp := range q.Components() {
+			sub, err := q.Subquery("comp", comp)
+			if err != nil {
+				return false
+			}
+			_ = i
+			sum += sub.Characteristic()
+		}
+		return sum == q.Characteristic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractionCharacteristic(t *testing.T) {
+	// Lemma 2.1(b): χ(q/M) = χ(q) − χ(M), and (d): χ(q) ≤ χ(q/M).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		q := randomQuery(rng)
+		if q.NumAtoms() < 2 {
+			return true
+		}
+		m := map[int]bool{}
+		for i := 0; i < q.NumAtoms(); i++ {
+			if rng.IntN(2) == 0 {
+				m[i] = true
+			}
+		}
+		if len(m) == 0 || len(m) == q.NumAtoms() {
+			return true
+		}
+		var mIdx []int
+		for i := range m {
+			mIdx = append(mIdx, i)
+		}
+		sub, err := q.Subquery("M", mIdx)
+		if err != nil {
+			return false
+		}
+		contracted, err := q.Contract(m)
+		if err != nil {
+			return false
+		}
+		if contracted.Characteristic() != q.Characteristic()-sub.Characteristic() {
+			return false
+		}
+		return q.Characteristic() <= contracted.Characteristic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContractL5Example reproduces the paper's Section 2.3 example:
+// L5/{S2,S4} = S1(x0,x1), S3(x1,x3), S5(x3,x5).
+func TestContractL5Example(t *testing.T) {
+	q := Chain(5)
+	got, err := q.ContractAtoms("S2", "S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumAtoms() != 3 {
+		t.Fatalf("atoms = %d, want 3", got.NumAtoms())
+	}
+	wantAtoms := []struct {
+		name string
+		vars []string
+	}{
+		{"S1", []string{"x0", "x1"}},
+		{"S3", []string{"x1", "x3"}},
+		{"S5", []string{"x3", "x5"}},
+	}
+	for i, w := range wantAtoms {
+		a := got.Atoms[i]
+		if a.Name != w.name {
+			t.Errorf("atom %d = %s, want %s", i, a.Name, w.name)
+		}
+		for j, v := range w.vars {
+			if a.Vars[j] != v {
+				t.Errorf("atom %s var %d = %s, want %s", a.Name, j, a.Vars[j], v)
+			}
+		}
+	}
+	// L5/{S2,S4} is isomorphic to L3: still tree-like.
+	if !got.TreeLike() {
+		t.Error("contracted chain should remain tree-like")
+	}
+}
+
+func TestContractErrors(t *testing.T) {
+	q := Chain(2)
+	if _, err := q.Contract(map[int]bool{0: true, 1: true}); err == nil {
+		t.Error("want error contracting every atom")
+	}
+	if _, err := q.ContractAtoms("nope"); err == nil {
+		t.Error("want error for unknown atom")
+	}
+	// Contracting nothing returns an equivalent query.
+	same, err := q.Contract(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.NumAtoms() != q.NumAtoms() || same.NumVars() != q.NumVars() {
+		t.Error("empty contraction changed the query")
+	}
+}
+
+func TestTreeLike(t *testing.T) {
+	cases := []struct {
+		q    *Query
+		want bool
+	}{
+		{Chain(1), true},
+		{Chain(7), true},
+		{Star(4), true},
+		{Cycle(3), false},
+		{Cycle(6), false},
+		{SpokedWheel(3), true},
+		// Acyclic but not tree-like (paper's example):
+		// S1(x0,x1,x2), S2(x1,x2,x3).
+		{MustNew("acyc",
+			Atom{Name: "S1", Vars: []string{"x0", "x1", "x2"}},
+			Atom{Name: "S2", Vars: []string{"x1", "x2", "x3"}}), false},
+	}
+	for _, c := range cases {
+		if got := c.q.TreeLike(); got != c.want {
+			t.Errorf("TreeLike(%s) = %v, want %v", c.q.Name, got, c.want)
+		}
+	}
+}
+
+func TestTreeLikeSubqueriesRemainTreeLike(t *testing.T) {
+	// "every connected subquery [of a tree-like query] will be also
+	// tree-like" (Section 2.3).
+	for _, q := range []*Query{Chain(5), Star(4), SpokedWheel(2)} {
+		subs, err := q.ConnectedSubqueries(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range subs {
+			sub, err := q.Subquery("sub", idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sub.TreeLike() {
+				t.Errorf("%s: connected subquery %v not tree-like", q.Name, idx)
+			}
+		}
+	}
+}
+
+func TestDistanceRadiusDiameter(t *testing.T) {
+	cases := []struct {
+		q         *Query
+		rad, diam int
+	}{
+		{Chain(1), 1, 1},
+		{Chain(4), 2, 4},
+		{Chain(5), 3, 5},
+		{Chain(16), 8, 16},
+		{Cycle(4), 2, 2},
+		{Cycle(5), 2, 2},
+		{Cycle(6), 3, 3},
+		{Cycle(7), 3, 3},
+		{Star(5), 1, 2},
+		{SpokedWheel(3), 2, 4},
+	}
+	for _, c := range cases {
+		rad, err := c.q.Radius()
+		if err != nil {
+			t.Fatalf("%s radius: %v", c.q.Name, err)
+		}
+		diam, err := c.q.Diameter()
+		if err != nil {
+			t.Fatalf("%s diameter: %v", c.q.Name, err)
+		}
+		if rad != c.rad || diam != c.diam {
+			t.Errorf("%s: rad=%d diam=%d, want rad=%d diam=%d",
+				c.q.Name, rad, diam, c.rad, c.diam)
+		}
+	}
+}
+
+func TestRadiusDiameterRelation(t *testing.T) {
+	// rad ≤ diam ≤ 2·rad on random connected queries.
+	f := func(seed uint64) bool {
+		q := randomConnectedQuery(rand.New(rand.NewPCG(seed, 19)))
+		rad, err1 := q.Radius()
+		diam, err2 := q.Diameter()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rad <= diam && diam <= 2*rad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	q := Chain(4) // center is x2 (eccentricity 2)
+	c, err := q.Center()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, err := q.Eccentricity(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc != 2 {
+		t.Errorf("center %s has eccentricity %d, want 2", c, ecc)
+	}
+}
+
+func TestDistancesErrors(t *testing.T) {
+	q := Chain(2)
+	if _, err := q.Distances("nope"); err == nil {
+		t.Error("want error for unknown source")
+	}
+	disc := MustNew("d",
+		Atom{Name: "R", Vars: []string{"x"}},
+		Atom{Name: "S", Vars: []string{"y"}})
+	if _, err := disc.Radius(); err == nil {
+		t.Error("want error: radius of disconnected query")
+	}
+	if _, err := disc.Diameter(); err == nil {
+		t.Error("want error: diameter of disconnected query")
+	}
+	if _, err := disc.Center(); err == nil {
+		t.Error("want error: center of disconnected query")
+	}
+	if _, err := disc.Eccentricity("x"); err == nil {
+		t.Error("want error: eccentricity in disconnected query")
+	}
+}
+
+func TestConnectedSubqueriesChain(t *testing.T) {
+	// Connected subqueries of L_k are exactly the contiguous segments:
+	// k·(k+1)/2 of them.
+	for k := 1; k <= 6; k++ {
+		q := Chain(k)
+		subs, err := q.ConnectedSubqueries(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k * (k + 1) / 2
+		if len(subs) != want {
+			t.Errorf("L%d: %d connected subqueries, want %d", k, len(subs), want)
+		}
+		for _, idx := range subs {
+			for i := 1; i < len(idx); i++ {
+				if idx[i] != idx[i-1]+1 {
+					t.Errorf("L%d: non-contiguous connected subquery %v", k, idx)
+				}
+			}
+		}
+	}
+}
+
+func TestConnectedSubqueriesLimit(t *testing.T) {
+	q := Chain(5)
+	if _, err := q.ConnectedSubqueries(3); err == nil {
+		t.Error("want error when exceeding limit")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	q := Binom(4, 2)
+	if q.NumAtoms() != 6 {
+		t.Errorf("B4,2 atoms = %d, want 6", q.NumAtoms())
+	}
+	if q.NumVars() != 4 {
+		t.Errorf("B4,2 vars = %d, want 4", q.NumVars())
+	}
+	if !q.Connected() {
+		t.Error("B4,2 should be connected")
+	}
+	sp := SpokedWheel(2)
+	if sp.NumAtoms() != 4 || sp.NumVars() != 5 {
+		t.Errorf("SP2: atoms=%d vars=%d, want 4, 5", sp.NumAtoms(), sp.NumVars())
+	}
+	cp := CartesianPair()
+	if cp.Connected() {
+		t.Error("cartesian pair should be disconnected")
+	}
+	tri := Triangle()
+	if tri.NumAtoms() != 3 || tri.Characteristic() != -1 {
+		t.Error("triangle should be C3")
+	}
+}
+
+func TestFamilyPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Chain(0) },
+		func() { Cycle(1) },
+		func() { Star(0) },
+		func() { Binom(3, 0) },
+		func() { Binom(3, 4) },
+		func() { SpokedWheel(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic for invalid family parameter")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistinctVars(t *testing.T) {
+	a := Atom{Name: "R", Vars: []string{"x", "y", "x"}}
+	d := a.DistinctVars()
+	if len(d) != 2 || d[0] != "x" || d[1] != "y" {
+		t.Errorf("DistinctVars = %v", d)
+	}
+	if a.Arity() != 3 {
+		t.Errorf("Arity = %d, want 3", a.Arity())
+	}
+}
+
+func TestSubqueryErrors(t *testing.T) {
+	q := Chain(3)
+	if _, err := q.Subquery("s", nil); err == nil {
+		t.Error("want error for empty selection")
+	}
+	if _, err := q.Subquery("s", []int{99}); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+}
+
+func TestRename(t *testing.T) {
+	q := Chain(2).Rename("other")
+	if q.Name != "other" || q.NumAtoms() != 2 {
+		t.Error("rename should preserve structure")
+	}
+}
+
+// randomQuery builds a small random query (possibly disconnected) for
+// property tests.
+func randomQuery(rng *rand.Rand) *Query {
+	nAtoms := 1 + rng.IntN(5)
+	nVars := 1 + rng.IntN(6)
+	atoms := make([]Atom, nAtoms)
+	for i := range atoms {
+		arity := 1 + rng.IntN(3)
+		vs := make([]string, arity)
+		for j := range vs {
+			vs[j] = varX(rng.IntN(nVars))
+		}
+		atoms[i] = Atom{Name: string(rune('A' + i)), Vars: vs}
+	}
+	return MustNew("rand", atoms...)
+}
+
+// randomConnectedQuery builds a random connected query by chaining
+// each new atom to an existing variable.
+func randomConnectedQuery(rng *rand.Rand) *Query {
+	nAtoms := 1 + rng.IntN(5)
+	atoms := make([]Atom, nAtoms)
+	varCount := 0
+	newVar := func() string {
+		varCount++
+		return varX(varCount)
+	}
+	first := newVar()
+	atoms[0] = Atom{Name: "A0", Vars: []string{first, newVar()}}
+	existing := []string{atoms[0].Vars[0], atoms[0].Vars[1]}
+	for i := 1; i < nAtoms; i++ {
+		anchor := existing[rng.IntN(len(existing))]
+		arity := 1 + rng.IntN(3)
+		vs := []string{anchor}
+		for j := 1; j < arity; j++ {
+			if rng.IntN(2) == 0 && len(existing) > 0 {
+				vs = append(vs, existing[rng.IntN(len(existing))])
+			} else {
+				v := newVar()
+				vs = append(vs, v)
+				existing = append(existing, v)
+			}
+		}
+		atoms[i] = Atom{Name: string(rune('A'+i)) + "r", Vars: vs}
+	}
+	return MustNew("randc", atoms...)
+}

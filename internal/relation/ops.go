@@ -1,0 +1,181 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// This file holds the relational-algebra operators used both by the
+// single-node reference evaluator (ground truth in tests) and by the
+// per-worker local join.
+
+// NaturalJoin joins r and s on their shared attribute names. The
+// output schema is r.Attrs followed by the attributes of s not in r.
+func NaturalJoin(r, s *Relation) *Relation {
+	shared := sharedAttrs(r, s)
+	outAttrs := make([]string, 0, len(r.Attrs)+len(s.Attrs))
+	outAttrs = append(outAttrs, r.Attrs...)
+	var sExtra []int // column indices of s not in r
+	for i, a := range s.Attrs {
+		if r.AttrIndex(a) < 0 {
+			outAttrs = append(outAttrs, a)
+			sExtra = append(sExtra, i)
+		}
+	}
+	out := New(r.Name+"⋈"+s.Name, outAttrs...)
+
+	if len(shared) == 0 {
+		// Cartesian product.
+		for _, tr := range r.Tuples {
+			for _, ts := range s.Tuples {
+				out.Tuples = append(out.Tuples, combine(tr, ts, sExtra))
+			}
+		}
+		return out
+	}
+
+	// Hash s on the shared attributes.
+	rIdx := make([]int, len(shared))
+	sIdx := make([]int, len(shared))
+	for i, a := range shared {
+		rIdx[i] = r.AttrIndex(a)
+		sIdx[i] = s.AttrIndex(a)
+	}
+	index := make(map[string][]Tuple, len(s.Tuples))
+	for _, ts := range s.Tuples {
+		index[projectKey(ts, sIdx)] = append(index[projectKey(ts, sIdx)], ts)
+	}
+	for _, tr := range r.Tuples {
+		for _, ts := range index[projectKey(tr, rIdx)] {
+			out.Tuples = append(out.Tuples, combine(tr, ts, sExtra))
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto the named attributes (in
+// the given order), with duplicates removed.
+func Project(r *Relation, attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("project %s: no attribute %s", r.Name, a)
+		}
+		idx[i] = j
+	}
+	out := New("π("+r.Name+")", attrs...)
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		p := make(Tuple, len(idx))
+		for i, j := range idx {
+			p[i] = t[j]
+		}
+		k := p.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, p)
+		}
+	}
+	return out, nil
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple
+// of s on their shared attributes (r ⋉ s). With no shared attributes
+// the result is r when s is non-empty and empty otherwise.
+func Semijoin(r, s *Relation) *Relation {
+	out := New(r.Name+"⋉"+s.Name, r.Attrs...)
+	shared := sharedAttrs(r, s)
+	if len(shared) == 0 {
+		if len(s.Tuples) > 0 {
+			for _, t := range r.Tuples {
+				out.Tuples = append(out.Tuples, t.Clone())
+			}
+		}
+		return out
+	}
+	rIdx := make([]int, len(shared))
+	sIdx := make([]int, len(shared))
+	for i, a := range shared {
+		rIdx[i] = r.AttrIndex(a)
+		sIdx[i] = s.AttrIndex(a)
+	}
+	index := make(map[string]bool, len(s.Tuples))
+	for _, ts := range s.Tuples {
+		index[projectKey(ts, sIdx)] = true
+	}
+	for _, tr := range r.Tuples {
+		if index[projectKey(tr, rIdx)] {
+			out.Tuples = append(out.Tuples, tr.Clone())
+		}
+	}
+	return out
+}
+
+// Select returns the tuples of r whose attribute attr equals value.
+func Select(r *Relation, attr string, value int) (*Relation, error) {
+	i := r.AttrIndex(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("select %s: no attribute %s", r.Name, attr)
+	}
+	out := New("σ("+r.Name+")", r.Attrs...)
+	for _, t := range r.Tuples {
+		if t[i] == value {
+			out.Tuples = append(out.Tuples, t.Clone())
+		}
+	}
+	return out, nil
+}
+
+func sharedAttrs(r, s *Relation) []string {
+	var out []string
+	for _, a := range r.Attrs {
+		if s.AttrIndex(a) >= 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func projectKey(t Tuple, idx []int) string {
+	var sb strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		fmt.Fprintf(&sb, "%d", t[j])
+	}
+	return sb.String()
+}
+
+func combine(tr, ts Tuple, sExtra []int) Tuple {
+	out := make(Tuple, 0, len(tr)+len(sExtra))
+	out = append(out, tr...)
+	for _, j := range sExtra {
+		out = append(out, ts[j])
+	}
+	return out
+}
+
+// MatchingDatabase generates, for every atom of q, an independent
+// random matching over [n] with the atom's variables as schema —
+// the uniformly random matching database of Section 2.5.
+func MatchingDatabase(rng *rand.Rand, q *query.Query, n int) *Database {
+	db := NewDatabase(n)
+	for _, a := range q.Atoms {
+		db.AddRelation(Matching(rng, a.Name, a.Vars, n))
+	}
+	return db
+}
+
+// IdentityDatabase generates the identity matching for every atom.
+func IdentityDatabase(q *query.Query, n int) *Database {
+	db := NewDatabase(n)
+	for _, a := range q.Atoms {
+		db.AddRelation(IdentityMatching(a.Name, a.Vars, n))
+	}
+	return db
+}

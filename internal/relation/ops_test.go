@@ -1,0 +1,127 @@
+package relation
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func rel(name string, attrs []string, rows ...Tuple) *Relation {
+	r := New(name, attrs...)
+	for _, row := range rows {
+		r.MustAdd(row)
+	}
+	return r
+}
+
+func TestNaturalJoinShared(t *testing.T) {
+	r := rel("R", []string{"x", "y"}, Tuple{1, 2}, Tuple{2, 3})
+	s := rel("S", []string{"y", "z"}, Tuple{2, 10}, Tuple{2, 11}, Tuple{9, 9})
+	j := NaturalJoin(r, s)
+	if len(j.Attrs) != 3 || j.Attrs[0] != "x" || j.Attrs[1] != "y" || j.Attrs[2] != "z" {
+		t.Fatalf("schema = %v", j.Attrs)
+	}
+	j.Sort()
+	want := []Tuple{{1, 2, 10}, {1, 2, 11}}
+	if len(j.Tuples) != len(want) {
+		t.Fatalf("tuples = %v", j.Tuples)
+	}
+	for i := range want {
+		if !j.Tuples[i].Equal(want[i]) {
+			t.Errorf("tuple %d = %v, want %v", i, j.Tuples[i], want[i])
+		}
+	}
+}
+
+func TestNaturalJoinCartesian(t *testing.T) {
+	r := rel("R", []string{"x"}, Tuple{1}, Tuple{2})
+	s := rel("S", []string{"y"}, Tuple{10}, Tuple{20})
+	j := NaturalJoin(r, s)
+	if len(j.Tuples) != 4 {
+		t.Errorf("cartesian size = %d, want 4", len(j.Tuples))
+	}
+}
+
+func TestNaturalJoinMultiAttr(t *testing.T) {
+	r := rel("R", []string{"x", "y"}, Tuple{1, 2}, Tuple{3, 4})
+	s := rel("S", []string{"x", "y", "z"}, Tuple{1, 2, 7}, Tuple{1, 9, 8})
+	j := NaturalJoin(r, s)
+	if len(j.Tuples) != 1 || !j.Tuples[0].Equal(Tuple{1, 2, 7}) {
+		t.Errorf("join = %v", j.Tuples)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := rel("R", []string{"x", "y"}, Tuple{1, 2}, Tuple{1, 3}, Tuple{2, 2})
+	p, err := Project(r, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sort()
+	if len(p.Tuples) != 2 || p.Tuples[0][0] != 1 || p.Tuples[1][0] != 2 {
+		t.Errorf("project = %v", p.Tuples)
+	}
+	if _, err := Project(r, "nope"); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+	// Reorder columns.
+	p2, err := Project(r, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Attrs[0] != "y" {
+		t.Error("projection should honor attribute order")
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	r := rel("R", []string{"x", "y"}, Tuple{1, 2}, Tuple{2, 3})
+	s := rel("S", []string{"y"}, Tuple{2})
+	sj := Semijoin(r, s)
+	if len(sj.Tuples) != 1 || !sj.Tuples[0].Equal(Tuple{1, 2}) {
+		t.Errorf("semijoin = %v", sj.Tuples)
+	}
+	// No shared attributes: passthrough iff s non-empty.
+	u := rel("U", []string{"w"}, Tuple{5})
+	if got := Semijoin(r, u); len(got.Tuples) != 2 {
+		t.Errorf("disjoint semijoin vs non-empty = %v", got.Tuples)
+	}
+	empty := New("E", "w")
+	if got := Semijoin(r, empty); len(got.Tuples) != 0 {
+		t.Errorf("disjoint semijoin vs empty = %v", got.Tuples)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := rel("R", []string{"x", "y"}, Tuple{1, 2}, Tuple{2, 2}, Tuple{2, 9})
+	s, err := Select(r, "x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tuples) != 2 {
+		t.Errorf("select = %v", s.Tuples)
+	}
+	if _, err := Select(r, "nope", 1); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+}
+
+// TestJoinOfMatchingsIsMatching: the join of two binary matchings on a
+// shared attribute is again a (2-column-keyed) relation of exactly n
+// tuples — the composition of two permutations.
+func TestJoinOfMatchingsIsMatching(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	n := 64
+	r := Matching(rng, "R", []string{"x", "y"}, n)
+	s := Matching(rng, "S", []string{"y", "z"}, n)
+	j := NaturalJoin(r, s)
+	if len(j.Tuples) != n {
+		t.Fatalf("|R⋈S| = %d, want %d", len(j.Tuples), n)
+	}
+	p, err := Project(j, "x", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsMatching(n) {
+		t.Error("projection of composed matchings should be a matching")
+	}
+}

@@ -1,0 +1,326 @@
+// Package relation provides the data layer of the MPC reproduction:
+// tuples over the integer domain [n] = {1,…,n}, named relations with a
+// variable schema, and the matching databases of Section 2.5 of
+// Beame, Koutris, Suciu (PODS 2013) — inputs in which every relation
+// of arity a is an a-dimensional matching (each column is a
+// permutation of [n]).
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row over the domain [n]; Tuple[i] is the value of the
+// i-th schema variable.
+type Tuple []int
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Key returns a canonical string key for map-based dedup. The values
+// are separated by '|', so keys are unambiguous for any arity.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// Less orders tuples lexicographically.
+func (t Tuple) Less(u Tuple) bool {
+	for i := 0; i < len(t) && i < len(u); i++ {
+		if t[i] != u[i] {
+			return t[i] < u[i]
+		}
+	}
+	return len(t) < len(u)
+}
+
+// Relation is a named multiset of tuples with a variable schema.
+type Relation struct {
+	// Name is the relation symbol.
+	Name string
+	// Attrs names the columns (query variables).
+	Attrs []string
+	// Tuples holds the rows.
+	Tuples []Tuple
+}
+
+// New returns an empty relation with the given schema.
+func New(name string, attrs ...string) *Relation {
+	as := make([]string, len(attrs))
+	copy(as, attrs)
+	return &Relation{Name: name, Attrs: as}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.Tuples) }
+
+// Add appends a tuple (copied) after validating its arity.
+func (r *Relation) Add(t Tuple) error {
+	if len(t) != r.Arity() {
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.Name, len(t), r.Arity())
+	}
+	r.Tuples = append(r.Tuples, t.Clone())
+	return nil
+}
+
+// MustAdd is Add that panics on arity mismatch.
+func (r *Relation) MustAdd(t Tuple) {
+	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AttrIndex returns the column index of attribute name, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.Name, r.Attrs...)
+	out.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Sort orders tuples lexicographically in place and returns r.
+func (r *Relation) Sort() *Relation {
+	sort.Slice(r.Tuples, func(i, j int) bool { return r.Tuples[i].Less(r.Tuples[j]) })
+	return r
+}
+
+// Dedup removes duplicate tuples in place (order not preserved) and
+// returns r.
+func (r *Relation) Dedup() *Relation {
+	seen := make(map[string]bool, len(r.Tuples))
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	r.Tuples = out
+	return r
+}
+
+// String renders a compact description (name, schema, cardinality).
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%s)[%d tuples]", r.Name, strings.Join(r.Attrs, ","), len(r.Tuples))
+}
+
+// IsMatching reports whether the relation is an a-dimensional matching
+// over [n]: it has exactly n tuples and every column contains each of
+// 1..n exactly once.
+func (r *Relation) IsMatching(n int) bool {
+	if len(r.Tuples) != n {
+		return false
+	}
+	for col := 0; col < r.Arity(); col++ {
+		seen := make([]bool, n+1)
+		for _, t := range r.Tuples {
+			v := t[col]
+			if v < 1 || v > n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}
+
+// Matching generates a random a-dimensional matching over [n] using
+// rng: each column beyond the first is an independent uniform
+// permutation of [n] (the first column is the identity, which is a
+// uniform representative because matchings are column-permutation
+// families with (n!)^(a−1) members, exactly the count used in the
+// paper's entropy argument).
+func Matching(rng *rand.Rand, name string, attrs []string, n int) *Relation {
+	r := New(name, attrs...)
+	a := len(attrs)
+	cols := make([][]int, a)
+	for c := 0; c < a; c++ {
+		cols[c] = make([]int, n)
+		for i := 0; i < n; i++ {
+			cols[c][i] = i + 1
+		}
+		if c > 0 {
+			rng.Shuffle(n, func(i, j int) { cols[c][i], cols[c][j] = cols[c][j], cols[c][i] })
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := make(Tuple, a)
+		for c := 0; c < a; c++ {
+			t[c] = cols[c][i]
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+// IdentityMatching returns the identity matching
+// {(1,1,…),(2,2,…),…,(n,n,…)} used by the retraction construction in
+// the multi-round lower bound (Section 4.2.3).
+func IdentityMatching(name string, attrs []string, n int) *Relation {
+	r := New(name, attrs...)
+	a := len(attrs)
+	for i := 1; i <= n; i++ {
+		t := make(Tuple, a)
+		for c := 0; c < a; c++ {
+			t[c] = i
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+// SkewedZipf generates a binary relation of n tuples whose first
+// column is drawn from a Zipf-like distribution (heavy hitters) and
+// whose second column is uniform. Matching databases have no skew;
+// this generator exists to contrast HC behaviour on skewed inputs.
+func SkewedZipf(rng *rand.Rand, name string, attrs []string, n int, s float64) *Relation {
+	if len(attrs) != 2 {
+		panic("relation.SkewedZipf: binary schema required")
+	}
+	// Build a cumulative Zipf table over [n].
+	weights := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	r := New(name, attrs...)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		r.Tuples = append(r.Tuples, Tuple{lo + 1, rng.IntN(n) + 1})
+	}
+	return r
+}
+
+// Database is a collection of relations keyed by name.
+type Database struct {
+	// N is the domain size [n].
+	N int
+	// Relations maps relation name → relation.
+	Relations map[string]*Relation
+	order     []string
+}
+
+// NewDatabase returns an empty database over domain [n].
+func NewDatabase(n int) *Database {
+	return &Database{N: n, Relations: make(map[string]*Relation)}
+}
+
+// AddRelation inserts a relation, replacing any with the same name.
+func (db *Database) AddRelation(r *Relation) {
+	if _, exists := db.Relations[r.Name]; !exists {
+		db.order = append(db.order, r.Name)
+	}
+	db.Relations[r.Name] = r
+}
+
+// Relation fetches a relation by name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.Relations[name]
+	return r, ok
+}
+
+// Names returns relation names in insertion order.
+func (db *Database) Names() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// TotalTuples returns the sum of relation cardinalities.
+func (db *Database) TotalTuples() int {
+	total := 0
+	for _, r := range db.Relations {
+		total += len(r.Tuples)
+	}
+	return total
+}
+
+// BitsPerValue returns the number of bits used to encode one domain
+// value of [n]: ⌈log2(n+1)⌉. It fixes the Θ(log n) tuple cost used by
+// the MPC engine's communication accounting.
+func BitsPerValue(n int) int { return ceilLog2(n + 1) }
+
+// InputBits returns the paper's N: the number of bits to encode the
+// database, O(n log n) per relation — we use the concrete count
+// Σ_j |S_j| · a_j · ⌈log2(n+1)⌉.
+func (db *Database) InputBits() int64 {
+	bitsPerValue := int64(BitsPerValue(db.N))
+	var total int64
+	for _, r := range db.Relations {
+		total += int64(len(r.Tuples)) * int64(r.Arity()) * bitsPerValue
+	}
+	return total
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	b := 0
+	v := x - 1
+	for v > 0 {
+		v >>= 1
+		b++
+	}
+	return b
+}

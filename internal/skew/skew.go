@@ -1,0 +1,316 @@
+// Package skew studies what the paper deliberately sets aside: data
+// skew. The matching databases of Section 2.5 are skew-free by
+// construction and the HyperCube upper bounds "hold only on matching
+// databases" — on skewed inputs hash partitioning overloads the
+// servers owning heavy join values, and dedicated techniques are
+// required (the paper points to Koutris & Suciu, PODS 2011).
+//
+// The package implements the classic two-relation equi-join
+// q(x,y,z) = R(x,y) ⋈ S(y,z) under two routing disciplines on the
+// MPC(ε) engine:
+//
+//   - Standard: hash-partition both relations on y — one server per
+//     join value; a heavy hitter lands intact on one server.
+//   - Resilient: the input servers detect heavy hitters (they may
+//     compute statistics over their own relation, Section 2.4),
+//     allocate each heavy value a block of servers proportional to its
+//     frequency, split the larger side across the block and broadcast
+//     the smaller side to it; light values hash as usual.
+//
+// On skew-free inputs the two disciplines behave identically (within
+// hashing noise); on Zipf inputs the resilient discipline's maximum
+// load improves by roughly the heavy hitter's frequency divided by its
+// block size.
+package skew
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/localjoin"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// JoinQuery returns q(x,y,z) = R(x,y), S(y,z).
+func JoinQuery() *query.Query {
+	return query.MustNew("join",
+		query.Atom{Name: "R", Vars: []string{"x", "y"}},
+		query.Atom{Name: "S", Vars: []string{"y", "z"}},
+	)
+}
+
+// ZipfJoinInput generates R(x,y) and S(y,z) with n tuples each whose
+// join attribute y follows a Zipf(s) distribution over [n] (uniform
+// x and z). s = 0 degenerates to uniform.
+func ZipfJoinInput(rng *rand.Rand, n int, s float64) (r, sRel *relation.Relation) {
+	zr := relation.SkewedZipf(rng, "Ry", []string{"y", "x"}, n, s)
+	zs := relation.SkewedZipf(rng, "Sy", []string{"y", "z"}, n, s)
+	r = relation.New("R", "x", "y")
+	for _, t := range zr.Tuples {
+		r.MustAdd(relation.Tuple{t[1], t[0]})
+	}
+	sRel = relation.New("S", "y", "z")
+	for _, t := range zs.Tuples {
+		sRel.MustAdd(relation.Tuple{t[0], t[1]})
+	}
+	return r, sRel
+}
+
+// MatchingJoinInput generates skew-free permutation inputs (the
+// control condition).
+func MatchingJoinInput(rng *rand.Rand, n int) (r, s *relation.Relation) {
+	return relation.Matching(rng, "R", []string{"x", "y"}, n),
+		relation.Matching(rng, "S", []string{"y", "z"}, n)
+}
+
+// Frequencies counts occurrences of each value in the named column.
+func Frequencies(rel *relation.Relation, attr string) (map[int]int, error) {
+	col := rel.AttrIndex(attr)
+	if col < 0 {
+		return nil, fmt.Errorf("skew: relation %s has no attribute %s", rel.Name, attr)
+	}
+	freq := make(map[int]int)
+	for _, t := range rel.Tuples {
+		freq[t[col]]++
+	}
+	return freq, nil
+}
+
+// HeavyHitters returns the values whose combined frequency across both
+// inputs exceeds threshold, sorted descending by frequency.
+func HeavyHitters(freqR, freqS map[int]int, threshold int) []int {
+	combined := make(map[int]int, len(freqR)+len(freqS))
+	for v, c := range freqR {
+		combined[v] += c
+	}
+	for v, c := range freqS {
+		combined[v] += c
+	}
+	var heavy []int
+	for v, c := range combined {
+		if c > threshold {
+			heavy = append(heavy, v)
+		}
+	}
+	sort.Slice(heavy, func(i, j int) bool {
+		ci, cj := combined[heavy[i]], combined[heavy[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return heavy[i] < heavy[j]
+	})
+	return heavy
+}
+
+// Mode selects the routing discipline.
+type Mode int
+
+// Routing disciplines.
+const (
+	// Standard hashes both relations on the join attribute.
+	Standard Mode = iota
+	// Resilient splits heavy hitters across server blocks.
+	Resilient
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Standard:
+		return "standard"
+	case Resilient:
+		return "resilient"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a join run.
+type Options struct {
+	// Seed drives hashing.
+	Seed uint64
+	// CapConstant enables receive-cap enforcement when positive.
+	CapConstant float64
+	// HeavyFactor scales the heavy-hitter threshold
+	// HeavyFactor·(|R|+|S|)/p; zero means 1.
+	HeavyFactor float64
+}
+
+// Result reports a join run.
+type Result struct {
+	// Answers is the full join result (x,y,z), deduplicated sorted.
+	Answers []relation.Tuple
+	// Stats is the communication record.
+	Stats *mpc.Stats
+	// MaxLoadTuples is the maximum per-server received tuple count.
+	MaxLoadTuples int64
+	// Heavy lists the detected heavy hitters (Resilient mode only).
+	Heavy []int
+	// CapExceeded reports receive-budget violations.
+	CapExceeded bool
+}
+
+func hashVal(v int, seed uint64) uint64 {
+	z := uint64(v) + seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunJoin executes R ⋈ S on p servers under the chosen mode. The
+// domain for bit accounting is taken as the largest value appearing in
+// either relation.
+func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("skew: p = %d", p)
+	}
+	if r.AttrIndex("y") < 0 || s.AttrIndex("y") < 0 {
+		return nil, fmt.Errorf("skew: inputs must share attribute y")
+	}
+	domain := 1
+	for _, rel := range []*relation.Relation{r, s} {
+		for _, t := range rel.Tuples {
+			for _, v := range t {
+				if v > domain {
+					domain = v
+				}
+			}
+		}
+	}
+	inputBits := int64(len(r.Tuples)+len(s.Tuples)) * 2 * int64(relation.BitsPerValue(domain))
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Workers:     p,
+		Epsilon:     0,
+		InputBits:   inputBits,
+		CapConstant: opts.CapConstant,
+		DomainN:     domain,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var heavy []int
+	heavySet := map[int]bool{}
+	blocks := map[int][]int{} // heavy value → server block
+	splitR := map[int]bool{}  // heavy value → split R (true) or S
+	if mode == Resilient {
+		freqR, err := Frequencies(r, "y")
+		if err != nil {
+			return nil, err
+		}
+		freqS, err := Frequencies(s, "y")
+		if err != nil {
+			return nil, err
+		}
+		factor := opts.HeavyFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		threshold := int(factor * float64(len(r.Tuples)+len(s.Tuples)) / float64(p))
+		heavy = HeavyHitters(freqR, freqS, threshold)
+		next := 0
+		for _, v := range heavy {
+			heavySet[v] = true
+			// Block size proportional to the value's share of the data.
+			combined := freqR[v] + freqS[v]
+			size := combined * p / (len(r.Tuples) + len(s.Tuples))
+			if size < 1 {
+				size = 1
+			}
+			if size > p {
+				size = p
+			}
+			block := make([]int, size)
+			for i := range block {
+				block[i] = (next + i) % p
+			}
+			next = (next + size) % p
+			blocks[v] = block
+			splitR[v] = freqR[v] >= freqS[v]
+		}
+	}
+
+	yR := r.AttrIndex("y")
+	yS := s.AttrIndex("y")
+	capExceeded := false
+	cluster.BeginRound()
+	counterR := map[int]int{}
+	if err := cluster.Scatter(r, func(t relation.Tuple) []int {
+		v := t[yR]
+		if mode == Resilient && heavySet[v] {
+			block := blocks[v]
+			if splitR[v] {
+				i := counterR[v]
+				counterR[v]++
+				return []int{block[i%len(block)]}
+			}
+			return block // broadcast the smaller side
+		}
+		return []int{int(hashVal(v, opts.Seed) % uint64(p))}
+	}); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+		return nil, err
+	}
+	counterS := map[int]int{}
+	if err := cluster.Scatter(s, func(t relation.Tuple) []int {
+		v := t[yS]
+		if mode == Resilient && heavySet[v] {
+			block := blocks[v]
+			if !splitR[v] {
+				i := counterS[v]
+				counterS[v]++
+				return []int{block[i%len(block)]}
+			}
+			return block
+		}
+		return []int{int(hashVal(v, opts.Seed) % uint64(p))}
+	}); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+		return nil, err
+	}
+	if err := cluster.EndRound(); err != nil {
+		if errors.Is(err, mpc.ErrCapExceeded) {
+			capExceeded = true
+		} else {
+			return nil, err
+		}
+	}
+
+	q := JoinQuery()
+	seen := map[string]bool{}
+	var answers []relation.Tuple
+	for _, w := range cluster.Workers() {
+		b := localjoin.Bindings{
+			"R": w.Received("R"),
+			"S": w.Received("S"),
+		}
+		rows, err := localjoin.Evaluate(q, b, localjoin.HashJoin)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range rows {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				answers = append(answers, t)
+			}
+		}
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].Less(answers[j]) })
+	return &Result{
+		Answers:       answers,
+		Stats:         cluster.Stats(),
+		MaxLoadTuples: cluster.Stats().MaxLoadTuples(),
+		Heavy:         heavy,
+		CapExceeded:   capExceeded,
+	}, nil
+}
+
+// GroundTruth joins the inputs on one node.
+func GroundTruth(r, s *relation.Relation) ([]relation.Tuple, error) {
+	q := JoinQuery()
+	b := localjoin.Bindings{"R": r.Tuples, "S": s.Tuples}
+	return localjoin.Evaluate(q, b, localjoin.HashJoin)
+}

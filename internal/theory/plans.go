@@ -1,0 +1,323 @@
+package theory
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/query"
+)
+
+// This file implements the combinatorics of the multi-round lower
+// bound: ε-good sets and (ε,r)-plans (Definition 4.4), a generic
+// verifier, and the explicit plan constructions for chains
+// (Lemma 4.6) and cycles (Lemma 4.9).
+
+// IsEpsilonGood reports whether the atom set M (names) is ε-good for
+// q (Definition 4.4):
+//
+//  1. every connected subquery of q that lies in Γ¹_ε contains at most
+//     one atom of M, and
+//  2. χ(M̄) = 0 for M̄ = atoms(q) − M (each connected component of M̄
+//     is tree-like).
+//
+// M̄ must be non-empty (otherwise q/M̄ is undefined).
+//
+// Condition 1 is decided without enumerating all 2^ℓ subqueries:
+// because τ* is monotone under connected subqueries (restricting an
+// optimal vertex cover of q' to a subquery q” ⊆ q' stays feasible, so
+// τ*(q”) ≤ τ*(q')), a Γ¹_ε subquery containing two M-atoms a, b
+// exists iff some simple path between a and b in the atom-adjacency
+// graph lies in Γ¹_ε. It therefore suffices to enumerate simple paths
+// between every pair of M-atoms.
+func IsEpsilonGood(q *query.Query, m map[string]bool, eps *big.Rat) (bool, error) {
+	inM := make(map[int]bool)
+	var mIdx []int
+	for name := range m {
+		i := q.AtomIndex(name)
+		if i < 0 {
+			return false, fmt.Errorf("theory: no atom named %s in %s", name, q.Name)
+		}
+		inM[i] = true
+		mIdx = append(mIdx, i)
+	}
+	var complement []int
+	for i := range q.Atoms {
+		if !inM[i] {
+			complement = append(complement, i)
+		}
+	}
+	if len(complement) == 0 {
+		return false, fmt.Errorf("theory: M covers all atoms of %s", q.Name)
+	}
+	// Condition 2: χ(M̄) = 0.
+	mbar, err := q.Subquery("Mbar", complement)
+	if err != nil {
+		return false, err
+	}
+	if mbar.Characteristic() != 0 {
+		return false, nil
+	}
+	// Condition 1 via pairwise path enumeration.
+	adj := atomAdjacency(q)
+	sort.Ints(mIdx)
+	for ia := 0; ia < len(mIdx); ia++ {
+		for ib := ia + 1; ib < len(mIdx); ib++ {
+			violates, err := pathInGamma(q, adj, mIdx[ia], mIdx[ib], eps)
+			if err != nil {
+				return false, err
+			}
+			if violates {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// atomAdjacency returns, per atom, the list of atoms sharing a
+// variable with it.
+func atomAdjacency(q *query.Query) [][]int {
+	n := q.NumAtoms()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		vi := make(map[string]bool)
+		for _, v := range q.Atoms[i].Vars {
+			vi[v] = true
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for _, v := range q.Atoms[j].Vars {
+				if vi[v] {
+					adj[i] = append(adj[i], j)
+					break
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// maxPathChecks bounds the number of simple paths examined per atom
+// pair; the paper's queries have very few (chains: 1, cycles: 2).
+const maxPathChecks = 100000
+
+// pathInGamma reports whether some simple path from atom a to atom b
+// in the atom-adjacency graph induces a subquery lying in Γ¹_ε.
+func pathInGamma(q *query.Query, adj [][]int, a, b int, eps *big.Rat) (bool, error) {
+	onPath := make([]bool, q.NumAtoms())
+	var path []int
+	checks := 0
+	var found bool
+	var walkErr error
+	var dfs func(cur int)
+	dfs = func(cur int) {
+		if found || walkErr != nil || checks > maxPathChecks {
+			return
+		}
+		onPath[cur] = true
+		path = append(path, cur)
+		if cur == b {
+			checks++
+			sub, err := q.Subquery("path", append([]int(nil), path...))
+			if err != nil {
+				walkErr = err
+			} else {
+				in, err := cover.GammaOne(sub, eps)
+				if err != nil {
+					walkErr = err
+				} else if in {
+					found = true
+				}
+			}
+		} else {
+			for _, nxt := range adj[cur] {
+				if !onPath[nxt] {
+					dfs(nxt)
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[cur] = false
+	}
+	dfs(a)
+	if walkErr != nil {
+		return false, walkErr
+	}
+	if checks > maxPathChecks {
+		return false, fmt.Errorf("theory: too many atom paths between %s and %s",
+			q.Atoms[a].Name, q.Atoms[b].Name)
+	}
+	return found, nil
+}
+
+// Plan is an (ε,r)-plan: a decreasing sequence of atom-name sets
+// M1 ⊃ M2 ⊃ … ⊃ Mr (Definition 4.4). Step j is ε-good for the query
+// contracted by the complement of M_{j−1} (with M0 = all atoms), and
+// the final contraction must not lie in Γ¹_ε.
+//
+// By Theorem 4.5, an (ε,r)-plan makes every (r+1)-round tuple-based
+// MPC(ε) algorithm fail, so the certified round lower bound is r+2.
+// (The paper's Lemma 4.6 states r = ⌈log_{kε}k⌉ − 1 for L_k, which is
+// one more step than the construction can actually sustain — e.g. L5
+// at ε = 0 admits only a 1-step plan, since a 2-step plan would need
+// three pairwise-non-adjacent atoms to survive two contractions. With
+// r_max = ⌈log_{kε}k⌉ − 2 steps the certified bound r_max + 2 agrees
+// exactly with Corollary 4.8's ⌈log_{kε}(diam)⌉, which is also the
+// bound matched by the upper-bound plans, so this is the consistent
+// reading.)
+type Plan struct {
+	// Query is the original query.
+	Query *query.Query
+	// Steps holds M1, …, Mr as sets of original atom names.
+	Steps []map[string]bool
+}
+
+// FailingRounds returns r+1: tuple-based MPC(ε) algorithms with this
+// many rounds fail to compute the query (Theorem 4.5).
+func (p *Plan) FailingRounds() int { return len(p.Steps) + 1 }
+
+// LowerBound returns the certified round lower bound, r+2.
+func (p *Plan) LowerBound() int { return len(p.Steps) + 2 }
+
+// Verify checks the Definition 4.4 conditions and returns the
+// contracted query after the final step.
+func (p *Plan) Verify(eps *big.Rat) (*query.Query, error) {
+	cur := p.Query
+	prev := map[string]bool{}
+	for _, a := range p.Query.Atoms {
+		prev[a.Name] = true
+	}
+	for j, m := range p.Steps {
+		// Mj ⊂ M_{j−1} strictly.
+		if len(m) >= len(prev) {
+			return nil, fmt.Errorf("theory: step %d: |M%d| = %d not smaller than |M%d| = %d",
+				j+1, j+1, len(m), j, len(prev))
+		}
+		for name := range m {
+			if !prev[name] {
+				return nil, fmt.Errorf("theory: step %d: atom %s not in previous step", j+1, name)
+			}
+		}
+		good, err := IsEpsilonGood(cur, m, eps)
+		if err != nil {
+			return nil, fmt.Errorf("theory: step %d: %w", j+1, err)
+		}
+		if !good {
+			return nil, fmt.Errorf("theory: step %d: M is not ε-good for %s", j+1, cur.Name)
+		}
+		// Contract the complement of m.
+		var contractIdx = map[int]bool{}
+		for i, a := range cur.Atoms {
+			if !m[a.Name] {
+				contractIdx[i] = true
+			}
+		}
+		next, err := cur.Contract(contractIdx)
+		if err != nil {
+			return nil, fmt.Errorf("theory: step %d: %w", j+1, err)
+		}
+		cur = next
+		prev = m
+	}
+	inGamma, err := cover.GammaOne(cur, eps)
+	if err != nil {
+		return nil, err
+	}
+	if inGamma {
+		return nil, fmt.Errorf("theory: final contraction %s still lies in Γ¹_ε", cur.Name)
+	}
+	return cur, nil
+}
+
+// ChainPlan constructs the maximal Lemma 4.6-style (ε,r)-plan for
+// L_k: each step keeps every kε-th atom of the current contracted
+// chain (starting with the first atom), and stops while the chain
+// still has at least kε+1 atoms, so the final contraction is not in
+// Γ¹_ε. The resulting certified lower bound (r+2) equals
+// ⌈log_{kε} k⌉, matching Corollary 4.8. Returns an error when
+// L_k ∈ Γ¹_ε (k ≤ kε), where no plan exists.
+func ChainPlan(k int, eps *big.Rat) (*Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("theory: k = %d < 1", k)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	if ke < 2 {
+		return nil, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	if k <= ke {
+		return nil, fmt.Errorf("theory: L%d ∈ Γ¹_ε (kε = %d); no plan exists", k, ke)
+	}
+	q := query.Chain(k)
+	plan := &Plan{Query: q}
+	// Current chain as a list of original atom names.
+	cur := make([]string, k)
+	for i := range cur {
+		cur[i] = q.Atoms[i].Name
+	}
+	// Contract while the next chain still has ≥ kε+1 atoms.
+	for (len(cur)+ke-1)/ke >= ke+1 {
+		var keep []string
+		for i := 0; i < len(cur); i += ke {
+			keep = append(keep, cur[i])
+		}
+		m := make(map[string]bool, len(keep))
+		for _, name := range keep {
+			m[name] = true
+		}
+		plan.Steps = append(plan.Steps, m)
+		cur = keep
+	}
+	return plan, nil
+}
+
+// CyclePlan constructs the Lemma 4.9-style (ε,r)-plan for C_k: each
+// step keeps every kε-th atom around the current cycle (so the
+// contracted query is C_{⌊ℓ/kε⌋}) while the next contracted cycle
+// still has more than mε atoms, guaranteeing the final contraction is
+// not in Γ¹_ε. Returns an error when C_k ∈ Γ¹_ε (k ≤ mε).
+func CyclePlan(k int, eps *big.Rat) (*Plan, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("theory: k = %d < 3", k)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	me, err := MEpsilon(eps)
+	if err != nil {
+		return nil, err
+	}
+	if ke < 2 {
+		return nil, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	if k <= me {
+		return nil, fmt.Errorf("theory: C%d ∈ Γ¹_ε (mε = %d); no plan exists", k, me)
+	}
+	q := query.Cycle(k)
+	plan := &Plan{Query: q}
+	cur := make([]string, k)
+	for i := range cur {
+		cur[i] = q.Atoms[i].Name
+	}
+	// Contract while the next cycle is still too long for one round.
+	for len(cur)/ke >= me+1 {
+		var keep []string
+		for i := 0; i+ke <= len(cur); i += ke {
+			keep = append(keep, cur[i])
+		}
+		m := make(map[string]bool, len(keep))
+		for _, name := range keep {
+			m[name] = true
+		}
+		plan.Steps = append(plan.Steps, m)
+		cur = keep
+	}
+	return plan, nil
+}

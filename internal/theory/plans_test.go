@@ -1,0 +1,217 @@
+package theory
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestIsEpsilonGoodChain(t *testing.T) {
+	zero := rat(0, 1)
+	q := query.Chain(5)
+	// Every 2nd atom: {S1,S3,S5} is 0-good.
+	good, err := IsEpsilonGood(q, set("S1", "S3", "S5"), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Error("{S1,S3,S5} should be 0-good for L5")
+	}
+	// Adjacent atoms {S1,S2}: the subquery S1,S2 is in Γ¹_0 (shares x1)
+	// and contains two M atoms → not good.
+	good, err = IsEpsilonGood(q, set("S1", "S2"), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good {
+		t.Error("{S1,S2} should not be 0-good for L5")
+	}
+	// M covering everything is invalid.
+	if _, err := IsEpsilonGood(q, set("S1", "S2", "S3", "S4", "S5"), zero); err == nil {
+		t.Error("want error when M covers all atoms")
+	}
+	// Unknown atom name.
+	if _, err := IsEpsilonGood(q, set("nope"), zero); err == nil {
+		t.Error("want error for unknown atom")
+	}
+}
+
+func TestIsEpsilonGoodComplementMustBeTreeLike(t *testing.T) {
+	zero := rat(0, 1)
+	q := query.Cycle(4)
+	// M = {S1}: complement {S2,S3,S4} is a path (tree-like, χ=0) → the
+	// χ condition holds, and no Γ¹ subquery has two M atoms (only one
+	// M atom exists) → good.
+	good, err := IsEpsilonGood(q, set("S1"), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Error("{S1} should be 0-good for C4")
+	}
+	// M = {S1,S3}: complement {S2,S4} χ = 0 (two disjoint edges), and
+	// S1,S3 are opposite edges — any Γ¹_0 subquery (adjacent pair)
+	// contains at most one of them → good.
+	good, err = IsEpsilonGood(q, set("S1", "S3"), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Error("{S1,S3} should be 0-good for C4")
+	}
+	// M = {S1,S2}: adjacent pair is in Γ¹_0 with both atoms in M.
+	good, err = IsEpsilonGood(q, set("S1", "S2"), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good {
+		t.Error("{S1,S2} should not be 0-good for C4")
+	}
+}
+
+func TestChainPlanCertifiesCorollary48(t *testing.T) {
+	// For every k and ε, the maximal chain plan's certified lower bound
+	// must equal ⌈log_{kε} k⌉ (= ⌈log_{kε} diam(L_k)⌉, Corollary 4.8).
+	for _, eps := range []struct {
+		r  *int64
+		v  [2]int64
+		ke int
+	}{
+		{v: [2]int64{0, 1}, ke: 2},
+		{v: [2]int64{1, 2}, ke: 4},
+		{v: [2]int64{2, 3}, ke: 6},
+	} {
+		e := rat(eps.v[0], eps.v[1])
+		for k := eps.ke + 1; k <= 40; k++ {
+			plan, err := ChainPlan(k, e)
+			if err != nil {
+				t.Fatalf("ChainPlan(%d, %s): %v", k, e.RatString(), err)
+			}
+			final, err := plan.Verify(e)
+			if err != nil {
+				t.Fatalf("ChainPlan(%d, %s) invalid: %v", k, e.RatString(), err)
+			}
+			if final.NumAtoms() < eps.ke+1 {
+				t.Errorf("k=%d ε=%s: final has %d atoms, want ≥ kε+1 = %d",
+					k, e.RatString(), final.NumAtoms(), eps.ke+1)
+			}
+			want, err := ChainRoundsLower(k, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.LowerBound(); got != want {
+				t.Errorf("k=%d ε=%s: plan certifies %d rounds, formula says %d",
+					k, e.RatString(), got, want)
+			}
+		}
+	}
+}
+
+func TestChainPlanGammaOneError(t *testing.T) {
+	if _, err := ChainPlan(2, rat(0, 1)); err == nil {
+		t.Error("L2 ∈ Γ¹_0: want error")
+	}
+	if _, err := ChainPlan(4, rat(1, 2)); err == nil {
+		t.Error("L4 ∈ Γ¹_{1/2}: want error")
+	}
+	if _, err := ChainPlan(0, rat(0, 1)); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestCyclePlanVerifies(t *testing.T) {
+	zero := rat(0, 1)
+	for _, k := range []int{3, 5, 6, 7, 12, 13, 20} {
+		plan, err := CyclePlan(k, zero)
+		if err != nil {
+			t.Fatalf("CyclePlan(%d): %v", k, err)
+		}
+		final, err := plan.Verify(zero)
+		if err != nil {
+			t.Fatalf("CyclePlan(%d) invalid: %v", k, err)
+		}
+		// Final cycle must be too long for one round: > mε = 2 atoms.
+		if final.NumAtoms() < 3 {
+			t.Errorf("C%d: final has %d atoms, want ≥ 3", k, final.NumAtoms())
+		}
+		// The plan's certified bound must never exceed the Lemma 4.3
+		// upper bound.
+		up, err := RoundsUpperBound(query.Cycle(k), zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.LowerBound() > up {
+			t.Errorf("C%d: certified lower %d exceeds upper %d", k, plan.LowerBound(), up)
+		}
+	}
+	if _, err := CyclePlan(2, zero); err == nil {
+		t.Error("want error for k=2 (C2 ∈ Γ¹)")
+	}
+	if _, err := CyclePlan(4, rat(1, 2)); err == nil {
+		t.Error("C4 ∈ Γ¹_{1/2} (mε=4): want error")
+	}
+}
+
+func TestPlanVerifyRejectsBadPlans(t *testing.T) {
+	zero := rat(0, 1)
+	q := query.Chain(5)
+	// Step not a subset of the previous step.
+	bad := &Plan{Query: q, Steps: []map[string]bool{
+		set("S1", "S3", "S5"),
+		set("S2"), // S2 ∉ M1
+	}}
+	if _, err := bad.Verify(zero); err == nil {
+		t.Error("want error: step not nested")
+	}
+	// Step not shrinking.
+	bad2 := &Plan{Query: q, Steps: []map[string]bool{
+		set("S1", "S3", "S5"),
+		set("S1", "S3", "S5"),
+	}}
+	if _, err := bad2.Verify(zero); err == nil {
+		t.Error("want error: step not strictly smaller")
+	}
+	// Not ε-good (adjacent atoms).
+	bad3 := &Plan{Query: q, Steps: []map[string]bool{set("S1", "S2")}}
+	if _, err := bad3.Verify(zero); err == nil {
+		t.Error("want error: step not ε-good")
+	}
+	// Final still in Γ¹ (keep adjacent-ish small set → contract to L1).
+	bad4 := &Plan{Query: q, Steps: []map[string]bool{set("S3")}}
+	if _, err := bad4.Verify(zero); err == nil {
+		t.Error("want error: final contraction in Γ¹")
+	}
+	// Valid one-step plan for reference.
+	ok := &Plan{Query: q, Steps: []map[string]bool{set("S1", "S3", "S5")}}
+	if _, err := ok.Verify(zero); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if ok.FailingRounds() != 2 || ok.LowerBound() != 3 {
+		t.Errorf("FailingRounds=%d LowerBound=%d, want 2, 3", ok.FailingRounds(), ok.LowerBound())
+	}
+}
+
+// TestEmptyPlanIsGammaCheck: a zero-step plan verifies iff q ∉ Γ¹_ε,
+// certifying that one round is insufficient.
+func TestEmptyPlanIsGammaCheck(t *testing.T) {
+	zero := rat(0, 1)
+	p := &Plan{Query: query.Chain(3)}
+	if _, err := p.Verify(zero); err != nil {
+		t.Errorf("L3 ∉ Γ¹_0; empty plan should verify: %v", err)
+	}
+	if p.LowerBound() != 2 {
+		t.Errorf("empty plan lower bound = %d, want 2", p.LowerBound())
+	}
+	p2 := &Plan{Query: query.Chain(2)}
+	if _, err := p2.Verify(zero); err == nil {
+		t.Error("L2 ∈ Γ¹_0; empty plan must fail")
+	}
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

@@ -1,0 +1,198 @@
+// Package theory provides the closed-form quantities of Beame,
+// Koutris, Suciu (PODS 2013) — expected answer counts on random
+// matching databases, space exponents, the round parameters kε and mε,
+// round lower and upper bounds — together with the combinatorial
+// machinery of the multi-round lower bound: ε-good sets and
+// (ε,r)-plans (Definition 4.4), including the explicit constructions
+// for chain queries (Lemma 4.6) and cycle queries (Lemma 4.9).
+package theory
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/cover"
+	"repro/internal/query"
+)
+
+// ExpectedAnswers returns E[|q(I)|] = n^{1+χ(q)} for a connected query
+// over a uniformly random matching database (Lemma 3.4).
+func ExpectedAnswers(q *query.Query, n int) (float64, error) {
+	if !q.Connected() {
+		return 0, fmt.Errorf("theory: ExpectedAnswers requires a connected query, got %s", q.Name)
+	}
+	return math.Pow(float64(n), float64(1+q.Characteristic())), nil
+}
+
+// SpaceExponent returns the one-round space exponent 1 − 1/τ*(q)
+// (Theorem 1.1) as an exact rational.
+func SpaceExponent(q *query.Query) (*big.Rat, error) {
+	r, err := cover.Solve(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.SpaceExponent(), nil
+}
+
+// KEpsilon returns kε = 2·⌊1/(1−ε)⌋, the longest chain computable in
+// one round in MPC(ε) (Theorem 1.2, Example 4.2). ε must be in [0,1).
+func KEpsilon(eps *big.Rat) (int, error) {
+	if eps.Sign() < 0 || eps.Cmp(big.NewRat(1, 1)) >= 0 {
+		return 0, fmt.Errorf("theory: ε = %s outside [0,1)", eps.RatString())
+	}
+	inv := new(big.Rat).Inv(new(big.Rat).Sub(big.NewRat(1, 1), eps)) // 1/(1-ε)
+	fl := new(big.Int).Quo(inv.Num(), inv.Denom())                   // floor for positive rationals
+	return 2 * int(fl.Int64()), nil
+}
+
+// MEpsilon returns mε = ⌊2/(1−ε)⌋, the longest cycle computable in one
+// round in MPC(ε) (Lemma 4.9). ε must be in [0,1).
+func MEpsilon(eps *big.Rat) (int, error) {
+	if eps.Sign() < 0 || eps.Cmp(big.NewRat(1, 1)) >= 0 {
+		return 0, fmt.Errorf("theory: ε = %s outside [0,1)", eps.RatString())
+	}
+	twoOver := new(big.Rat).Mul(big.NewRat(2, 1), new(big.Rat).Inv(new(big.Rat).Sub(big.NewRat(1, 1), eps)))
+	fl := new(big.Int).Quo(twoOver.Num(), twoOver.Denom())
+	return int(fl.Int64()), nil
+}
+
+// OneRoundFraction returns the Theorem 3.3 bound on the fraction of
+// answers any one-round MPC(ε) algorithm can report:
+// 1/p^{τ*(1−ε)−1}. Values ≥ 1 mean no restriction (ε at or above the
+// space exponent).
+func OneRoundFraction(q *query.Query, eps float64, p int) (float64, error) {
+	r, err := cover.Solve(q)
+	if err != nil {
+		return 0, err
+	}
+	tau := r.TauFloat()
+	exp := tau*(1-eps) - 1
+	if exp <= 0 {
+		return 1, nil
+	}
+	return math.Pow(float64(p), -exp), nil
+}
+
+// logCeil returns ⌈log_base(x)⌉ computed in exact integer arithmetic
+// (smallest r with base^r ≥ x). base must be ≥ 2 and x ≥ 1.
+func logCeil(base, x int) int {
+	r := 0
+	pow := 1
+	for pow < x {
+		pow *= base
+		r++
+	}
+	return r
+}
+
+// RoundsLowerBound returns the tuple-based MPC(ε) round lower bound
+// for a tree-like query: ⌈log_{kε}(diam(q))⌉ (Corollary 4.8).
+func RoundsLowerBound(q *query.Query, eps *big.Rat) (int, error) {
+	if !q.TreeLike() {
+		return 0, fmt.Errorf("theory: RoundsLowerBound requires a tree-like query, got %s", q.Name)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	if ke < 2 {
+		return 0, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	diam, err := q.Diameter()
+	if err != nil {
+		return 0, err
+	}
+	return logCeil(ke, diam), nil
+}
+
+// RoundsUpperBound returns the Lemma 4.3 upper bound on rounds for any
+// connected query: ⌈log_{kε}(rad)⌉ + 1 for tree-like queries and
+// ⌈log_{kε}(rad+1)⌉ + 1 otherwise.
+func RoundsUpperBound(q *query.Query, eps *big.Rat) (int, error) {
+	if !q.Connected() {
+		return 0, fmt.Errorf("theory: RoundsUpperBound requires a connected query, got %s", q.Name)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	if ke < 2 {
+		return 0, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	rad, err := q.Radius()
+	if err != nil {
+		return 0, err
+	}
+	if !q.TreeLike() {
+		rad++
+	}
+	return logCeil(ke, rad) + 1, nil
+}
+
+// ChainRoundsLower returns the Lemma 4.6 lower bound for L_k:
+// ⌈log_{kε} k⌉ rounds.
+func ChainRoundsLower(k int, eps *big.Rat) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: k = %d < 1", k)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	if ke < 2 {
+		return 0, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	return logCeil(ke, k), nil
+}
+
+// CycleRoundsLower returns the Lemma 4.9 lower bound for C_k:
+// ⌈log_{kε}(k/(mε+1))⌉ + 1 rounds.
+func CycleRoundsLower(k int, eps *big.Rat) (int, error) {
+	if k < 3 {
+		return 0, fmt.Errorf("theory: k = %d < 3", k)
+	}
+	ke, err := KEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	me, err := MEpsilon(eps)
+	if err != nil {
+		return 0, err
+	}
+	if ke < 2 {
+		return 0, fmt.Errorf("theory: kε = %d < 2", ke)
+	}
+	// ⌈log(k/(mε+1))/log kε⌉ + 1, computed exactly: the smallest r with
+	// kε^r · (mε+1) ≥ k.
+	r := 0
+	pow := me + 1
+	for pow < k {
+		pow *= ke
+		r++
+	}
+	return r + 1, nil
+}
+
+// ConnectedComponentsRoundsLower returns the Theorem 4.10 Ω(log p)
+// lower bound instantiated as ⌈log_{kε}⌊p^δ⌋⌉ − 2 with δ = 1/(2t) and
+// ε = 1 − 1/t (clamped at zero).
+func ConnectedComponentsRoundsLower(p int, t int) (int, error) {
+	if t < 1 {
+		return 0, fmt.Errorf("theory: t = %d < 1", t)
+	}
+	if p < 2 {
+		return 0, fmt.Errorf("theory: p = %d < 2", p)
+	}
+	delta := 1.0 / (2 * float64(t))
+	k := int(math.Pow(float64(p), delta))
+	if k < 2 {
+		return 0, nil
+	}
+	ke := 2 * t // kε for ε = 1−1/t
+	r := logCeil(ke, k) - 2
+	if r < 0 {
+		r = 0
+	}
+	return r, nil
+}

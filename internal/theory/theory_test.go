@@ -1,0 +1,274 @@
+package theory
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestExpectedAnswers(t *testing.T) {
+	// Table 1: L_k, T_k → n; C_k → 1; B_{k,m} → n^{k−(m−1)C(k,m)}.
+	n := 50
+	cases := []struct {
+		q    *query.Query
+		want float64
+	}{
+		{query.Chain(4), 50},
+		{query.Star(3), 50},
+		{query.Cycle(5), 1},
+		{query.Binom(3, 2), 1.0 / math.Pow(50, 2)}, // χ = -3+... = n^{3-3-1+... } = n^{-2}? χ(B3,2) = -1? no:
+	}
+	// Recompute the last case directly from χ.
+	cases[3].want = math.Pow(float64(n), float64(1+query.Binom(3, 2).Characteristic()))
+	for _, c := range cases {
+		got, err := ExpectedAnswers(c.q, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("E[|%s|] = %v, want %v", c.q.Name, got, c.want)
+		}
+	}
+	if _, err := ExpectedAnswers(query.CartesianPair(), n); err == nil {
+		t.Error("want error for disconnected query")
+	}
+}
+
+func TestKEpsilon(t *testing.T) {
+	cases := []struct {
+		eps  *big.Rat
+		want int
+	}{
+		{rat(0, 1), 2},
+		{rat(1, 3), 2}, // 1/(2/3) = 3/2, floor 1 → 2
+		{rat(1, 2), 4},
+		{rat(2, 3), 6},
+		{rat(3, 4), 8},
+		{rat(4, 5), 10},
+	}
+	for _, c := range cases {
+		got, err := KEpsilon(c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("kε(%s) = %d, want %d", c.eps.RatString(), got, c.want)
+		}
+	}
+	if _, err := KEpsilon(rat(1, 1)); err == nil {
+		t.Error("want error for ε = 1")
+	}
+	if _, err := KEpsilon(rat(-1, 2)); err == nil {
+		t.Error("want error for ε < 0")
+	}
+}
+
+func TestMEpsilon(t *testing.T) {
+	cases := []struct {
+		eps  *big.Rat
+		want int
+	}{
+		{rat(0, 1), 2},
+		{rat(1, 3), 3},
+		{rat(1, 2), 4},
+		{rat(3, 5), 5},
+		{rat(2, 3), 6},
+	}
+	for _, c := range cases {
+		got, err := MEpsilon(c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("mε(%s) = %d, want %d", c.eps.RatString(), got, c.want)
+		}
+	}
+	if _, err := MEpsilon(rat(1, 1)); err == nil {
+		t.Error("want error for ε = 1")
+	}
+}
+
+func TestSpaceExponent(t *testing.T) {
+	got, err := SpaceExponent(query.Cycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(1, 3)) != 0 {
+		t.Errorf("ε(C3) = %s, want 1/3", got.RatString())
+	}
+}
+
+func TestOneRoundFraction(t *testing.T) {
+	// C3 at ε = 0: fraction = p^{-(3/2−1)} = p^{-1/2}.
+	got, err := OneRoundFraction(query.Cycle(3), 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("fraction = %v, want 1/8", got)
+	}
+	// At or above the space exponent: no restriction.
+	got, err = OneRoundFraction(query.Cycle(3), 1.0/3.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("fraction at space exponent = %v, want 1", got)
+	}
+}
+
+// TestRoundsLowerUpperTable2 checks the Table 2 round counts for ε=0:
+// L_k and C_k need ⌈log2 k⌉ rounds; T_k needs 1; SP_k needs 2.
+func TestRoundsLowerUpperTable2(t *testing.T) {
+	zero := rat(0, 1)
+	for _, k := range []int{2, 3, 4, 5, 8, 9, 16, 17} {
+		lo, err := RoundsLowerBound(query.Chain(k), zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Ceil(math.Log2(float64(k))))
+		if lo != want {
+			t.Errorf("lower(L%d, ε=0) = %d, want ⌈log2 %d⌉ = %d", k, lo, k, want)
+		}
+		up, err := RoundsUpperBound(query.Chain(k), zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up < lo || up > lo+1 {
+			t.Errorf("L%d: upper %d not within 1 of lower %d", k, up, lo)
+		}
+	}
+	// Star: diameter 2, radius 1 → lower ⌈log2 2⌉ = 1, upper 1.
+	lo, err := RoundsLowerBound(query.Star(5), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := RoundsUpperBound(query.Star(5), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1 || up != 1 {
+		t.Errorf("T5: lower=%d upper=%d, want 1,1", lo, up)
+	}
+	// SP_k: diameter 4, radius 2 → lower 2, upper 2.
+	lo, err = RoundsLowerBound(query.SpokedWheel(3), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err = RoundsUpperBound(query.SpokedWheel(3), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || up != 2 {
+		t.Errorf("SP3: lower=%d upper=%d, want 2,2", lo, up)
+	}
+}
+
+// TestRoundsEpsilonTradeoff: Example 4.2 — L16 at ε=1/2 needs exactly
+// 2 rounds (kε = 4).
+func TestRoundsEpsilonTradeoff(t *testing.T) {
+	half := rat(1, 2)
+	lo, err := RoundsLowerBound(query.Chain(16), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := RoundsUpperBound(query.Chain(16), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || up > 3 {
+		t.Errorf("L16 at ε=1/2: lower=%d upper=%d, want lower 2", lo, up)
+	}
+}
+
+func TestRoundsLowerBoundErrors(t *testing.T) {
+	if _, err := RoundsLowerBound(query.Cycle(4), rat(0, 1)); err == nil {
+		t.Error("want error: cycles are not tree-like")
+	}
+	if _, err := RoundsUpperBound(query.CartesianPair(), rat(0, 1)); err == nil {
+		t.Error("want error: disconnected")
+	}
+}
+
+func TestChainRoundsLower(t *testing.T) {
+	zero := rat(0, 1)
+	half := rat(1, 2)
+	cases := []struct {
+		k    int
+		eps  *big.Rat
+		want int
+	}{
+		{2, zero, 1}, {4, zero, 2}, {5, zero, 3}, {8, zero, 3}, {9, zero, 4},
+		{16, half, 2}, {4, half, 1}, {64, half, 3}, {65, half, 4},
+	}
+	for _, c := range cases {
+		got, err := ChainRoundsLower(c.k, c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("ChainRoundsLower(%d, %s) = %d, want %d", c.k, c.eps.RatString(), got, c.want)
+		}
+	}
+	if _, err := ChainRoundsLower(0, zero); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestCycleRoundsLower(t *testing.T) {
+	zero := rat(0, 1)
+	cases := []struct {
+		k, want int
+	}{
+		{3, 1}, {5, 2}, {6, 2}, {7, 3}, {12, 3}, {13, 4},
+	}
+	for _, c := range cases {
+		got, err := CycleRoundsLower(c.k, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("CycleRoundsLower(%d, 0) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	if _, err := CycleRoundsLower(2, zero); err == nil {
+		t.Error("want error for k=2")
+	}
+}
+
+func TestConnectedComponentsRoundsLower(t *testing.T) {
+	// Grows with p at fixed t.
+	prev := -1
+	for _, p := range []int{16, 256, 4096, 65536} {
+		got, err := ConnectedComponentsRoundsLower(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Errorf("CC lower bound decreased: p=%d → %d (prev %d)", p, got, prev)
+		}
+		prev = got
+	}
+	if _, err := ConnectedComponentsRoundsLower(1, 1); err == nil {
+		t.Error("want error for p=1")
+	}
+	if _, err := ConnectedComponentsRoundsLower(16, 0); err == nil {
+		t.Error("want error for t=0")
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := []struct{ base, x, want int }{
+		{2, 1, 0}, {2, 2, 1}, {2, 3, 2}, {2, 8, 3}, {2, 9, 4},
+		{4, 16, 2}, {4, 17, 3}, {6, 36, 2},
+	}
+	for _, c := range cases {
+		if got := logCeil(c.base, c.x); got != c.want {
+			t.Errorf("logCeil(%d,%d) = %d, want %d", c.base, c.x, got, c.want)
+		}
+	}
+}

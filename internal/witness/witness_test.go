@@ -1,0 +1,155 @@
+package witness
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+func TestQueriesShape(t *testing.T) {
+	chain := ChainSubquery()
+	if chain.NumAtoms() != 3 || chain.NumVars() != 4 {
+		t.Fatalf("q': %d atoms %d vars", chain.NumAtoms(), chain.NumVars())
+	}
+	// τ*(q') = 2, so its one-round space exponent is 1/2 — the ε
+	// threshold in Proposition 3.12.
+	r := cover.MustSolve(chain)
+	if r.TauFloat() != 2 {
+		t.Errorf("τ*(q') = %v, want 2", r.TauFloat())
+	}
+	full := FullQuery()
+	if full.NumAtoms() != 5 || full.NumVars() != 4 {
+		t.Fatalf("q: %d atoms %d vars", full.NumAtoms(), full.NumVars())
+	}
+	if !full.Connected() {
+		t.Error("full query should be connected")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	in, err := Generate(rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S1", "S2", "S3"} {
+		rel, ok := in.DB.Relation(name)
+		if !ok || !rel.IsMatching(100) {
+			t.Errorf("%s should be a matching over [100]", name)
+		}
+	}
+	for _, name := range []string{"R", "T"} {
+		rel, ok := in.DB.Relation(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if rel.Size() != 10 {
+			t.Errorf("|%s| = %d, want √100 = 10", name, rel.Size())
+		}
+		seen := map[int]bool{}
+		for _, tp := range rel.Tuples {
+			if tp[0] < 1 || tp[0] > 100 || seen[tp[0]] {
+				t.Errorf("%s has bad/duplicate value %d", name, tp[0])
+			}
+			seen[tp[0]] = true
+		}
+	}
+	if _, err := Generate(rng, 2); err == nil {
+		t.Error("want error for tiny n")
+	}
+}
+
+// TestExpectedWitnessCount: E[|q|] = 1; over many trials the mean
+// witness count should be near 1.
+func TestExpectedWitnessCount(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 400
+	trials := 60
+	total := 0
+	for i := 0; i < trials; i++ {
+		in, err := Generate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := TrueWitnesses(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(truth)
+	}
+	mean := float64(total) / float64(trials)
+	if mean < 0.4 || mean > 2.0 {
+		t.Errorf("mean witness count = %v over %d trials, want ≈ 1", mean, trials)
+	}
+}
+
+func TestRunOneRoundSoundness(t *testing.T) {
+	// Every witness the one-round algorithm reports must be real.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 5; trial++ {
+		in, err := Generate(rng, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOneRound(in, 16, 0.25, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := TrueWitnesses(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthKeys := map[string]bool{}
+		for _, tp := range truth {
+			truthKeys[tp.Key()] = true
+		}
+		for _, w := range res.Witnesses {
+			if !truthKeys[w.Key()] {
+				t.Errorf("false witness %v", w)
+			}
+		}
+		if res.TrueCount != len(truth) {
+			t.Errorf("TrueCount = %d, want %d", res.TrueCount, len(truth))
+		}
+		if res.Stats.NumRounds() != 1 {
+			t.Errorf("rounds = %d, want 1", res.Stats.NumRounds())
+		}
+	}
+}
+
+// TestSuccessDropsWithEpsilonBelowHalf: at ε ≥ 1/2 the chain is fully
+// computable in one round, so conditioned success is 1; at small ε
+// with large p the success probability must drop markedly.
+func TestSuccessDropsWithEpsilonBelowHalf(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 144
+	trials := 12
+	pHigh, err := SuccessProbability(rng, n, 16, 0.5, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHigh < 0.99 {
+		t.Errorf("success at ε=1/2 = %v, want 1 (full HC)", pHigh)
+	}
+	rng2 := rand.New(rand.NewPCG(5, 5))
+	pLow, err := SuccessProbability(rng2, n, 256, 0.0, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theory: fraction of known q' answers ≈ p^{-2(1-ε)+1} = 1/p; with
+	// n answers of q' and ~1 full witness, success ≈ n/p ... bounded
+	// well below 1 for p = 256 ≫ √n.
+	if pLow > 0.75 {
+		t.Errorf("success at ε=0, p=256 = %v; want a clear drop below ε=1/2's %v", pLow, pHigh)
+	}
+	_ = math.Sqrt // document the √n scale used above
+}
+
+func TestSuccessProbabilityValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	if _, err := SuccessProbability(rng, 100, 4, 0, 0); err == nil {
+		t.Error("want error for zero trials")
+	}
+}
