@@ -306,7 +306,84 @@ func BenchmarkLocalJoin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, strat := range []localjoin.Strategy{localjoin.HashJoin, localjoin.Backtracking} {
+	for _, strat := range joinStrategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := localjoin.Evaluate(q, bindings, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// joinStrategies are the head-to-head contenders for the local join
+// benchmarks below: the pairwise hash pipeline, the tuple-at-a-time
+// backtracking join, and the worst-case-optimal leapfrog join.
+var joinStrategies = []localjoin.Strategy{localjoin.HashJoin, localjoin.Backtracking, localjoin.WCOJ}
+
+// BenchmarkJoinTriangle is the cyclic-query head-to-head: the triangle
+// C3 on matching databases. At n ≥ 10^4 the WCOJ strategy must beat
+// backtracking (whose candidate scans are quadratic here) and stay in
+// the same league as the hash pipeline (whose pairwise intermediate is
+// linear on matchings but quadratic on skewed inputs).
+func BenchmarkJoinTriangle(b *testing.B) {
+	q := query.Triangle()
+	for _, n := range []int{1000, 10000} {
+		rng := rand.New(rand.NewPCG(11, uint64(n)))
+		db := relation.MatchingDatabase(rng, q, n)
+		bindings, err := localjoin.FromDatabase(q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, strat := range joinStrategies {
+			b.Run(fmt.Sprintf("%v/n=%d", strat, n), func(b *testing.B) {
+				var answers int
+				for i := 0; i < b.N; i++ {
+					out, err := localjoin.Evaluate(q, bindings, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					answers = len(out)
+				}
+				b.ReportMetric(float64(answers), "answers")
+			})
+		}
+	}
+}
+
+// BenchmarkJoinZipf is the skewed head-to-head: R(x,y) ⋈ S(y,z) with
+// Zipf(1.1)-distributed join values, where heavy hitters make the
+// output (and the hash join's probe lists) large.
+func BenchmarkJoinZipf(b *testing.B) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	q := skew.JoinQuery()
+	r, s := skew.ZipfJoinInput(rng, 5000, 1.1)
+	bindings := localjoin.Bindings{"R": r.Tuples, "S": s.Tuples}
+	for _, strat := range joinStrategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			var answers int
+			for i := 0; i < b.N; i++ {
+				out, err := localjoin.Evaluate(q, bindings, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				answers = len(out)
+			}
+			b.ReportMetric(float64(answers), "answers")
+		})
+	}
+}
+
+// BenchmarkJoinMatchingChain is the skew-free control: the two-atom
+// chain join on matching inputs, where every strategy produces exactly
+// n answers and WCOJ must at least match the hash join.
+func BenchmarkJoinMatchingChain(b *testing.B) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	q := skew.JoinQuery()
+	r, s := skew.MatchingJoinInput(rng, 10000)
+	bindings := localjoin.Bindings{"R": r.Tuples, "S": s.Tuples}
+	for _, strat := range joinStrategies {
 		b.Run(strat.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := localjoin.Evaluate(q, bindings, strat); err != nil {

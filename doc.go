@@ -11,14 +11,23 @@
 // benchmark harness that regenerates every table and figure of the
 // paper.
 //
+// Local (per-worker) evaluation defaults to a worst-case-optimal
+// multiway join: a leapfrog-triejoin-style engine over integer-packed
+// sorted tries (localjoin.WCOJ), which stays within the AGM bound on
+// the cyclic, skewed residual queries HyperCube workers see. The
+// pairwise hash pipeline and the backtracking join remain available as
+// localjoin.HashJoin and localjoin.Backtracking; the BenchmarkJoin*
+// benchmarks compare all three head to head on triangle and Zipf
+// inputs.
+//
 // Layout:
 //
 //	internal/lp          exact two-phase simplex over big.Rat
 //	internal/query       conjunctive queries and hypergraph machinery
 //	internal/cover       Figure 1 LPs, τ*, space exponents, shares
-//	internal/relation    tuples, relations, matching databases
+//	internal/relation    tuples, relations, matching databases, packed tuple keys
 //	internal/mpc         the MPC(ε) cluster simulator
-//	internal/localjoin   per-worker join evaluation
+//	internal/localjoin   per-worker join evaluation (WCOJ default, hash, backtracking)
 //	internal/hypercube   the HyperCube algorithm (Theorem 1.1)
 //	internal/multiround  Γ^r_ε plans and the round executor (§4.1)
 //	internal/theory      closed-form bounds, ε-good sets, (ε,r)-plans

@@ -146,7 +146,7 @@ func EvaluateOneRound(q *query.Query, db *relation.Database, p int, opts OneRoun
 		Epsilon:     eps,
 		CapConstant: opts.CapConstant,
 		Seed:        opts.Seed,
-		Strategy:    localjoin.HashJoin,
+		Strategy:    localjoin.Default,
 	})
 }
 
@@ -168,12 +168,14 @@ func EvaluateMultiRound(q *query.Query, db *relation.Database, p int, eps *big.R
 	return multiround.Execute(plan, db, p, multiround.Options{
 		CapConstant: opts.CapConstant,
 		Seed:        opts.Seed,
-		Strategy:    localjoin.HashJoin,
+		Strategy:    localjoin.Default,
 	})
 }
 
 // GroundTruth evaluates q over db on a single node — the reference
-// answer used by tests and experiment harnesses.
+// answer used by tests and experiment harnesses. It deliberately uses
+// the pairwise hash join so the reference is computed by a different
+// algorithm than the WCOJ default the cluster runs.
 func GroundTruth(q *query.Query, db *relation.Database) ([]relation.Tuple, error) {
 	b, err := localjoin.FromDatabase(q, db)
 	if err != nil {

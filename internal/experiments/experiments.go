@@ -215,7 +215,7 @@ func HCLoad(w io.Writer, q *query.Query, n int, ps []int, seed uint64) ([]HCLoad
 		res, err := hypercube.Run(q, db, p, hypercube.Options{
 			Epsilon:  epsF,
 			Seed:     seed,
-			Strategy: localjoin.HashJoin,
+			Strategy: localjoin.Default,
 		})
 		if err != nil {
 			return nil, err

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
 
 	"repro/internal/cover"
 	"repro/internal/localjoin"
@@ -279,7 +278,10 @@ type Options struct {
 	Seed uint64
 	// Rounding selects the integer share strategy.
 	Rounding RoundingMode
-	// Strategy selects the per-worker local join algorithm.
+	// Strategy selects the per-worker local join algorithm. The zero
+	// value is localjoin.Default, i.e. the worst-case-optimal multiway
+	// join — the right evaluator for the cyclic residual queries HC
+	// workers see.
 	Strategy localjoin.Strategy
 }
 
@@ -443,19 +445,15 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 }
 
 func dedupSort(groups [][]relation.Tuple) []relation.Tuple {
-	seen := make(map[string]bool)
-	var out []relation.Tuple
+	total := 0
 	for _, g := range groups {
-		for _, t := range g {
-			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, t)
-			}
-		}
+		total += len(g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	all := make([]relation.Tuple, 0, total)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	return relation.DedupSort(all)
 }
 
 // TheoreticalLoad returns the paper's per-server tuple bound for one

@@ -5,11 +5,15 @@
 // faithful to the model), and as the single-node reference evaluator
 // that supplies ground truth in tests and experiments.
 //
-// Two strategies are provided: a pairwise hash-join pipeline that
-// joins atoms in a connectivity-respecting order, and a generic
-// backtracking (tuple-at-a-time, worst-case-optimal-style) join. Both
-// return identical results; the benchmark suite compares their
-// performance (an ablation called out in DESIGN.md).
+// Three strategies are provided: a pairwise hash-join pipeline that
+// joins atoms in a connectivity-respecting order, a generic
+// backtracking (tuple-at-a-time) join, and a worst-case-optimal
+// multiway join (WCOJ, a leapfrog-triejoin-style evaluator over sorted
+// trie iterators — see wcoj.go). All return identical results; the
+// benchmark suite compares their performance (an ablation called out
+// in DESIGN.md). WCOJ is the package default: on cyclic queries it
+// avoids the super-linear pairwise intermediates of the hash join and
+// the per-candidate scans of backtracking.
 package localjoin
 
 import (
@@ -26,20 +30,31 @@ type Strategy int
 
 // Available strategies.
 const (
+	// Default selects the package default (currently WCOJ). It is the
+	// zero value, so callers that leave a Strategy field unset get the
+	// worst-case-optimal evaluator.
+	Default Strategy = iota
 	// HashJoin joins atoms pairwise with hash indexes.
-	HashJoin Strategy = iota
+	HashJoin
 	// Backtracking binds variables one at a time, checking every atom
 	// incrementally.
 	Backtracking
+	// WCOJ is the worst-case-optimal multiway join: sorted trie
+	// iterators per atom, variable-at-a-time leapfrog intersection.
+	WCOJ
 )
 
 // String names the strategy.
 func (s Strategy) String() string {
 	switch s {
+	case Default:
+		return "default"
 	case HashJoin:
 		return "hashjoin"
 	case Backtracking:
 		return "backtracking"
+	case WCOJ:
+		return "wcoj"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -77,6 +92,9 @@ func Evaluate(q *query.Query, b Bindings, strategy Strategy) ([]relation.Tuple, 
 			return nil, nil
 		}
 	}
+	if strategy == Default {
+		strategy = WCOJ
+	}
 	var out []relation.Tuple
 	var err error
 	switch strategy {
@@ -84,28 +102,15 @@ func Evaluate(q *query.Query, b Bindings, strategy Strategy) ([]relation.Tuple, 
 		out, err = evalHashJoin(q, b)
 	case Backtracking:
 		out, err = evalBacktracking(q, b)
+	case WCOJ:
+		out, err = evalWCOJ(q, b)
 	default:
 		return nil, fmt.Errorf("localjoin: unknown strategy %v", strategy)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return dedupSort(out), nil
-}
-
-// dedupSort removes duplicates and sorts lexicographically.
-func dedupSort(ts []relation.Tuple) []relation.Tuple {
-	seen := make(map[string]bool, len(ts))
-	out := ts[:0]
-	for _, t := range ts {
-		k := t.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, t)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return relation.DedupSort(out), nil
 }
 
 // atomOrder returns an ordering of atom indices in which every atom
@@ -257,14 +262,14 @@ func evalBacktracking(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 	binding := make(map[string]int, k)
 	var out []relation.Tuple
 
-	// Index every atom's tuples by key for O(1) closed-atom membership
-	// checks, and precompute at which depth each atom closes (all its
-	// variables bound).
-	index := make(map[string]map[string]bool, q.NumAtoms())
+	// Index every atom's tuples by packed key for O(1) closed-atom
+	// membership checks, and precompute at which depth each atom closes
+	// (all its variables bound).
+	index := make(map[string]*relation.TupleSet, q.NumAtoms())
 	for _, a := range q.Atoms {
-		set := make(map[string]bool, len(b[a.Name]))
+		set := relation.NewTupleSet(a.Arity(), len(b[a.Name]))
 		for _, t := range b[a.Name] {
-			set[t.Key()] = true
+			set.Add(t)
 		}
 		index[a.Name] = set
 	}
@@ -303,7 +308,7 @@ func evalBacktracking(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 				for j, av := range a.Vars {
 					probe[j] = binding[av]
 				}
-				if !index[a.Name][probe.Key()] {
+				if !index[a.Name].Contains(probe) {
 					ok = false
 					break
 				}

@@ -30,7 +30,7 @@ func TestEvaluateChainSmall(t *testing.T) {
 	db.AddRelation(s1)
 	db.AddRelation(s2)
 	b := bindingsOf(t, q, db)
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		out, err := Evaluate(q, b, strat)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +61,7 @@ func TestEvaluateTriangle(t *testing.T) {
 	db.AddRelation(s2)
 	db.AddRelation(s3)
 	b := bindingsOf(t, q, db)
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		out, err := Evaluate(q, b, strat)
 		if err != nil {
 			t.Fatal(err)
@@ -83,7 +83,7 @@ func TestEvaluateDisconnected(t *testing.T) {
 	db.AddRelation(r)
 	db.AddRelation(s)
 	b := bindingsOf(t, q, db)
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		out, err := Evaluate(q, b, strat)
 		if err != nil {
 			t.Fatal(err)
@@ -97,7 +97,7 @@ func TestEvaluateDisconnected(t *testing.T) {
 func TestEvaluateEmptyRelation(t *testing.T) {
 	q := query.Chain(2)
 	b := Bindings{"S1": nil, "S2": {relation.Tuple{1, 2}}}
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		out, err := Evaluate(q, b, strat)
 		if err != nil {
 			t.Fatal(err)
@@ -125,7 +125,7 @@ func TestEvaluateRepeatedVariable(t *testing.T) {
 		relation.Tuple{1, 2, 6},
 		relation.Tuple{3, 3, 7},
 	}}
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		out, err := Evaluate(q, b, strat)
 		if err != nil {
 			t.Fatal(err)
@@ -139,7 +139,7 @@ func TestEvaluateRepeatedVariable(t *testing.T) {
 func TestEvaluateArityMismatch(t *testing.T) {
 	q := query.Chain(2)
 	b := Bindings{"S1": {relation.Tuple{1}}, "S2": {relation.Tuple{1, 2}}}
-	for _, strat := range []Strategy{HashJoin, Backtracking} {
+	for _, strat := range []Strategy{HashJoin, Backtracking, WCOJ} {
 		if _, err := Evaluate(q, b, strat); err == nil {
 			t.Errorf("%v: want arity error", strat)
 		}

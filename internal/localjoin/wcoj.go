@@ -1,0 +1,280 @@
+package localjoin
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// This file implements the worst-case-optimal multiway join (WCOJ), a
+// leapfrog-triejoin-style evaluator: every atom's tuples are projected
+// onto its distinct variables, sorted lexicographically in the global
+// variable order, and exposed as a sorted trie; the join then binds one
+// variable at a time by leapfrogging the sorted value lists of every
+// atom containing that variable. On cyclic queries (triangles, cycles)
+// this runs within the AGM bound instead of materializing the
+// super-linear pairwise intermediates the hash-join pipeline builds,
+// and it is robust to skew: a heavy join value narrows every
+// participating trie at once.
+//
+// Each trie prefers an integer-packed layout: a tuple of m values
+// becomes one uint64 with ⌊64/m⌋ bits per value, so building the trie
+// sorts a flat []uint64 and every seek is a binary search over
+// contiguous integers — no per-tuple allocation and no comparator
+// indirection. Tuples that do not fit (huge values, or arity > 64)
+// fall back to a sorted []relation.Tuple trie with identical
+// semantics.
+
+// trieRel is a sorted-trie view of one atom's tuples. Level d of the
+// trie is the atom's d-th distinct variable in global variable order;
+// lo[d]/hi[d] bound the rows consistent with the currently bound
+// prefix.
+type trieRel struct {
+	levels int
+	lo, hi []int // row range per level; level 0 is the whole relation
+	cur    []int // per-level cursor: first row of the last sought value
+
+	// Packed layout: row i is keys[i]; level d occupies the bit range
+	// [(levels-1-d)·shift, (levels-d)·shift).
+	keys  []uint64
+	shift uint
+	mask  uint64
+
+	// Fallback layout: projected tuples sorted by cols order.
+	tuples []relation.Tuple
+	cols   []int
+}
+
+// newTrieRel builds the trie for one atom: project onto distinct
+// variables (dropping tuples with inconsistent repeats), order the
+// columns by the variables' global depths, and sort.
+func newTrieRel(atom query.Atom, tuples []relation.Tuple, depthOf map[string]int) (*trieRel, error) {
+	for _, t := range tuples {
+		if len(t) != atom.Arity() {
+			return nil, fmt.Errorf("localjoin: tuple arity %d != atom %s arity %d",
+				len(t), atom.Name, atom.Arity())
+		}
+	}
+	distinct := atom.DistinctVars()
+	sort.Slice(distinct, func(i, j int) bool { return depthOf[distinct[i]] < depthOf[distinct[j]] })
+	// pos[d] is the tuple position supplying trie level d.
+	pos := make([]int, len(distinct))
+	for d, v := range distinct {
+		for j, av := range atom.Vars {
+			if av == v {
+				pos[d] = j
+				break
+			}
+		}
+	}
+	m := len(distinct)
+	tr := &trieRel{
+		levels: m,
+		lo:     make([]int, m+1),
+		hi:     make([]int, m+1),
+		cur:    make([]int, m),
+	}
+	if shift := relation.PackedShift(m); shift > 0 {
+		tr.shift = shift
+		tr.mask = relation.PackedMask(shift)
+		tr.keys = make([]uint64, 0, len(tuples))
+		packed := true
+	pack:
+		for _, t := range tuples {
+			if !consistentRepeats(atom, t) {
+				continue
+			}
+			var key uint64
+			for _, j := range pos {
+				if !relation.FitsPacked(t[j], shift) {
+					packed = false
+					break pack
+				}
+				key = key<<shift | uint64(t[j])
+			}
+			tr.keys = append(tr.keys, key)
+		}
+		if packed {
+			slices.Sort(tr.keys)
+			tr.hi[0] = len(tr.keys)
+			return tr, nil
+		}
+		tr.keys = nil
+	}
+	// Fallback: projected tuples with a comparator-based sort.
+	proj, err := atomRelation(atom, tuples)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(proj.Attrs))
+	for i := range cols {
+		cols[i] = i
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		return depthOf[proj.Attrs[cols[i]]] < depthOf[proj.Attrs[cols[j]]]
+	})
+	sort.Slice(proj.Tuples, func(i, j int) bool {
+		a, b := proj.Tuples[i], proj.Tuples[j]
+		for _, c := range cols {
+			if a[c] != b[c] {
+				return a[c] < b[c]
+			}
+		}
+		return false
+	})
+	tr.tuples = proj.Tuples
+	tr.cols = cols
+	tr.hi[0] = len(proj.Tuples)
+	return tr, nil
+}
+
+// at returns the level-d value of row i.
+func (tr *trieRel) at(d, i int) int {
+	if tr.keys != nil {
+		return int(tr.keys[i] >> (uint(tr.levels-1-d) * tr.shift) & tr.mask)
+	}
+	return tr.tuples[i][tr.cols[d]]
+}
+
+// reset rewinds the level-d cursor to the start of the current prefix
+// range; callers do this when they start a fresh intersection pass.
+func (tr *trieRel) reset(d int) { tr.cur[d] = tr.lo[d] }
+
+// seek returns the smallest value ≥ v at trie level d within the
+// current prefix range, or ok=false when the range is exhausted.
+// Successive seeks at one level must use non-decreasing v (the
+// leapfrog discipline); the cursor then advances monotonically and a
+// full intersection pass costs amortized O(rows) instead of
+// O(values · log rows), via galloping from the previous position.
+func (tr *trieRel) seek(d, v int) (int, bool) {
+	i, hi := tr.cur[d], tr.hi[d]
+	if i >= hi {
+		return 0, false
+	}
+	if val := tr.at(d, i); val >= v {
+		return val, true
+	}
+	// Gallop to bracket the first row with value ≥ v, then binary
+	// search inside the bracket.
+	step := 1
+	for i+step < hi && tr.at(d, i+step) < v {
+		i += step
+		step <<= 1
+	}
+	bound := min(hi, i+step+1)
+	i += sort.Search(bound-i, func(x int) bool { return tr.at(d, i+x) >= v })
+	tr.cur[d] = i
+	if i == hi {
+		return 0, false
+	}
+	return tr.at(d, i), true
+}
+
+// open narrows level d+1 to the rows whose level-d value equals v. It
+// must follow a seek that returned v, so the cursor sits on the first
+// occurrence.
+func (tr *trieRel) open(d, v int) {
+	start, hi := tr.cur[d], tr.hi[d]
+	i, step := start, 1
+	for i+step < hi && tr.at(d, i+step) <= v {
+		i += step
+		step <<= 1
+	}
+	bound := min(hi, i+step+1)
+	end := i + sort.Search(bound-i, func(x int) bool { return tr.at(d, i+x) > v })
+	tr.lo[d+1], tr.hi[d+1] = start, end
+}
+
+// participant is one atom's trie at the level where a global variable
+// is bound.
+type participant struct {
+	tr *trieRel
+	d  int // trie level of the variable inside this atom
+}
+
+// evalWCOJ evaluates q by leapfrog intersection along the global
+// variable order.
+func evalWCOJ(q *query.Query, b Bindings) ([]relation.Tuple, error) {
+	varOrder := variableOrder(q)
+	k := len(varOrder)
+	depthOf := make(map[string]int, k)
+	for d, v := range varOrder {
+		depthOf[v] = d
+	}
+
+	parts := make([][]participant, k)
+	for _, a := range q.Atoms {
+		tr, err := newTrieRel(a, b[a.Name], depthOf)
+		if err != nil {
+			return nil, err
+		}
+		// Trie level d of this atom binds the variable at global depth
+		// depthOf[attr]; the levels are already in global order.
+		attrs := a.DistinctVars()
+		sort.Slice(attrs, func(i, j int) bool { return depthOf[attrs[i]] < depthOf[attrs[j]] })
+		for d, v := range attrs {
+			g := depthOf[v]
+			parts[g] = append(parts[g], participant{tr: tr, d: d})
+		}
+	}
+
+	// outCol[i] is the global depth of q.Vars()[i].
+	outCol := make([]int, q.NumVars())
+	for i, v := range q.Vars() {
+		outCol[i] = depthOf[v]
+	}
+
+	binding := make([]int, k)
+	var out []relation.Tuple
+	var rec func(g int)
+	rec = func(g int) {
+		if g == k {
+			row := make(relation.Tuple, len(outCol))
+			for i, c := range outCol {
+				row[i] = binding[c]
+			}
+			out = append(out, row)
+			return
+		}
+		ps := parts[g]
+		// Leapfrog: cycle through the participants, raising the target
+		// value to each one's next feasible value until all agree.
+		for _, p := range ps {
+			p.tr.reset(p.d)
+		}
+		v := math.MinInt
+		i, agree := 0, 0
+		for {
+			val, ok := ps[i].tr.seek(ps[i].d, v)
+			if !ok {
+				return
+			}
+			if val == v {
+				agree++
+			} else {
+				v, agree = val, 1
+			}
+			if agree == len(ps) {
+				for _, p := range ps {
+					p.tr.open(p.d, v)
+				}
+				binding[g] = v
+				rec(g + 1)
+				if v == math.MaxInt {
+					return
+				}
+				v, agree = v+1, 0
+			}
+			i++
+			if i == len(ps) {
+				i = 0
+			}
+		}
+	}
+	rec(0)
+	return out, nil
+}

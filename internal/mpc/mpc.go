@@ -413,17 +413,9 @@ func (c *Cluster) checkCap(rs *RoundStats) error {
 // given view name across all workers — the union of per-server query
 // outputs.
 func (c *Cluster) GatherAnswers(view string) []relation.Tuple {
-	seen := make(map[string]bool)
 	var out []relation.Tuple
 	for _, w := range c.workers {
-		for _, t := range w.Received(view) {
-			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, t)
-			}
-		}
+		out = append(out, w.Received(view)...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return relation.DedupSort(out)
 }

@@ -218,7 +218,9 @@ type Options struct {
 	CapConstant float64
 	// Seed drives all hash functions.
 	Seed uint64
-	// Strategy selects the local join algorithm at the workers.
+	// Strategy selects the local join algorithm at the workers. The
+	// zero value is localjoin.Default (the worst-case-optimal multiway
+	// join).
 	Strategy localjoin.Strategy
 }
 
@@ -381,7 +383,7 @@ func prefixed(r *relation.Relation, name string) *relation.Relation {
 // into a relation over the group query's variables.
 func materializeView(cluster *mpc.Cluster, g Group, strategy localjoin.Strategy) (*relation.Relation, error) {
 	out := relation.New(g.View, g.Query.Vars()...)
-	seen := make(map[string]bool)
+	seen := relation.NewTupleSet(g.Query.NumVars(), 0)
 	prefix := g.View + "/"
 	for _, w := range cluster.Workers() {
 		b := localjoin.Bindings{}
@@ -393,9 +395,7 @@ func materializeView(cluster *mpc.Cluster, g Group, strategy localjoin.Strategy)
 			return nil, err
 		}
 		for _, t := range rows {
-			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(t) {
 				out.Tuples = append(out.Tuples, t)
 			}
 		}

@@ -1,0 +1,60 @@
+package query
+
+import "testing"
+
+// FuzzParse fuzzes the conjunctive-query parser. The seed corpus
+// covers the paper's query families (chains L_k, cycles C_k, stars
+// T_k, the binomial B_{m,k}), headless bodies, repeated variables,
+// whitespace variants, and a handful of malformed inputs. Beyond
+// not-panicking, every accepted query must round-trip: rendering it
+// with String() and reparsing must accept and produce the same query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Paper query families.
+		"q(x,y,z) = R(x,y), S(y,z)",                         // L2 / the skew join
+		"L3(x0,x1,x2,x3) = S1(x0,x1), S2(x1,x2), S3(x2,x3)", // chain
+		"C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)",    // triangle
+		"C5(x1,x2,x3,x4,x5) = S1(x1,x2), S2(x2,x3), S3(x3,x4), S4(x4,x5), S5(x5,x1)",
+		"T2(z,x1,x2) = S1(z,x1), S2(z,x2)",                 // star
+		"B(x1,x2,x3) = S12(x1,x2), S13(x1,x3), S23(x2,x3)", // binomial B_{3,2}
+		"SP2(z,x1,x2) = S1(z,x1), S2(z,x2), S3(x1,x2)",     // spoked wheel
+		// Headless, repeats, unary atoms, cartesian products.
+		"R(x,y)",
+		"R(x,x,y)",
+		"R(x), S(y)",
+		"E(u,v), E2(v,w), E3(w,u)",
+		// Whitespace and unicode identifiers.
+		" q ( x , y ) = R ( x , y ) ",
+		"q(α,β) = R(α,β)",
+		// Malformed inputs the parser must reject gracefully.
+		"q(x,y) = R(x,y",
+		"q(x) =",
+		"q(x) = R()",
+		"q(x,y) = R(x,y),",
+		"q(x) = R(x) S(x)",
+		"q(w) = R(x)",
+		"()",
+		"=",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if q.NumAtoms() == 0 || q.NumVars() == 0 {
+			t.Fatalf("Parse(%q) accepted a query without atoms or variables: %v", s, q)
+		}
+		rendered := q.String()
+		r, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round-trip Parse(%q) failed for input %q: %v", rendered, s, err)
+		}
+		if r.String() != rendered {
+			t.Fatalf("round-trip mismatch for %q:\n first: %q\nsecond: %q", s, rendered, r.String())
+		}
+	})
+}

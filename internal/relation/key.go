@@ -1,0 +1,158 @@
+package relation
+
+import "sort"
+
+// This file provides allocation-lean tuple keys. The historic
+// Tuple.Key() renders every tuple as a '|'-separated string, which
+// costs one allocation (plus formatting) per lookup and dominated the
+// local-join hot path. TupleSet instead packs a tuple's values into a
+// single uint64 — arity a gets ⌊64/a⌋ bits per value — and only falls
+// back to string keys when a value (or a mixed-arity tuple) does not
+// fit, migrating the already-inserted keys transparently.
+
+// PackedShift returns the per-value bit width for packing m values
+// into one uint64 key, or 0 when m values cannot be packed.
+func PackedShift(m int) uint {
+	if m < 1 || m > 64 {
+		return 0
+	}
+	return uint(64 / m)
+}
+
+// FitsPacked reports whether value v occupies at most shift bits.
+// shift ≥ 63 admits every non-negative int.
+func FitsPacked(v int, shift uint) bool {
+	if v < 0 {
+		return false
+	}
+	return shift >= 63 || v < 1<<shift
+}
+
+// PackedMask returns the mask extracting one shift-bit value.
+func PackedMask(shift uint) uint64 {
+	if shift >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<shift - 1
+}
+
+// TupleSet is an exact membership set for same-arity tuples with a
+// packed-uint64 fast path. The zero value is not usable; call
+// NewTupleSet.
+type TupleSet struct {
+	arity int
+	shift uint                // bits per value on the packed path
+	ints  map[uint64]struct{} // packed path
+	strs  map[string]struct{} // fallback path (nil until needed)
+}
+
+// NewTupleSet returns a set for tuples of the given arity, sized for
+// sizeHint insertions.
+func NewTupleSet(arity, sizeHint int) *TupleSet {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	s := &TupleSet{arity: arity}
+	if shift := PackedShift(arity); shift > 0 {
+		s.shift = shift
+		s.ints = make(map[uint64]struct{}, sizeHint)
+	} else {
+		s.strs = make(map[string]struct{}, sizeHint)
+	}
+	return s
+}
+
+// pack encodes t into a uint64 key; ok is false when a value needs
+// more than shift bits (or is negative, or the arity differs).
+func (s *TupleSet) pack(t Tuple) (uint64, bool) {
+	if len(t) != s.arity {
+		return 0, false
+	}
+	var key uint64
+	for _, v := range t {
+		if !FitsPacked(v, s.shift) {
+			return 0, false
+		}
+		key = key<<s.shift | uint64(v)
+	}
+	return key, true
+}
+
+// migrate re-encodes every packed key as a string key and switches the
+// set to the fallback path. Packed keys decode exactly (uniform shift),
+// so no information is lost.
+func (s *TupleSet) migrate() {
+	s.strs = make(map[string]struct{}, len(s.ints))
+	mask := PackedMask(s.shift)
+	t := make(Tuple, s.arity)
+	for key := range s.ints {
+		for i := s.arity - 1; i >= 0; i-- {
+			t[i] = int(key & mask)
+			key >>= s.shift
+		}
+		s.strs[t.Key()] = struct{}{}
+	}
+	s.ints = nil
+}
+
+// Add inserts t and reports whether it was not already present.
+func (s *TupleSet) Add(t Tuple) bool {
+	if s.ints != nil {
+		if key, ok := s.pack(t); ok {
+			if _, dup := s.ints[key]; dup {
+				return false
+			}
+			s.ints[key] = struct{}{}
+			return true
+		}
+		s.migrate()
+	}
+	k := t.Key()
+	if _, dup := s.strs[k]; dup {
+		return false
+	}
+	s.strs[k] = struct{}{}
+	return true
+}
+
+// Contains reports whether t is in the set.
+func (s *TupleSet) Contains(t Tuple) bool {
+	if s.ints != nil {
+		if key, ok := s.pack(t); ok {
+			_, hit := s.ints[key]
+			return hit
+		}
+		// t itself is unpackable; packed members cannot equal it unless
+		// it has the wrong arity, which Key() disambiguates — but a
+		// packed set only holds arity-matching packable tuples.
+		return false
+	}
+	_, hit := s.strs[t.Key()]
+	return hit
+}
+
+// Len returns the number of distinct tuples inserted.
+func (s *TupleSet) Len() int {
+	if s.ints != nil {
+		return len(s.ints)
+	}
+	return len(s.strs)
+}
+
+// DedupSort removes duplicates from ts in place and sorts the result
+// lexicographically. All tuples must have the arity of ts[0] (mixed
+// arities still dedup correctly, via the fallback path).
+func DedupSort(ts []Tuple) []Tuple {
+	if len(ts) == 0 {
+		return ts
+	}
+	set := NewTupleSet(len(ts[0]), len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		if set.Add(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

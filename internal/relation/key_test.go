@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTupleSetBasic(t *testing.T) {
+	s := NewTupleSet(3, 4)
+	if !s.Add(Tuple{1, 2, 3}) {
+		t.Error("first Add should report new")
+	}
+	if s.Add(Tuple{1, 2, 3}) {
+		t.Error("duplicate Add should report existing")
+	}
+	if !s.Add(Tuple{1, 2, 4}) || !s.Add(Tuple{3, 2, 1}) {
+		t.Error("distinct tuples should be new")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(Tuple{3, 2, 1}) || s.Contains(Tuple{3, 2, 2}) {
+		t.Error("Contains mismatch")
+	}
+}
+
+// TestTupleSetNoPackingCollisions guards the packed encoding against
+// concatenation ambiguity: (1,23) and (12,3) must stay distinct.
+func TestTupleSetNoPackingCollisions(t *testing.T) {
+	s := NewTupleSet(2, 0)
+	s.Add(Tuple{1, 23})
+	if s.Contains(Tuple{12, 3}) {
+		t.Error("packed keys must distinguish (1,23) from (12,3)")
+	}
+}
+
+// TestTupleSetMigration forces the fallback path with values that do
+// not fit the packed width and checks earlier members survive.
+func TestTupleSetMigration(t *testing.T) {
+	s := NewTupleSet(2, 0)
+	members := []Tuple{{1, 2}, {7, 9}, {1 << 20, 5}}
+	for _, m := range members {
+		s.Add(m)
+	}
+	// Arity 2 packs 32 bits per value; exceed it to migrate.
+	big := Tuple{math.MaxInt, math.MaxInt}
+	if !s.Add(big) {
+		t.Error("oversized tuple should insert via fallback")
+	}
+	if s.Add(big) {
+		t.Error("oversized duplicate should be detected")
+	}
+	for _, m := range members {
+		if !s.Contains(m) {
+			t.Errorf("member %v lost in migration", m)
+		}
+	}
+	if s.Contains(Tuple{2, 1}) {
+		t.Error("false positive after migration")
+	}
+	if s.Len() != len(members)+1 {
+		t.Errorf("Len = %d, want %d", s.Len(), len(members)+1)
+	}
+	// Negative values also take the fallback path.
+	neg := NewTupleSet(1, 0)
+	if !neg.Add(Tuple{-5}) || neg.Add(Tuple{-5}) || !neg.Contains(Tuple{-5}) {
+		t.Error("negative values must dedup via fallback")
+	}
+}
+
+// TestTupleSetMatchesStringKeys cross-checks TupleSet against the
+// reference string-key dedup on random tuples, including values that
+// straddle the packed limit.
+func TestTupleSetMatchesStringKeys(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, arity := range []int{1, 2, 3, 5, 9} {
+		s := NewTupleSet(arity, 0)
+		ref := make(map[string]bool)
+		for i := 0; i < 2000; i++ {
+			tp := make(Tuple, arity)
+			for j := range tp {
+				// Mix small values with ones beyond the packed width.
+				if rng.IntN(10) == 0 {
+					tp[j] = math.MaxInt - rng.IntN(100)
+				} else {
+					tp[j] = rng.IntN(64)
+				}
+			}
+			wantNew := !ref[tp.Key()]
+			ref[tp.Key()] = true
+			if got := s.Add(tp); got != wantNew {
+				t.Fatalf("arity %d: Add(%v) = %v, want %v", arity, tp, got, wantNew)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("arity %d: Len = %d, want %d", arity, s.Len(), len(ref))
+		}
+	}
+}
+
+func TestDedupSort(t *testing.T) {
+	ts := []Tuple{{3, 1}, {1, 2}, {3, 1}, {1, 2}, {2, 9}}
+	out := DedupSort(ts)
+	want := []Tuple{{1, 2}, {2, 9}, {3, 1}}
+	if len(out) != len(want) {
+		t.Fatalf("DedupSort = %v", out)
+	}
+	for i := range want {
+		if !out[i].Equal(want[i]) {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if got := DedupSort(nil); len(got) != 0 {
+		t.Errorf("DedupSort(nil) = %v", got)
+	}
+}

@@ -37,23 +37,66 @@ func NaturalJoin(r, s *Relation) *Relation {
 		return out
 	}
 
-	// Hash s on the shared attributes.
+	// Hash s on the shared attributes, with packed uint64 keys when
+	// the joined columns fit and string keys otherwise.
 	rIdx := make([]int, len(shared))
 	sIdx := make([]int, len(shared))
 	for i, a := range shared {
 		rIdx[i] = r.AttrIndex(a)
 		sIdx[i] = s.AttrIndex(a)
 	}
-	index := make(map[string][]Tuple, len(s.Tuples))
+	if shift, ok := packShift(len(shared), [2]*Relation{r, s}, [2][]int{rIdx, sIdx}); ok {
+		hashJoinInto(out, r, s, rIdx, sIdx, sExtra, func(t Tuple, idx []int) uint64 {
+			return packColumns(t, idx, shift)
+		})
+	} else {
+		hashJoinInto(out, r, s, rIdx, sIdx, sExtra, projectKey)
+	}
+	return out
+}
+
+// hashJoinInto performs the indexed hash join with an arbitrary
+// comparable key type (packed uint64 fast path, string fallback).
+func hashJoinInto[K comparable](out, r, s *Relation, rIdx, sIdx []int, sExtra []int, key func(Tuple, []int) K) {
+	index := make(map[K][]Tuple, len(s.Tuples))
 	for _, ts := range s.Tuples {
-		index[projectKey(ts, sIdx)] = append(index[projectKey(ts, sIdx)], ts)
+		k := key(ts, sIdx)
+		index[k] = append(index[k], ts)
 	}
 	for _, tr := range r.Tuples {
-		for _, ts := range index[projectKey(tr, rIdx)] {
+		for _, ts := range index[key(tr, rIdx)] {
 			out.Tuples = append(out.Tuples, combine(tr, ts, sExtra))
 		}
 	}
-	return out
+}
+
+// packShift returns the per-column bit width that packs the indexed
+// columns of both relations into a uint64 key, or ok=false when some
+// value is negative or too large.
+func packShift(cols int, rels [2]*Relation, idxs [2][]int) (uint, bool) {
+	shift := PackedShift(cols)
+	if shift == 0 {
+		return 0, false
+	}
+	for k, rel := range rels {
+		for _, t := range rel.Tuples {
+			for _, j := range idxs[k] {
+				if !FitsPacked(t[j], shift) {
+					return 0, false
+				}
+			}
+		}
+	}
+	return shift, true
+}
+
+// packColumns encodes the indexed values of t with shift bits each.
+func packColumns(t Tuple, idx []int, shift uint) uint64 {
+	var key uint64
+	for _, j := range idx {
+		key = key<<shift | uint64(t[j])
+	}
+	return key
 }
 
 // Project returns the projection of r onto the named attributes (in
@@ -68,15 +111,13 @@ func Project(r *Relation, attrs ...string) (*Relation, error) {
 		idx[i] = j
 	}
 	out := New("π("+r.Name+")", attrs...)
-	seen := make(map[string]bool, len(r.Tuples))
+	seen := NewTupleSet(len(idx), len(r.Tuples))
 	for _, t := range r.Tuples {
 		p := make(Tuple, len(idx))
 		for i, j := range idx {
 			p[i] = t[j]
 		}
-		k := p.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(p) {
 			out.Tuples = append(out.Tuples, p)
 		}
 	}
@@ -103,16 +144,26 @@ func Semijoin(r, s *Relation) *Relation {
 		rIdx[i] = r.AttrIndex(a)
 		sIdx[i] = s.AttrIndex(a)
 	}
-	index := make(map[string]bool, len(s.Tuples))
+	if shift, ok := packShift(len(shared), [2]*Relation{r, s}, [2][]int{rIdx, sIdx}); ok {
+		semijoinInto(out, r, s, rIdx, sIdx, func(t Tuple, idx []int) uint64 {
+			return packColumns(t, idx, shift)
+		})
+	} else {
+		semijoinInto(out, r, s, rIdx, sIdx, projectKey)
+	}
+	return out
+}
+
+func semijoinInto[K comparable](out, r, s *Relation, rIdx, sIdx []int, key func(Tuple, []int) K) {
+	index := make(map[K]bool, len(s.Tuples))
 	for _, ts := range s.Tuples {
-		index[projectKey(ts, sIdx)] = true
+		index[key(ts, sIdx)] = true
 	}
 	for _, tr := range r.Tuples {
-		if index[projectKey(tr, rIdx)] {
+		if index[key(tr, rIdx)] {
 			out.Tuples = append(out.Tuples, tr.Clone())
 		}
 	}
-	return out
 }
 
 // Select returns the tuples of r whose attribute attr equals value.

@@ -39,7 +39,9 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Key returns a canonical string key for map-based dedup. The values
-// are separated by '|', so keys are unambiguous for any arity.
+// are separated by '|', so keys are unambiguous for any arity. It
+// allocates per call; hot paths should prefer TupleSet / DedupSort,
+// which pack tuples into uint64 keys and use Key only as a fallback.
 func (t Tuple) Key() string {
 	var sb strings.Builder
 	for i, v := range t {
@@ -129,12 +131,10 @@ func (r *Relation) Sort() *Relation {
 // Dedup removes duplicate tuples in place (order not preserved) and
 // returns r.
 func (r *Relation) Dedup() *Relation {
-	seen := make(map[string]bool, len(r.Tuples))
+	seen := NewTupleSet(r.Arity(), len(r.Tuples))
 	out := r.Tuples[:0]
 	for _, t := range r.Tuples {
-		k := t.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(t) {
 			out = append(out, t)
 		}
 	}

@@ -115,6 +115,11 @@ const (
 	Standard Mode = iota
 	// Resilient splits heavy hitters across server blocks.
 	Resilient
+	// ModeWCOJ routes like Standard but runs the worst-case-optimal
+	// multiway join (localjoin.WCOJ) as each server's local evaluator,
+	// so skewed-join experiments exercise the leapfrog engine end to
+	// end. Routing skew is unchanged; only local evaluation differs.
+	ModeWCOJ
 )
 
 // String names the mode.
@@ -124,9 +129,19 @@ func (m Mode) String() string {
 		return "standard"
 	case Resilient:
 		return "resilient"
+	case ModeWCOJ:
+		return "wcoj"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// localStrategy returns the per-server join algorithm for the mode.
+func (m Mode) localStrategy() localjoin.Strategy {
+	if m == ModeWCOJ {
+		return localjoin.WCOJ
+	}
+	return localjoin.HashJoin
 }
 
 // Options configures a join run.
@@ -279,21 +294,19 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	}
 
 	q := JoinQuery()
-	seen := map[string]bool{}
+	seen := relation.NewTupleSet(q.NumVars(), 0)
 	var answers []relation.Tuple
 	for _, w := range cluster.Workers() {
 		b := localjoin.Bindings{
 			"R": w.Received("R"),
 			"S": w.Received("S"),
 		}
-		rows, err := localjoin.Evaluate(q, b, localjoin.HashJoin)
+		rows, err := localjoin.Evaluate(q, b, mode.localStrategy())
 		if err != nil {
 			return nil, err
 		}
 		for _, t := range rows {
-			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(t) {
 				answers = append(answers, t)
 			}
 		}
