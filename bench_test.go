@@ -12,14 +12,17 @@ import (
 	"io"
 	"math/big"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/cover"
+	"repro/internal/exchange"
 	"repro/internal/experiments"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
+	"repro/internal/mpc"
 	"repro/internal/multiround"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -510,6 +513,221 @@ func BenchmarkPlanBuilders(b *testing.B) {
 			rounds = plan.Rounds()
 		}
 		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// --- shuffle head-to-heads: legacy per-tuple routing vs the columnar
+// exchange (internal/exchange) ---
+
+// legacyMessage and legacyShuffle reproduce the historic per-tuple
+// message path the exchange layer replaced: a recursive per-tuple
+// destination closure, map[int]*Message accumulation, and per-worker
+// mutex-locked []Tuple append stores with per-message bit accounting.
+type legacyMessage struct {
+	to     int
+	rel    string
+	tuples []relation.Tuple
+}
+
+// legacyDestinations is the pre-exchange recursive enumeration,
+// allocating its closure state per tuple.
+func legacyDestinations(s *hypercube.Shares, h *hypercube.Hasher, atom query.Atom, t relation.Tuple) []int {
+	k := len(s.Dims)
+	fixed := make([]int, k)
+	isFixed := make([]bool, k)
+	for pos, v := range atom.Vars {
+		d := s.DimOf(v)
+		if d < 0 {
+			continue
+		}
+		c := h.Coord(d, t[pos])
+		if isFixed[d] && fixed[d] != c {
+			return nil
+		}
+		fixed[d] = c
+		isFixed[d] = true
+	}
+	var free []int
+	for d := 0; d < k; d++ {
+		if !isFixed[d] {
+			free = append(free, d)
+		}
+	}
+	coords := make([]int, k)
+	copy(coords, fixed)
+	var out []int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			out = append(out, s.ServerOf(coords))
+			return
+		}
+		d := free[i]
+		for c := 0; c < s.Dims[d]; c++ {
+			coords[d] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// legacyShuffle scatters db's relations for q with the per-tuple path
+// and returns (routed tuples, accounted bits).
+func legacyShuffle(q *query.Query, db *relation.Database, p int, s *hypercube.Shares, h *hypercube.Hasher) (int64, int64) {
+	type worker struct {
+		mu    sync.Mutex
+		store map[string][]relation.Tuple
+	}
+	workers := make([]*worker, p)
+	for i := range workers {
+		workers[i] = &worker{store: make(map[string][]relation.Tuple)}
+	}
+	bitsPerValue := relation.BitsPerValue(db.N)
+	var tuples, bits int64
+	for _, a := range q.Atoms {
+		rel, _ := db.Relation(a.Name)
+		msgs := make(map[int]*legacyMessage)
+		for _, t := range rel.Tuples {
+			for _, dst := range legacyDestinations(s, h, a, t) {
+				m, ok := msgs[dst]
+				if !ok {
+					m = &legacyMessage{to: dst, rel: a.Name}
+					msgs[dst] = m
+				}
+				m.tuples = append(m.tuples, t)
+			}
+		}
+		for _, m := range msgs {
+			w := workers[m.to]
+			w.mu.Lock()
+			w.store[m.rel] = append(w.store[m.rel], m.tuples...)
+			w.mu.Unlock()
+			tuples += int64(len(m.tuples))
+			bits += int64(len(m.tuples)) * int64(len(m.tuples[0])) * int64(bitsPerValue)
+		}
+	}
+	return tuples, bits
+}
+
+// exchangeShuffle scatters db's relations for q through the columnar
+// exchange and returns (routed tuples, accounted bits).
+func exchangeShuffle(b *testing.B, q *query.Query, db *relation.Database, p int, s *hypercube.Shares, h *hypercube.Hasher) (int64, int64) {
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Workers: p, Epsilon: 1, InputBits: db.InputBits(), DomainN: db.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster.BeginRound()
+	for _, a := range q.Atoms {
+		rel, _ := db.Relation(a.Name)
+		if err := cluster.ScatterPart(rel, hypercube.NewGridPartitioner(s, h, a)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cluster.EndRound(); err != nil {
+		b.Fatal(err)
+	}
+	rs := cluster.Stats().Rounds[0]
+	return rs.TotalTuples, rs.TotalBits
+}
+
+// BenchmarkShuffleTriangle is the acceptance head-to-head: the
+// HyperCube scatter of the triangle query at n = 10^4 must run ≥ 2×
+// faster through the columnar exchange than through the per-tuple
+// path. Reported metrics: routed Mtuples/s and accounted MiB/s.
+func BenchmarkShuffleTriangle(b *testing.B) {
+	q := query.Triangle()
+	n, p := 10000, 64
+	rng := rand.New(rand.NewPCG(21, 21))
+	db := relation.MatchingDatabase(rng, q, n)
+	s, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := hypercube.NewHasher(s, 5)
+	report := func(b *testing.B, tuples, bits int64) {
+		sec := b.Elapsed().Seconds()
+		if sec > 0 {
+			b.ReportMetric(float64(tuples)*float64(b.N)/sec/1e6, "Mtuples/s")
+			b.ReportMetric(float64(bits)*float64(b.N)/8/(1<<20)/sec, "MiB/s")
+		}
+	}
+	b.Run("legacy-per-tuple", func(b *testing.B) {
+		var tuples, bits int64
+		for i := 0; i < b.N; i++ {
+			tuples, bits = legacyShuffle(q, db, p, s, h)
+		}
+		report(b, tuples, bits)
+	})
+	b.Run("exchange", func(b *testing.B) {
+		var tuples, bits int64
+		for i := 0; i < b.N; i++ {
+			tuples, bits = exchangeShuffle(b, q, db, p, s, h)
+		}
+		report(b, tuples, bits)
+	})
+}
+
+// BenchmarkShuffleHashJoin is the plain-hash shuffle head-to-head on
+// the Zipf join inputs of E-SKEW.
+func BenchmarkShuffleHashJoin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(22, 22))
+	n, p := 20000, 32
+	r, s := skew.ZipfJoinInput(rng, n, 1.1)
+	seed := uint64(9)
+	yR := r.AttrIndex("y")
+	yS := s.AttrIndex("y")
+	b.Run("legacy-per-tuple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stores := make([]map[string][]relation.Tuple, p)
+			for j := range stores {
+				stores[j] = make(map[string][]relation.Tuple)
+			}
+			msgs := make(map[int]*legacyMessage)
+			for _, t := range r.Tuples {
+				dst := exchange.HashDest(t[yR], seed, p)
+				m, ok := msgs[dst]
+				if !ok {
+					m = &legacyMessage{to: dst, rel: "R"}
+					msgs[dst] = m
+				}
+				m.tuples = append(m.tuples, t)
+			}
+			for _, t := range s.Tuples {
+				dst := exchange.HashDest(t[yS], seed, p)
+				m, ok := msgs[dst+p] // second relation keyed apart
+				if !ok {
+					m = &legacyMessage{to: dst, rel: "S"}
+					msgs[dst+p] = m
+				}
+				m.tuples = append(m.tuples, t)
+			}
+			for _, m := range msgs {
+				stores[m.to][m.rel] = append(stores[m.to][m.rel], m.tuples...)
+			}
+		}
+	})
+	b.Run("exchange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster, err := mpc.NewCluster(mpc.Config{
+				Workers: p, Epsilon: 1, InputBits: 1 << 30, DomainN: n,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster.BeginRound()
+			if err := cluster.ScatterPart(r, exchange.HashPartitioner{Col: yR, P: p, Seed: seed}); err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.ScatterPart(s, exchange.HashPartitioner{Col: yS, P: p, Seed: seed}); err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.EndRound(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -14,6 +14,7 @@
 //	mpcbench -experiment round-bounds
 //	mpcbench -experiment cc
 //	mpcbench -experiment skew
+//	mpcbench -experiment shuffle
 //	mpcbench -experiment opt-shares
 //	mpcbench -experiment friedgut
 //	mpcbench -all                # everything
@@ -33,7 +34,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure     = flag.Int("figure", 0, "regenerate Figure 1")
-		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | opt-shares | friedgut | knowledge | tail")
+		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | opt-shares | friedgut | knowledge | tail")
 		all        = flag.Bool("all", false, "run everything")
 		n          = flag.Int("n", 2000, "domain size for data experiments")
 		seed       = flag.Uint64("seed", 2013, "random seed")
@@ -141,6 +142,14 @@ func run(table, figure int, experiment string, all bool, n int, seed uint64, tri
 		ran = true
 		fmt.Fprintln(w, "── E-SKEW: heavy hitters vs HC hashing (Sections 2.5/3.3) ──")
 		if _, err := experiments.Skew(w, n, 32, 1.1, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || experiment == "shuffle" {
+		ran = true
+		fmt.Fprintln(w, "── E-SHUF: columnar exchange shuffle throughput & per-round load ──")
+		if _, err := experiments.Shuffle(w, 5*n, []int{8, 32, 64, 128}, seed); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -20,12 +20,25 @@
 // benchmarks compare all three head to head on triangle and Zipf
 // inputs.
 //
+// All inter-worker communication flows through one columnar shuffle
+// subsystem, internal/exchange: senders partition source shards in
+// parallel into per-destination bit-packed buffers (one uint64 word
+// per tuple when the arity admits it), routing policy is a pluggable
+// Partitioner (plain hash, hypercube grid replication, skew-aware
+// heavy-hitter blocks), receivers accumulate sorted columnar runs, and
+// the model's round statistics — total bits, per-worker load, the
+// c·N/p^{1−ε} receive cap — are computed from buffer sizes. Answer
+// gathering k-way merges the sorted runs instead of concatenating and
+// re-sorting. The BenchmarkShuffle* benchmarks compare this path
+// head to head against the historic per-tuple message routing.
+//
 // Layout:
 //
 //	internal/lp          exact two-phase simplex over big.Rat
 //	internal/query       conjunctive queries and hypergraph machinery
 //	internal/cover       Figure 1 LPs, τ*, space exponents, shares
 //	internal/relation    tuples, relations, matching databases, packed tuple keys
+//	internal/exchange    the columnar shuffle: partitioners, packed buffers, k-way merge
 //	internal/mpc         the MPC(ε) cluster simulator
 //	internal/localjoin   per-worker join evaluation (WCOJ default, hash, backtracking)
 //	internal/hypercube   the HyperCube algorithm (Theorem 1.1)

@@ -21,6 +21,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/exchange"
 	"repro/internal/mpc"
 	"repro/internal/relation"
 )
@@ -201,12 +202,11 @@ func Run(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	}
 }
 
-// owner assigns vertices to workers by hash.
+// owner assigns vertices to workers by hash — the same placement the
+// exchange layer's HashPartitioner computes, so edge distribution and
+// label routing agree.
 func owner(v int, seed uint64, p int) int {
-	z := uint64(v) + seed + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int((z ^ (z >> 31)) % uint64(p))
+	return exchange.HashDest(v, seed, p)
 }
 
 func newCluster(g *Graph, opts Options) (*mpc.Cluster, error) {
@@ -237,11 +237,10 @@ func runNeighborMin(g *Graph, opts Options) (*Result, error) {
 		return nil, err
 	}
 	capExceeded := false
-	// Round 1: distribute both edge orientations to the source owner.
+	// Round 1: distribute both edge orientations to the source owner
+	// through the exchange's hash partitioner.
 	edges := g.EdgeRelation()
-	if err := cluster.Scatter(edges, func(t relation.Tuple) []int {
-		return []int{owner(t[0], opts.Seed, p)}
-	}); err != nil {
+	if err := cluster.ScatterPart(edges, exchange.HashPartitioner{Col: 0, P: p, Seed: opts.Seed}); err != nil {
 		if isCap(err) {
 			capExceeded = true
 		} else {
@@ -263,21 +262,13 @@ func runNeighborMin(g *Graph, opts Options) (*Result, error) {
 	limit := maxRounds(g, opts)
 	for round := 0; round < limit; round++ {
 		// Every worker proposes labels to neighbors.
-		err := cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
-			per := make(map[int]*mpc.Message)
+		err := cluster.RunRound(func(_ int, w *mpc.Worker, out *exchange.Outbox) {
 			for u, ns := range adj[w.ID] {
 				lbl := labels[w.ID][u]
 				for _, v := range ns {
-					dst := owner(v, opts.Seed, p)
-					m, ok := per[dst]
-					if !ok {
-						m = &mpc.Message{To: dst, Rel: "prop"}
-						per[dst] = m
-					}
-					m.Tuples = append(m.Tuples, relation.Tuple{v, lbl})
+					out.Send(owner(v, opts.Seed, p), "prop", relation.Tuple{v, lbl})
 				}
 			}
-			return collect(per)
 		})
 		if err != nil {
 			if isCap(err) {
@@ -291,15 +282,15 @@ func runNeighborMin(g *Graph, opts Options) (*Result, error) {
 		changed := false
 		for i := 0; i < p; i++ {
 			w := cluster.Worker(i)
-			props := w.Received("prop")
-			for _, t := range props[seen[i]:] {
+			props := w.ReceivedFrom("prop", seen[i])
+			for _, t := range props {
 				v, lbl := t[0], t[1]
 				if cur, ok := labels[i][v]; ok && lbl < cur {
 					labels[i][v] = lbl
 					changed = true
 				}
 			}
-			seen[i] = len(props)
+			seen[i] += len(props)
 		}
 		if !changed {
 			break
@@ -331,9 +322,7 @@ func runHashToMin(g *Graph, opts Options) (*Result, error) {
 	}
 	capExceeded := false
 	edges := g.EdgeRelation()
-	if err := cluster.Scatter(edges, func(t relation.Tuple) []int {
-		return []int{owner(t[0], opts.Seed, p)}
-	}); err != nil {
+	if err := cluster.ScatterPart(edges, exchange.HashPartitioner{Col: 0, P: p, Seed: opts.Seed}); err != nil {
 		if isCap(err) {
 			capExceeded = true
 		} else {
@@ -354,16 +343,9 @@ func runHashToMin(g *Graph, opts Options) (*Result, error) {
 	seen := map[int]int{}
 	limit := maxRounds(g, opts)
 	for round := 0; round < limit; round++ {
-		err := cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
-			per := make(map[int]*mpc.Message)
+		err := cluster.RunRound(func(_ int, w *mpc.Worker, out *exchange.Outbox) {
 			emit := func(dstVertex int, payload relation.Tuple) {
-				dst := owner(dstVertex, opts.Seed, p)
-				m, ok := per[dst]
-				if !ok {
-					m = &mpc.Message{To: dst, Rel: "h2m"}
-					per[dst] = m
-				}
-				m.Tuples = append(m.Tuples, payload)
+				out.Send(owner(dstVertex, opts.Seed, p), "h2m", payload)
 			}
 			for v, set := range sets[w.ID] {
 				mn := v
@@ -381,7 +363,6 @@ func runHashToMin(g *Graph, opts Options) (*Result, error) {
 					}
 				}
 			}
-			return collect(per)
 		})
 		if err != nil {
 			if isCap(err) {
@@ -393,8 +374,8 @@ func runHashToMin(g *Graph, opts Options) (*Result, error) {
 		changed := false
 		for i := 0; i < p; i++ {
 			w := cluster.Worker(i)
-			msgs := w.Received("h2m")
-			for _, t := range msgs[seen[i]:] {
+			msgs := w.ReceivedFrom("h2m", seen[i])
+			for _, t := range msgs {
 				v, member := t[0], t[1]
 				if sets[i][v] == nil {
 					sets[i][v] = map[int]bool{v: true}
@@ -404,7 +385,7 @@ func runHashToMin(g *Graph, opts Options) (*Result, error) {
 					changed = true
 				}
 			}
-			seen[i] = len(msgs)
+			seen[i] += len(msgs)
 		}
 		if !changed {
 			break
@@ -462,26 +443,18 @@ func DenseTwoRound(g *Graph, opts Options) (*Result, error) {
 	}
 	labels := SequentialComponents(sub)
 	// Round 2: send (v, label) to the owner of v.
-	err = cluster.RunRound(func(_ int, w *mpc.Worker) []mpc.Message {
+	err = cluster.RunRound(func(_ int, w *mpc.Worker, out *exchange.Outbox) {
 		if w.ID != 0 {
-			return nil
+			return
 		}
-		per := make(map[int]*mpc.Message)
 		vs := make([]int, 0, len(labels))
 		for v := range labels {
 			vs = append(vs, v)
 		}
 		sort.Ints(vs)
 		for _, v := range vs {
-			dst := owner(v, opts.Seed, p)
-			m, ok := per[dst]
-			if !ok {
-				m = &mpc.Message{To: dst, Rel: "label"}
-				per[dst] = m
-			}
-			m.Tuples = append(m.Tuples, relation.Tuple{v, labels[v]})
+			out.Send(owner(v, opts.Seed, p), "label", relation.Tuple{v, labels[v]})
 		}
-		return collect(per)
 	})
 	if err != nil {
 		if isCap(err) {
@@ -502,19 +475,6 @@ func DenseTwoRound(g *Graph, opts Options) (*Result, error) {
 		Stats:       cluster.Stats(),
 		CapExceeded: capExceeded,
 	}, nil
-}
-
-func collect(per map[int]*mpc.Message) []mpc.Message {
-	keys := make([]int, 0, len(per))
-	for k := range per {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	out := make([]mpc.Message, 0, len(per))
-	for _, k := range keys {
-		out = append(out, *per[k])
-	}
-	return out
 }
 
 func isCap(err error) bool { return errors.Is(err, mpc.ErrCapExceeded) }

@@ -1,0 +1,270 @@
+// Package exchange is the columnar shuffle subsystem of the MPC
+// simulation: the one hot path through which every engine (hypercube,
+// multiround, skew, cc) moves tuples between workers.
+//
+// The paper measures algorithms purely by communication — per-worker
+// per-round received bits — so the shuffle is the natural first-class
+// subsystem. Instead of routing per-tuple messages through shared maps,
+// senders partition their source shards in parallel (one goroutine per
+// shard) into per-destination Buffers. A Buffer stores same-schema
+// tuples in packed columnar form: when the arity admits it, each tuple
+// becomes a single uint64 word (the same bit-packing scheme as
+// relation.TupleSet, ⌊64/arity⌋ bits per value), so partitioning is
+// allocation-free per tuple, buffers sort as plain integer slices, and
+// round statistics (total bits, max per-worker load, cap enforcement)
+// fall out of buffer sizes with no per-message accounting.
+//
+// Receivers accumulate sealed (sorted) runs in a Column; deduplicated
+// global answers come from a k-way merge over sorted runs (MergeRuns /
+// MergeDedupTuples) instead of concatenate-then-sort.
+//
+// Routing policy is pluggable through the Partitioner interface; the
+// three disciplines of the engines — plain hash partitioning, hypercube
+// grid replication, and skew-aware heavy-hitter routing — are all
+// Partitioners (see HashPartitioner here, hypercube.NewGridPartitioner,
+// and the skew package).
+package exchange
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Buffer holds same-arity tuples bound for one destination in packed
+// columnar form. When every value fits in ⌊64/arity⌋ bits (the
+// relation packed-key scheme) the buffer stores one uint64 word per
+// tuple; otherwise it transparently migrates to a flat row-major []int
+// with stride = arity. A sealed buffer is sorted lexicographically and
+// immutable.
+type Buffer struct {
+	arity  int
+	shift  uint
+	words  []uint64 // packed path (nil after migration)
+	flat   []int    // fallback path, row-major
+	packed bool
+	sealed bool
+}
+
+// NewBuffer returns an empty buffer for tuples of the given arity.
+func NewBuffer(arity int) *Buffer {
+	b := &Buffer{arity: arity}
+	if shift := relation.PackedShift(arity); shift > 0 {
+		b.shift = shift
+		b.packed = true
+	}
+	return b
+}
+
+// Arity returns the tuple arity.
+func (b *Buffer) Arity() int { return b.arity }
+
+// Len returns the number of buffered tuples.
+func (b *Buffer) Len() int {
+	if b.packed {
+		return len(b.words)
+	}
+	if b.arity == 0 {
+		return 0
+	}
+	return len(b.flat) / b.arity
+}
+
+// Bits returns the communication cost of the buffer at the given
+// per-value bit width: tuples × arity × bitsPerValue.
+func (b *Buffer) Bits(bitsPerValue int) int64 {
+	return int64(b.Len()) * int64(b.arity) * int64(bitsPerValue)
+}
+
+// Append adds a copy of t. It panics on arity mismatch (buffers are
+// per-relation, so mixed arities indicate a routing bug) and on a
+// sealed buffer.
+func (b *Buffer) Append(t relation.Tuple) {
+	if len(t) != b.arity {
+		panic(fmt.Sprintf("exchange: tuple arity %d appended to arity-%d buffer", len(t), b.arity))
+	}
+	if b.sealed {
+		panic("exchange: append to sealed buffer")
+	}
+	if b.packed {
+		if key, ok := b.pack(t); ok {
+			b.words = append(b.words, key)
+			return
+		}
+		b.migrate()
+	}
+	b.flat = append(b.flat, t...)
+}
+
+// pack encodes t as one word; ok is false when a value is negative or
+// needs more than shift bits.
+func (b *Buffer) pack(t relation.Tuple) (uint64, bool) {
+	var key uint64
+	for _, v := range t {
+		if !relation.FitsPacked(v, b.shift) {
+			return 0, false
+		}
+		key = key<<b.shift | uint64(v)
+	}
+	return key, true
+}
+
+// migrate switches to the flat path, decoding all packed words (packing
+// is exact, so nothing is lost).
+func (b *Buffer) migrate() {
+	b.flat = make([]int, 0, (len(b.words)+1)*b.arity)
+	mask := relation.PackedMask(b.shift)
+	for _, key := range b.words {
+		base := len(b.flat)
+		b.flat = append(b.flat, make([]int, b.arity)...)
+		for i := b.arity - 1; i >= 0; i-- {
+			b.flat[base+i] = int(key & mask)
+			key >>= b.shift
+		}
+	}
+	b.words = nil
+	b.packed = false
+}
+
+// Seal sorts the buffer lexicographically and freezes it; sealed
+// buffers are safe for concurrent readers. Packed buffers sort by word
+// value, which (values packed most-significant-first at a uniform
+// width) coincides with lexicographic tuple order.
+func (b *Buffer) Seal() {
+	if b.sealed {
+		return
+	}
+	if b.packed {
+		slices.Sort(b.words)
+	} else if b.arity > 0 {
+		sortFlat(b.flat, b.arity)
+	}
+	b.sealed = true
+}
+
+// Sealed reports whether the buffer has been sealed.
+func (b *Buffer) Sealed() bool { return b.sealed }
+
+// AppendTuples materializes the buffered tuples onto dst. Every call
+// allocates fresh backing storage, so callers receive stable views:
+// mutating the returned tuples cannot corrupt the buffer or any other
+// caller's view.
+func (b *Buffer) AppendTuples(dst []relation.Tuple) []relation.Tuple {
+	return b.appendRange(dst, 0, b.Len())
+}
+
+// appendRange materializes tuples [from, to) with fresh backing.
+func (b *Buffer) appendRange(dst []relation.Tuple, from, to int) []relation.Tuple {
+	if from >= to {
+		return dst
+	}
+	backing := make([]int, (to-from)*b.arity)
+	if b.packed {
+		mask := relation.PackedMask(b.shift)
+		for i := from; i < to; i++ {
+			key := b.words[i]
+			row := backing[(i-from)*b.arity : (i-from+1)*b.arity]
+			for j := b.arity - 1; j >= 0; j-- {
+				row[j] = int(key & mask)
+				key >>= b.shift
+			}
+			dst = append(dst, relation.Tuple(row))
+		}
+		return dst
+	}
+	copy(backing, b.flat[from*b.arity:to*b.arity])
+	for i := 0; i < to-from; i++ {
+		dst = append(dst, relation.Tuple(backing[i*b.arity:(i+1)*b.arity]))
+	}
+	return dst
+}
+
+// sortFlat sorts a row-major flat slice of the given stride
+// lexicographically.
+func sortFlat(flat []int, stride int) {
+	n := len(flat) / stride
+	sort.Sort(&flatSorter{flat: flat, stride: stride, n: n})
+}
+
+type flatSorter struct {
+	flat   []int
+	stride int
+	n      int
+}
+
+func (s *flatSorter) Len() int { return s.n }
+
+func (s *flatSorter) Less(i, j int) bool {
+	a := s.flat[i*s.stride : (i+1)*s.stride]
+	b := s.flat[j*s.stride : (j+1)*s.stride]
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+func (s *flatSorter) Swap(i, j int) {
+	a := s.flat[i*s.stride : (i+1)*s.stride]
+	b := s.flat[j*s.stride : (j+1)*s.stride]
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// Column is the receiver side of the exchange: an append-only sequence
+// of sealed runs under one relation name. Tuple order is stable — runs
+// in arrival order, each run sorted — so incremental consumers can
+// track a consumed prefix by count.
+type Column struct {
+	runs  []*Buffer
+	total int
+}
+
+// Add appends a sealed run.
+func (c *Column) Add(run *Buffer) {
+	if !run.Sealed() {
+		run.Seal()
+	}
+	c.runs = append(c.runs, run)
+	c.total += run.Len()
+}
+
+// Len returns the total tuple count across runs.
+func (c *Column) Len() int { return c.total }
+
+// Runs returns the underlying sealed runs (read-only).
+func (c *Column) Runs() []*Buffer { return c.runs }
+
+// Tuples materializes every tuple, run by run, with fresh backing
+// storage per call (a stable view: callers cannot corrupt the column
+// or each other).
+func (c *Column) Tuples() []relation.Tuple {
+	return c.TuplesFrom(0)
+}
+
+// TuplesFrom materializes the tuples at positions [start, Len()) —
+// the incremental read used by round-based consumers.
+func (c *Column) TuplesFrom(start int) []relation.Tuple {
+	if start < 0 {
+		start = 0
+	}
+	if start >= c.total {
+		return nil
+	}
+	out := make([]relation.Tuple, 0, c.total-start)
+	skip := start
+	for _, r := range c.runs {
+		n := r.Len()
+		if skip >= n {
+			skip -= n
+			continue
+		}
+		out = r.appendRange(out, skip, n)
+		skip = 0
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package exchange
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestBufferPackedRoundTrip(t *testing.T) {
+	b := NewBuffer(3)
+	in := []relation.Tuple{{3, 2, 1}, {1, 2, 3}, {1, 2, 3}, {9, 9, 9}}
+	for _, tu := range in {
+		b.Append(tu)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Seal()
+	got := b.AppendTuples(nil)
+	want := []relation.Tuple{{1, 2, 3}, {1, 2, 3}, {3, 2, 1}, {9, 9, 9}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("sealed[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Bits: 4 tuples × 3 values × 5 bits.
+	if bits := b.Bits(5); bits != 60 {
+		t.Errorf("Bits = %d, want 60", bits)
+	}
+}
+
+func TestBufferMigratesOnWideValues(t *testing.T) {
+	// Arity 3 packs at 21 bits per value; 1<<30 forces the flat path
+	// after two packed appends.
+	b := NewBuffer(3)
+	b.Append(relation.Tuple{5, 6, 7})
+	b.Append(relation.Tuple{2, 3, 4})
+	b.Append(relation.Tuple{1 << 30, 1, 2})
+	b.Seal()
+	got := b.AppendTuples(nil)
+	want := []relation.Tuple{{2, 3, 4}, {5, 6, 7}, {1 << 30, 1, 2}}
+	if len(got) != 3 {
+		t.Fatalf("Len = %d", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("sealed[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBufferHugeArityFallsBack(t *testing.T) {
+	// Arity 65 cannot pack at all (PackedShift = 0).
+	wide := make(relation.Tuple, 65)
+	wide[64] = 42
+	b := NewBuffer(65)
+	b.Append(wide)
+	b.Seal()
+	got := b.AppendTuples(nil)
+	if len(got) != 1 || !got[0].Equal(wide) {
+		t.Fatalf("fallback round-trip failed: %v", got)
+	}
+}
+
+func TestColumnTuplesFrom(t *testing.T) {
+	c := &Column{}
+	r1 := NewBuffer(2)
+	r1.Append(relation.Tuple{2, 2})
+	r1.Append(relation.Tuple{1, 1})
+	c.Add(r1) // sealed on add → sorted: (1,1),(2,2)
+	r2 := NewBuffer(2)
+	r2.Append(relation.Tuple{3, 3})
+	c.Add(r2)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	all := c.Tuples()
+	want := []relation.Tuple{{1, 1}, {2, 2}, {3, 3}}
+	for i := range want {
+		if !all[i].Equal(want[i]) {
+			t.Errorf("Tuples[%d] = %v", i, all[i])
+		}
+	}
+	tail := c.TuplesFrom(2)
+	if len(tail) != 1 || !tail[0].Equal(relation.Tuple{3, 3}) {
+		t.Errorf("TuplesFrom(2) = %v", tail)
+	}
+	if got := c.TuplesFrom(3); got != nil {
+		t.Errorf("TuplesFrom(past end) = %v", got)
+	}
+}
+
+func TestOutboxDeliveries(t *testing.T) {
+	o := NewOutbox(3)
+	o.Send(2, "A", relation.Tuple{5})
+	o.Send(0, "A", relation.Tuple{1})
+	o.Send(2, "B", relation.Tuple{7, 8})
+	ds := o.Deliveries()
+	if len(ds) != 3 {
+		t.Fatalf("deliveries = %d", len(ds))
+	}
+	// Deterministic order: rel insertion order, then destination.
+	if ds[0].Rel != "A" || ds[0].To != 0 || ds[1].Rel != "A" || ds[1].To != 2 || ds[2].Rel != "B" || ds[2].To != 2 {
+		t.Errorf("order = %+v", ds)
+	}
+	if o.Err() != nil {
+		t.Errorf("unexpected err: %v", o.Err())
+	}
+	o.Send(9, "A", relation.Tuple{1})
+	if o.Err() == nil {
+		t.Error("out-of-range Send should record an error")
+	}
+}
+
+func TestPartitionRejectsBadDestination(t *testing.T) {
+	tuples := []relation.Tuple{{1}, {2}}
+	_, err := Partition("R", tuples, 1, 2, RouteFunc(func(t relation.Tuple) []int {
+		return []int{3}
+	}))
+	if err == nil {
+		t.Fatal("want error for destination out of range")
+	}
+}
+
+func TestBroadcastPartitioner(t *testing.T) {
+	ds, err := Partition("R", []relation.Tuple{{4}}, 1, 3, Broadcast{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(ds))
+	}
+	for i, d := range ds {
+		if d.To != i || d.Buf.Len() != 1 {
+			t.Errorf("delivery %d = to %d len %d", i, d.To, d.Buf.Len())
+		}
+	}
+}
+
+func TestMergeRunsMixedPaths(t *testing.T) {
+	// One packed run, one flat run (wide value): merge falls back and
+	// still yields the deduplicated sorted union.
+	a := NewBuffer(2)
+	a.Append(relation.Tuple{1, 2})
+	a.Append(relation.Tuple{3, 4})
+	a.Seal()
+	b := NewBuffer(2)
+	b.Append(relation.Tuple{1 << 40, 0})
+	b.Append(relation.Tuple{1, 2})
+	b.Seal()
+	got := MergeRuns([]*Buffer{a, b})
+	want := []relation.Tuple{{1, 2}, {3, 4}, {1 << 40, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v", got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("merged[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeDedupTuplesEmpty(t *testing.T) {
+	if got := MergeDedupTuples(nil, 2); got != nil {
+		t.Errorf("empty merge = %v", got)
+	}
+	if got := MergeDedupTuples([][]relation.Tuple{nil, {}}, 2); got != nil {
+		t.Errorf("all-empty merge = %v", got)
+	}
+}

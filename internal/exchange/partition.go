@@ -1,0 +1,219 @@
+package exchange
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Partitioner decides, tuple by tuple, which workers receive a tuple.
+// Implementations must be safe for concurrent use: Partition invokes
+// Route from one goroutine per source shard.
+type Partitioner interface {
+	// Route appends the destination worker ids of t — the i-th tuple of
+	// the source relation — to buf and returns the extended slice.
+	// Callers pass a reusable scratch buffer (typically buf[:0]); Route
+	// must not retain it. Returning no destinations drops the tuple.
+	Route(i int, t relation.Tuple, buf []int) []int
+}
+
+// HashDest is the shared splitmix64-style hash placement used by the
+// plain-hash disciplines (skew routing, cc vertex ownership): the
+// worker owning value v under the given seed, in [0, p).
+func HashDest(v int, seed uint64, p int) int {
+	z := uint64(v) + seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int((z ^ (z >> 31)) % uint64(p))
+}
+
+// HashPartitioner hashes one column to a single destination — the
+// classic equi-join shuffle.
+type HashPartitioner struct {
+	// Col is the tuple position hashed.
+	Col int
+	// P is the worker count.
+	P int
+	// Seed drives the hash.
+	Seed uint64
+}
+
+// Route implements Partitioner.
+func (h HashPartitioner) Route(_ int, t relation.Tuple, buf []int) []int {
+	return append(buf, HashDest(t[h.Col], h.Seed, h.P))
+}
+
+// Broadcast replicates every tuple to all P workers (tiny relations,
+// e.g. the √n-sized unary endpoints of Prop 3.12).
+type Broadcast struct {
+	// P is the worker count.
+	P int
+}
+
+// Route implements Partitioner.
+func (b Broadcast) Route(_ int, _ relation.Tuple, buf []int) []int {
+	for d := 0; d < b.P; d++ {
+		buf = append(buf, d)
+	}
+	return buf
+}
+
+// RouteFunc adapts a per-tuple destination function to the Partitioner
+// interface (the compatibility shim for callers of the historic
+// mpc.Cluster.Scatter signature).
+type RouteFunc func(t relation.Tuple) []int
+
+// Route implements Partitioner.
+func (f RouteFunc) Route(_ int, t relation.Tuple, buf []int) []int {
+	return append(buf, f(t)...)
+}
+
+// Delivery is one sealed per-destination run bound for worker To under
+// relation name Rel — the unit the mpc engine accounts and delivers.
+type Delivery struct {
+	To  int
+	Rel string
+	Buf *Buffer
+}
+
+// minShard is the smallest per-goroutine shard worth spawning; below
+// it, partitioning runs inline.
+const minShard = 2048
+
+// Partition routes tuples through part into per-destination columnar
+// buffers, one sender goroutine per source shard, and returns the
+// sealed runs in deterministic (destination-major, shard-minor) order.
+// It errors on any out-of-range destination.
+func Partition(rel string, tuples []relation.Tuple, arity, p int, part Partitioner) ([]Delivery, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("exchange: partition %s: %d workers", rel, p)
+	}
+	shards := len(tuples) / minShard
+	if max := runtime.GOMAXPROCS(0); shards > max {
+		shards = max
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	per := make([][]*Buffer, shards) // shard → dest → buffer
+	errs := make([]error, shards)
+	chunk := (len(tuples) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			bufs := make([]*Buffer, p)
+			var dsts []int
+			for i := lo; i < hi; i++ {
+				t := tuples[i]
+				dsts = part.Route(i, t, dsts[:0])
+				for _, d := range dsts {
+					if d < 0 || d >= p {
+						errs[s] = fmt.Errorf("exchange: partition %s: destination %d out of range [0,%d)", rel, d, p)
+						return
+					}
+					b := bufs[d]
+					if b == nil {
+						b = NewBuffer(arity)
+						bufs[d] = b
+					}
+					b.Append(t)
+				}
+			}
+			for _, b := range bufs {
+				if b != nil {
+					b.Seal() // parallel sort inside the shard goroutine
+				}
+			}
+			per[s] = bufs
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Delivery
+	for d := 0; d < p; d++ {
+		for s := 0; s < shards; s++ {
+			if per[s] == nil || per[s][d] == nil || per[s][d].Len() == 0 {
+				continue
+			}
+			out = append(out, Delivery{To: d, Rel: rel, Buf: per[s][d]})
+		}
+	}
+	return out, nil
+}
+
+// Outbox accumulates computed tuples bound for other workers during a
+// communication round — the columnar sender side for payloads that are
+// not scatters of a stored relation (label propagation, cluster sets).
+// One Outbox belongs to one sender goroutine; it is not itself
+// concurrency-safe.
+type Outbox struct {
+	p     int
+	byRel map[string][]*Buffer
+	order []string
+	err   error
+}
+
+// NewOutbox returns an outbox for a p-worker cluster.
+func NewOutbox(p int) *Outbox {
+	return &Outbox{p: p, byRel: make(map[string][]*Buffer)}
+}
+
+// Send buffers a copy of t for worker dst under relation rel. An
+// out-of-range destination is recorded as an error (reported when the
+// round delivers) and the tuple is dropped.
+func (o *Outbox) Send(dst int, rel string, t relation.Tuple) {
+	if dst < 0 || dst >= o.p {
+		if o.err == nil {
+			o.err = fmt.Errorf("exchange: send %s to worker %d out of range [0,%d)", rel, dst, o.p)
+		}
+		return
+	}
+	bufs, ok := o.byRel[rel]
+	if !ok {
+		bufs = make([]*Buffer, o.p)
+		o.byRel[rel] = bufs
+		o.order = append(o.order, rel)
+	}
+	b := bufs[dst]
+	if b == nil {
+		b = NewBuffer(len(t))
+		bufs[dst] = b
+	}
+	b.Append(t)
+}
+
+// Err returns the first routing error recorded by Send.
+func (o *Outbox) Err() error { return o.err }
+
+// Deliveries seals and returns the accumulated runs in deterministic
+// (relation, destination) order.
+func (o *Outbox) Deliveries() []Delivery {
+	var out []Delivery
+	for _, rel := range o.order {
+		bufs := o.byRel[rel]
+		for d, b := range bufs {
+			if b == nil || b.Len() == 0 {
+				continue
+			}
+			b.Seal()
+			out = append(out, Delivery{To: d, Rel: rel, Buf: b})
+		}
+	}
+	return out
+}

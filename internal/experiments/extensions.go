@@ -12,11 +12,13 @@ import (
 	"math/big"
 	"math/rand/v2"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/cover"
 	"repro/internal/friedgut"
 	"repro/internal/hypercube"
 	"repro/internal/knowledge"
+	"repro/internal/mpc"
 	"repro/internal/plot"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -335,4 +337,79 @@ func CCChart(w io.Writer, rows []CCRow) error {
 	c.Add(plot.Series{Name: "hash-to-min", Marker: 'x', X: xs, Y: h2m})
 	c.Add(plot.Series{Name: "dense", Marker: 'd', X: xs, Y: dense})
 	return c.Render(w)
+}
+
+// ShuffleRow is one point of the E-SHUF experiment: the columnar
+// exchange's shuffle throughput on the triangle query, alongside the
+// paper's per-round load metric.
+type ShuffleRow struct {
+	N            int
+	P            int
+	RoutedTuples int64
+	TotalBits    int64
+	MaxLoadBits  int64
+	Seconds      float64
+	TuplesPerSec float64
+	MiBPerSec    float64
+}
+
+// Shuffle times the HyperCube scatter of the triangle query through
+// the columnar exchange for each p: tuples routed per second, MiB of
+// accounted communication per second, and the per-round max load the
+// paper's bounds govern — the wall-clock and model views of the same
+// round in one table.
+func Shuffle(w io.Writer, n int, ps []int, seed uint64) ([]ShuffleRow, error) {
+	q := query.Triangle()
+	rng := rand.New(rand.NewPCG(seed, 17))
+	db := relation.MatchingDatabase(rng, q, n)
+	var rows []ShuffleRow
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "E-SHUF: columnar exchange shuffle, triangle query, n=%d\n", n)
+	fmt.Fprintln(tw, "p\trouted tuples\ttuples/s\tMiB/s\tmax load (bits)\ttotal (bits)")
+	for _, p := range ps {
+		shares, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
+		if err != nil {
+			return nil, err
+		}
+		hasher := hypercube.NewHasher(shares, seed)
+		cluster, err := mpc.NewCluster(mpc.Config{
+			Workers:   p,
+			Epsilon:   1,
+			InputBits: db.InputBits(),
+			DomainN:   db.N,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		cluster.BeginRound()
+		for _, a := range q.Atoms {
+			rel, ok := db.Relation(a.Name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing relation %s", a.Name)
+			}
+			if err := cluster.ScatterPart(rel, hypercube.NewGridPartitioner(shares, hasher, a)); err != nil {
+				return nil, err
+			}
+		}
+		if err := cluster.EndRound(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		rs := cluster.Stats().Rounds[0]
+		row := ShuffleRow{
+			N:            n,
+			P:            p,
+			RoutedTuples: rs.TotalTuples,
+			TotalBits:    rs.TotalBits,
+			MaxLoadBits:  rs.MaxReceivedBits,
+			Seconds:      elapsed,
+			TuplesPerSec: float64(rs.TotalTuples) / elapsed,
+			MiBPerSec:    float64(rs.TotalBits) / 8 / (1 << 20) / elapsed,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(tw, "%d\t%d\t%.3g\t%.2f\t%d\t%d\n",
+			p, row.RoutedTuples, row.TuplesPerSec, row.MiBPerSec, row.MaxLoadBits, row.TotalBits)
+	}
+	return rows, tw.Flush()
 }

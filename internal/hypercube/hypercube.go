@@ -25,6 +25,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/cover"
+	"repro/internal/exchange"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
 	"repro/internal/query"
@@ -220,49 +221,128 @@ func (h *Hasher) Coord(dim, value int) int {
 
 // Destinations lists the grid points that must receive a tuple of
 // atom: coordinates of the atom's variables are fixed by the hashes,
-// all other dimensions range over their full shares.
+// all other dimensions range over their full shares. It is a thin
+// allocating wrapper around NewGridPartitioner; shuffle hot paths
+// should build the partitioner once per atom and reuse a buffer.
 func Destinations(s *Shares, h *Hasher, atom query.Atom, t relation.Tuple) []int {
+	out := NewGridPartitioner(s, h, atom).Route(0, t, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// GridPartitioner routes the tuples of one atom onto the hypercube
+// grid — the exchange.Partitioner form of Destinations. The variable →
+// dimension bindings are resolved once at construction, and grid-point
+// enumeration is iterative (mixed-radix expansion over the free
+// dimensions into the caller's buffer) instead of the historic
+// recursive closure, so routing a tuple allocates nothing once the
+// buffer has capacity.
+type GridPartitioner struct {
+	dims    []int
+	strides []int // stride[d] = ∏_{d' > d} dims[d']
+	hasher  *Hasher
+	binds   []gridBind
+	free    []int       // free dims with dims[d] > 1, in dimension order
+	fanout  int         // ∏ dims[free]
+	sample  map[int]int // optional grid point → server projection
+}
+
+// gridBind fixes grid dimension dim from tuple position pos.
+type gridBind struct{ pos, dim int }
+
+// NewGridPartitioner precomputes the routing state for one atom.
+func NewGridPartitioner(s *Shares, h *Hasher, atom query.Atom) *GridPartitioner {
 	k := len(s.Dims)
-	fixed := make([]int, k)
-	isFixed := make([]bool, k)
+	g := &GridPartitioner{dims: s.Dims, hasher: h, strides: make([]int, k), fanout: 1}
+	stride := 1
+	for d := k - 1; d >= 0; d-- {
+		g.strides[d] = stride
+		stride *= s.Dims[d]
+	}
+	bound := make([]bool, k)
 	for pos, v := range atom.Vars {
-		d := s.DimOf(v)
-		if d < 0 {
+		if d := s.DimOf(v); d >= 0 {
+			g.binds = append(g.binds, gridBind{pos: pos, dim: d})
+			bound[d] = true
+		}
+	}
+	for d := 0; d < k; d++ {
+		if !bound[d] && s.Dims[d] > 1 {
+			g.free = append(g.free, d)
+			g.fanout *= s.Dims[d]
+		}
+	}
+	return g
+}
+
+// WithSample restricts routing to the materialized grid points of the
+// Proposition 3.11 sampled algorithm: sample maps grid point → server,
+// and tuples routed to unmaterialized points are dropped.
+func (g *GridPartitioner) WithSample(sample map[int]int) *GridPartitioner {
+	g.sample = sample
+	return g
+}
+
+// Fanout returns the number of grid points a tuple replicates to
+// (before sampling).
+func (g *GridPartitioner) Fanout() int { return g.fanout }
+
+// Route implements exchange.Partitioner. It is stateless and safe for
+// concurrent senders.
+func (g *GridPartitioner) Route(_ int, t relation.Tuple, buf []int) []int {
+	const maxStackDims = 16
+	var setArr [maxStackDims]bool
+	var coordArr [maxStackDims]int
+	set, coord := setArr[:], coordArr[:]
+	if len(g.dims) > maxStackDims {
+		set = make([]bool, len(g.dims))
+		coord = make([]int, len(g.dims))
+	}
+	base := 0
+	for _, b := range g.binds {
+		c := g.hasher.Coord(b.dim, t[b.pos])
+		if set[b.dim] {
+			if coord[b.dim] != c {
+				// A repeated variable hashes consistently (same value,
+				// same hash); conflicting values mean the tuple can
+				// never participate in an answer.
+				return buf
+			}
 			continue
 		}
-		c := h.Coord(d, t[pos])
-		if isFixed[d] && fixed[d] != c {
-			// Repeated variable hashed inconsistently cannot happen
-			// (same value, same hash); conflicting values mean the
-			// tuple can never participate in an answer.
-			return nil
-		}
-		fixed[d] = c
-		isFixed[d] = true
+		set[b.dim] = true
+		coord[b.dim] = c
+		base += c * g.strides[b.dim]
 	}
-	var free []int
-	for d := 0; d < k; d++ {
-		if !isFixed[d] {
-			free = append(free, d)
-		}
-	}
-	coords := make([]int, k)
-	copy(coords, fixed)
-	var out []int
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(free) {
-			out = append(out, s.ServerOf(coords))
-			return
-		}
-		d := free[i]
-		for c := 0; c < s.Dims[d]; c++ {
-			coords[d] = c
-			rec(i + 1)
+	start := len(buf)
+	buf = append(buf, base)
+	// Expand the free dimensions innermost-first, so the result order
+	// matches the historic recursive enumeration (first free dimension
+	// outermost).
+	for i := len(g.free) - 1; i >= 0; i-- {
+		d := g.free[i]
+		m := len(buf)
+		for c := 1; c < g.dims[d]; c++ {
+			off := c * g.strides[d]
+			for j := start; j < m; j++ {
+				buf = append(buf, buf[j]+off)
+			}
 		}
 	}
-	rec(0)
-	return out
+	if g.sample == nil {
+		return buf
+	}
+	// Project through the sample, compacting in place.
+	kept := start
+	for _, gp := range buf[start:] {
+		if srv, ok := g.sample[gp]; ok {
+			buf[kept] = srv
+			kept++
+		}
+	}
+	return buf[:kept]
 }
 
 // Options configures a HyperCube run.
@@ -374,28 +454,16 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	}
 	hasher := NewHasher(shares, opts.Seed)
 
-	// Round 1: every input server scatters its relation along the grid.
+	// Round 1: every input server scatters its relation along the grid
+	// through the columnar exchange, one grid partitioner per atom.
 	cluster.BeginRound()
 	for _, a := range q.Atoms {
 		rel, ok := db.Relation(a.Name)
 		if !ok {
 			return nil, fmt.Errorf("hypercube: database missing relation %s", a.Name)
 		}
-		atom := a
-		err := cluster.Scatter(rel, func(t relation.Tuple) []int {
-			points := Destinations(shares, hasher, atom, t)
-			if sample == nil {
-				return points
-			}
-			var dsts []int
-			for _, g := range points {
-				if srv, ok := sample[g]; ok {
-					dsts = append(dsts, srv)
-				}
-			}
-			return dsts
-		})
-		if err != nil {
+		part := NewGridPartitioner(shares, hasher, a).WithSample(sample)
+		if err := cluster.ScatterPart(rel, part); err != nil {
 			return nil, err
 		}
 	}
@@ -428,7 +496,7 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 			return nil, e
 		}
 	}
-	merged := dedupSort(answers)
+	merged := exchange.MergeDedupTuples(answers, q.NumVars())
 
 	grid := shares.GridSize()
 	if sample != nil && grid > p {
@@ -442,18 +510,6 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 		CapExceeded: capErr != nil,
 		GridPoints:  grid,
 	}, nil
-}
-
-func dedupSort(groups [][]relation.Tuple) []relation.Tuple {
-	total := 0
-	for _, g := range groups {
-		total += len(g)
-	}
-	all := make([]relation.Tuple, 0, total)
-	for _, g := range groups {
-		all = append(all, g...)
-	}
-	return relation.DedupSort(all)
 }
 
 // TheoreticalLoad returns the paper's per-server tuple bound for one

@@ -4,15 +4,19 @@
 // A Cluster holds p workers connected by private channels. Computation
 // proceeds in synchronous rounds: every worker runs a step function
 // (concurrently, one goroutine per worker — the simulation's analogue
-// of independent servers), the produced messages are routed, and the
-// engine accounts the bits each worker *receives*. The model's single
-// resource constraint is enforced here: per round a worker may receive
-// at most c·N/p^{1−ε} bits, where N is the input size in bits and
-// ε ∈ [0,1] is the space exponent.
+// of independent servers), the produced tuples are routed through the
+// columnar exchange layer (internal/exchange), and the engine accounts
+// the bits each worker *receives* directly from the sizes of the
+// delivered buffers. The model's single resource constraint is enforced
+// here: per round a worker may receive at most c·N/p^{1−ε} bits, where
+// N is the input size in bits and ε ∈ [0,1] is the space exponent.
 //
-// The paper's "input servers" (Section 2.4) are modelled by Scatter,
-// which routes the tuples of one base relation to workers during the
-// first round; it performs the same receive accounting.
+// The paper's "input servers" (Section 2.4) are modelled by Scatter and
+// ScatterPart, which route the tuples of one base relation to workers
+// during the first round (partitioning source shards in parallel); they
+// perform the same receive accounting. Workers store what they receive
+// as sorted columnar runs, so gathering deduplicated answers is a k-way
+// merge rather than a concatenate-then-sort.
 package mpc
 
 import (
@@ -22,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/exchange"
 	"repro/internal/relation"
 )
 
@@ -66,44 +71,55 @@ func (c Config) ReceiveCap() int64 {
 	return int64(math.Ceil(cap))
 }
 
-// Message is one point-to-point message: tuples of a named relation or
-// view sent to worker To. In the tuple-based model (Section 4.2.1) all
-// messages after round one have this shape; round-one messages from
-// input servers use the same representation.
-type Message struct {
-	// To is the destination worker id in [0, p).
-	To int
-	// Rel names the relation or view the tuples belong to.
-	Rel string
-	// Tuples is the payload.
-	Tuples []relation.Tuple
-}
-
 // ErrCapExceeded reports a worker receiving more bits in a round than
 // the MPC(ε) budget allows.
 var ErrCapExceeded = errors.New("mpc: receive cap exceeded")
 
 // Worker is one server's local state: the tuples it has received,
-// grouped by relation/view name. Workers have unlimited compute; all
-// cost accounting happens on communication.
+// grouped by relation/view name and stored as sorted columnar runs.
+// Workers have unlimited compute; all cost accounting happens on
+// communication.
 type Worker struct {
 	// ID is the worker index in [0, p).
 	ID int
 
 	mu    sync.Mutex
-	store map[string][]relation.Tuple
+	store map[string]*exchange.Column
 }
 
 func newWorker(id int) *Worker {
-	return &Worker{ID: id, store: make(map[string][]relation.Tuple)}
+	return &Worker{ID: id, store: make(map[string]*exchange.Column)}
 }
 
 // Received returns the tuples of the named relation this worker has
-// received so far (across all rounds). The slice must not be modified.
+// received so far (across all rounds). Each call materializes a fresh,
+// stable view from the columnar store: mutating the returned tuples
+// cannot corrupt the worker's state or any other caller's view.
 func (w *Worker) Received(rel string) []relation.Tuple {
+	return w.ReceivedFrom(rel, 0)
+}
+
+// ReceivedFrom returns the tuples of rel at positions [start, Count) —
+// the incremental read for round-based consumers that track a consumed
+// prefix. The view is fresh per call, like Received.
+func (w *Worker) ReceivedFrom(rel string, start int) []relation.Tuple {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.store[rel]
+	col := w.store[rel]
+	if col == nil {
+		return nil
+	}
+	return col.TuplesFrom(start)
+}
+
+// Count returns the number of tuples of rel received so far.
+func (w *Worker) Count(rel string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if col := w.store[rel]; col != nil {
+		return col.Len()
+	}
+	return 0
 }
 
 // Relations returns the names of all relations the worker holds, in
@@ -119,23 +135,42 @@ func (w *Worker) Relations() []string {
 	return names
 }
 
-// Store returns a snapshot map of all held tuples (shared slices; do
-// not modify).
+// Store returns a snapshot map of all held tuples. Like Received, the
+// snapshot is materialized fresh: callers may mutate it freely.
 func (w *Worker) Store() map[string][]relation.Tuple {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make(map[string][]relation.Tuple, len(w.store))
-	for k, v := range w.store {
-		out[k] = v
+	names := w.Relations()
+	out := make(map[string][]relation.Tuple, len(names))
+	for _, name := range names {
+		out[name] = w.Received(name)
 	}
 	return out
 }
 
-// add appends tuples to the worker's store.
-func (w *Worker) add(rel string, ts []relation.Tuple) {
+// addRun appends a sealed columnar run to the worker's store. The
+// column is created and mutated under w.mu, so deliveries and readers
+// may safely interleave.
+func (w *Worker) addRun(rel string, run *exchange.Buffer) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.store[rel] = append(w.store[rel], ts...)
+	col := w.store[rel]
+	if col == nil {
+		col = &exchange.Column{}
+		w.store[rel] = col
+	}
+	col.Add(run)
+}
+
+// add appends loose tuples as one run (test seams and local writes).
+func (w *Worker) add(rel string, ts []relation.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	b := exchange.NewBuffer(len(ts[0]))
+	for _, t := range ts {
+		b.Append(t)
+	}
+	b.Seal()
+	w.addRun(rel, b)
 }
 
 // RoundStats records the communication of one round.
@@ -248,73 +283,66 @@ func (c *Cluster) TupleBits(arity int) int64 {
 	return int64(arity) * int64(relation.BitsPerValue(c.cfg.DomainN))
 }
 
-// StepFunc computes one worker's outgoing messages for a round. It is
-// invoked concurrently for all workers; it must only read the worker's
-// own state (the model's servers cannot see each other's memory).
-type StepFunc func(round int, w *Worker) []Message
+// StepFunc computes one worker's outgoing tuples for a round, writing
+// them into out. It is invoked concurrently for all workers; it must
+// only read the worker's own state (the model's servers cannot see each
+// other's memory).
+type StepFunc func(round int, w *Worker, out *exchange.Outbox)
 
 // RunRound executes one communication round: every worker's step runs
-// in its own goroutine, then messages are delivered and accounted.
-// If the receive cap is enforced and violated, the round still
-// completes (statistics are recorded) and ErrCapExceeded is returned.
+// in its own goroutine with a private outbox, then the collected
+// columnar runs are delivered and accounted. If the receive cap is
+// enforced and violated, the round still completes (statistics are
+// recorded) and ErrCapExceeded is returned.
 func (c *Cluster) RunRound(step StepFunc) error {
 	c.round++
-	out := make([][]Message, len(c.workers))
+	outs := make([]*exchange.Outbox, len(c.workers))
 	var wg sync.WaitGroup
 	for i, w := range c.workers {
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			out[i] = step(c.round, w)
+			outs[i] = exchange.NewOutbox(len(c.workers))
+			step(c.round, w, outs[i])
 		}(i, w)
 	}
 	wg.Wait()
-	var all []Message
-	for _, ms := range out {
-		all = append(all, ms...)
+	var all []exchange.Delivery
+	for _, o := range outs {
+		if err := o.Err(); err != nil {
+			return fmt.Errorf("mpc: round %d: %w", c.round, err)
+		}
+		all = append(all, o.Deliveries()...)
 	}
 	return c.deliver(all)
 }
 
-// Scatter performs an input-server round-one transmission for one base
-// relation: route(t) lists the destination workers of each tuple.
-// Multiple Scatter calls within the same logical round should be
-// grouped with BeginRound/EndRound; Scatter alone accounts its
+// ScatterPart performs an input-server transmission for one base
+// relation through the columnar exchange: part routes every tuple,
+// source shards partition in parallel, and the sealed runs are
+// delivered. Multiple scatters within the same logical round should be
+// grouped with BeginRound/EndRound; a lone scatter accounts its
 // delivery as part of the current open round if one exists, otherwise
 // as a fresh round.
+func (c *Cluster) ScatterPart(rel *relation.Relation, part exchange.Partitioner) error {
+	ds, err := exchange.Partition(rel.Name, rel.Tuples, rel.Arity(), len(c.workers), part)
+	if err != nil {
+		return fmt.Errorf("mpc: scatter: %w", err)
+	}
+	return c.deliverIntoOpenRound(ds)
+}
+
+// Scatter is ScatterPart with a per-tuple destination function —
+// route(t) lists the destination workers of each tuple. The routing
+// still flows through the columnar exchange.
 func (c *Cluster) Scatter(rel *relation.Relation, route func(t relation.Tuple) []int) error {
-	msgs := make(map[int]*Message)
-	for _, t := range rel.Tuples {
-		for _, dst := range route(t) {
-			if dst < 0 || dst >= len(c.workers) {
-				return fmt.Errorf("mpc: scatter %s: destination %d out of range", rel.Name, dst)
-			}
-			m, ok := msgs[dst]
-			if !ok {
-				m = &Message{To: dst, Rel: rel.Name}
-				msgs[dst] = m
-			}
-			m.Tuples = append(m.Tuples, t)
-		}
-	}
-	var all []Message
-	for _, m := range msgs {
-		all = append(all, *m)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].To < all[j].To })
-	return c.deliverIntoOpenRound(all)
+	return c.ScatterPart(rel, exchange.RouteFunc(route))
 }
 
 // Broadcast sends every tuple of rel to all workers (used for tiny
 // relations such as the √n-sized unary endpoints in Prop 3.12).
 func (c *Cluster) Broadcast(rel *relation.Relation) error {
-	return c.Scatter(rel, func(relation.Tuple) []int {
-		dsts := make([]int, len(c.workers))
-		for i := range dsts {
-			dsts[i] = i
-		}
-		return dsts
-	})
+	return c.ScatterPart(rel, exchange.Broadcast{P: len(c.workers)})
 }
 
 // BeginRound opens a new round into which a sequence of Scatter or
@@ -339,8 +367,8 @@ func (c *Cluster) EndRound() error {
 	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
 }
 
-// deliver routes messages as a fresh (already counted) round.
-func (c *Cluster) deliver(all []Message) error {
+// deliver routes runs as a fresh (already counted) round.
+func (c *Cluster) deliver(all []exchange.Delivery) error {
 	rs := RoundStats{Round: c.round, PerWorkerBits: make([]int64, len(c.workers))}
 	if err := c.route(all, &rs); err != nil {
 		return err
@@ -349,9 +377,9 @@ func (c *Cluster) deliver(all []Message) error {
 	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
 }
 
-// deliverIntoOpenRound routes messages into the round opened by
+// deliverIntoOpenRound routes runs into the round opened by
 // BeginRound, or a fresh self-contained round if none is open.
-func (c *Cluster) deliverIntoOpenRound(all []Message) error {
+func (c *Cluster) deliverIntoOpenRound(all []exchange.Delivery) error {
 	if c.open {
 		return c.route(all, &c.stats.Rounds[len(c.stats.Rounds)-1])
 	}
@@ -364,31 +392,32 @@ func (c *Cluster) deliverIntoOpenRound(all []Message) error {
 	return c.checkCap(&c.stats.Rounds[len(c.stats.Rounds)-1])
 }
 
-// route appends tuples to destinations and updates rs cumulatively
-// (several deliveries may share one round via BeginRound).
-func (c *Cluster) route(all []Message, rs *RoundStats) error {
+// route appends sealed runs to destination workers and updates rs
+// cumulatively (several deliveries may share one round via BeginRound).
+// All accounting derives from buffer sizes — no per-tuple bookkeeping.
+func (c *Cluster) route(all []exchange.Delivery, rs *RoundStats) error {
 	if rs.PerWorkerTuples == nil {
 		rs.PerWorkerTuples = make([]int64, len(c.workers))
 	}
-	for _, m := range all {
-		if m.To < 0 || m.To >= len(c.workers) {
-			return fmt.Errorf("mpc: message to worker %d out of range [0,%d)", m.To, len(c.workers))
+	for _, d := range all {
+		if d.To < 0 || d.To >= len(c.workers) {
+			return fmt.Errorf("mpc: delivery to worker %d out of range [0,%d)", d.To, len(c.workers))
 		}
-		if len(m.Tuples) == 0 {
+		n := int64(d.Buf.Len())
+		if n == 0 {
 			continue
 		}
-		arity := len(m.Tuples[0])
-		bits := c.TupleBits(arity) * int64(len(m.Tuples))
-		c.workers[m.To].add(m.Rel, m.Tuples)
-		rs.PerWorkerBits[m.To] += bits
-		rs.PerWorkerTuples[m.To] += int64(len(m.Tuples))
+		bits := d.Buf.Bits(relation.BitsPerValue(c.cfg.DomainN))
+		c.workers[d.To].addRun(d.Rel, d.Buf)
+		rs.PerWorkerBits[d.To] += bits
+		rs.PerWorkerTuples[d.To] += n
 		rs.TotalBits += bits
-		rs.TotalTuples += int64(len(m.Tuples))
-		if rs.PerWorkerBits[m.To] > rs.MaxReceivedBits {
-			rs.MaxReceivedBits = rs.PerWorkerBits[m.To]
+		rs.TotalTuples += n
+		if rs.PerWorkerBits[d.To] > rs.MaxReceivedBits {
+			rs.MaxReceivedBits = rs.PerWorkerBits[d.To]
 		}
-		if rs.PerWorkerTuples[m.To] > rs.MaxReceivedTuples {
-			rs.MaxReceivedTuples = rs.PerWorkerTuples[m.To]
+		if rs.PerWorkerTuples[d.To] > rs.MaxReceivedTuples {
+			rs.MaxReceivedTuples = rs.PerWorkerTuples[d.To]
 		}
 	}
 	return nil
@@ -411,11 +440,15 @@ func (c *Cluster) checkCap(rs *RoundStats) error {
 
 // GatherAnswers collects deduplicated, sorted tuples stored under the
 // given view name across all workers — the union of per-server query
-// outputs.
+// outputs — by k-way merging the workers' sorted columnar runs.
 func (c *Cluster) GatherAnswers(view string) []relation.Tuple {
-	var out []relation.Tuple
+	var runs []*exchange.Buffer
 	for _, w := range c.workers {
-		out = append(out, w.Received(view)...)
+		w.mu.Lock()
+		if col := w.store[view]; col != nil {
+			runs = append(runs, col.Runs()...)
+		}
+		w.mu.Unlock()
 	}
-	return relation.DedupSort(out)
+	return exchange.MergeRuns(runs)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/exchange"
 	"repro/internal/relation"
 )
 
@@ -56,12 +57,8 @@ func TestReceiveCap(t *testing.T) {
 func TestRunRoundDelivery(t *testing.T) {
 	c := newTestCluster(t, 4, 0, 1<<20, 0)
 	// Every worker sends its id to worker (id+1) mod 4.
-	err := c.RunRound(func(round int, w *Worker) []Message {
-		return []Message{{
-			To:     (w.ID + 1) % 4,
-			Rel:    "R",
-			Tuples: []relation.Tuple{{w.ID + 1}},
-		}}
+	err := c.RunRound(func(round int, w *Worker, out *exchange.Outbox) {
+		out.Send((w.ID+1)%4, "R", relation.Tuple{w.ID + 1})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,13 +80,12 @@ func TestRunRoundDelivery(t *testing.T) {
 
 func TestRunRoundStats(t *testing.T) {
 	c := newTestCluster(t, 2, 0, 1<<20, 0)
-	err := c.RunRound(func(round int, w *Worker) []Message {
+	err := c.RunRound(func(round int, w *Worker, out *exchange.Outbox) {
 		if w.ID != 0 {
-			return nil
+			return
 		}
-		return []Message{
-			{To: 1, Rel: "R", Tuples: []relation.Tuple{{1, 2}, {3, 4}}},
-		}
+		out.Send(1, "R", relation.Tuple{1, 2})
+		out.Send(1, "R", relation.Tuple{3, 4})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -113,11 +109,13 @@ func TestRunRoundStats(t *testing.T) {
 func TestCapEnforcement(t *testing.T) {
 	// Budget: 1·64/4 = 16 bits; sending 3 tuples of 14 bits = 42 > 16.
 	c := newTestCluster(t, 4, 0, 64, 1)
-	err := c.RunRound(func(round int, w *Worker) []Message {
+	err := c.RunRound(func(round int, w *Worker, out *exchange.Outbox) {
 		if w.ID != 0 {
-			return nil
+			return
 		}
-		return []Message{{To: 1, Rel: "R", Tuples: []relation.Tuple{{1, 1}, {2, 2}, {3, 3}}}}
+		for _, t := range []relation.Tuple{{1, 1}, {2, 2}, {3, 3}} {
+			out.Send(1, "R", t)
+		}
 	})
 	if !errors.Is(err, ErrCapExceeded) {
 		t.Fatalf("err = %v, want ErrCapExceeded", err)
@@ -130,8 +128,8 @@ func TestCapEnforcement(t *testing.T) {
 
 func TestRunRoundBadDestination(t *testing.T) {
 	c := newTestCluster(t, 2, 0, 1<<20, 0)
-	err := c.RunRound(func(round int, w *Worker) []Message {
-		return []Message{{To: 99, Rel: "R", Tuples: []relation.Tuple{{1}}}}
+	err := c.RunRound(func(round int, w *Worker, out *exchange.Outbox) {
+		out.Send(99, "R", relation.Tuple{1})
 	})
 	if err == nil {
 		t.Fatal("want error for out-of-range destination")
@@ -279,15 +277,62 @@ func TestTupleBits(t *testing.T) {
 	}
 }
 
-func TestEmptyMessagesSkipped(t *testing.T) {
+func TestEmptyRoundCostsNothing(t *testing.T) {
 	c := newTestCluster(t, 2, 0, 1<<20, 0)
-	err := c.RunRound(func(round int, w *Worker) []Message {
-		return []Message{{To: 0, Rel: "R", Tuples: nil}}
-	})
+	err := c.RunRound(func(round int, w *Worker, out *exchange.Outbox) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats().TotalBits() != 0 {
-		t.Error("empty messages should not cost bits")
+		t.Error("silent rounds should not cost bits")
+	}
+	if c.Stats().NumRounds() != 1 {
+		t.Error("silent rounds still count as rounds")
+	}
+}
+
+// TestReceivedViewsIsolated is the regression test for the historic
+// slice-aliasing footgun: Received/Store handed out the worker's
+// internal slices, so one consumer's mutation could corrupt another's
+// view. Under the columnar store every call materializes fresh backing.
+func TestReceivedViewsIsolated(t *testing.T) {
+	c := newTestCluster(t, 1, 0, 1<<20, 0)
+	w := c.Worker(0)
+	w.add("R", []relation.Tuple{{1, 2}, {3, 4}})
+
+	first := w.Received("R")
+	// Consumer one vandalizes its view: overwrites values, truncates,
+	// and appends through the original header.
+	first[0][0] = 999
+	first[0][1] = 999
+	_ = append(first[:1], relation.Tuple{7, 7})
+
+	second := w.Received("R")
+	if len(second) != 2 {
+		t.Fatalf("second view has %d tuples, want 2", len(second))
+	}
+	want := []relation.Tuple{{1, 2}, {3, 4}}
+	for i, tu := range second {
+		if !tu.Equal(want[i]) {
+			t.Errorf("second view[%d] = %v, want %v (corrupted by first consumer)", i, tu, want[i])
+		}
+	}
+	// Store snapshots are equally isolated.
+	snap := w.Store()
+	snap["R"][0][0] = -1
+	if got := w.Received("R"); !got[0].Equal(relation.Tuple{1, 2}) {
+		t.Errorf("store snapshot mutation leaked into Received: %v", got[0])
+	}
+	// Incremental views see only the suffix and are fresh too.
+	tail := w.ReceivedFrom("R", 1)
+	if len(tail) != 1 || !tail[0].Equal(relation.Tuple{3, 4}) {
+		t.Errorf("ReceivedFrom(1) = %v", tail)
+	}
+	tail[0][0] = 42
+	if got := w.ReceivedFrom("R", 1); !got[0].Equal(relation.Tuple{3, 4}) {
+		t.Errorf("ReceivedFrom views alias: %v", got[0])
+	}
+	if w.Count("R") != 2 {
+		t.Errorf("Count = %d, want 2", w.Count("R"))
 	}
 }

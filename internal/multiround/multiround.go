@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/cover"
+	"repro/internal/exchange"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
@@ -310,13 +312,9 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 					if !ok {
 						return nil, fmt.Errorf("multiround: no relation for atom %s", atom.Name)
 					}
-					atomCopy := atom
-					sharesW, hasherW := w.shares, w.hasher
 					prefix := w.group.View + "/"
-					err := cluster.Scatter(prefixed(rel, prefix+atom.Name), func(t relation.Tuple) []int {
-						return hypercube.Destinations(sharesW, hasherW, atomCopy, t)
-					})
-					if err != nil {
+					part := hypercube.NewGridPartitioner(w.shares, w.hasher, atom)
+					if err := cluster.ScatterPart(prefixed(rel, prefix+atom.Name), part); err != nil {
 						return nil, err
 					}
 				}
@@ -380,27 +378,34 @@ func prefixed(r *relation.Relation, name string) *relation.Relation {
 }
 
 // materializeView gathers the per-worker join results of one group
-// into a relation over the group query's variables.
+// into a relation over the group query's variables: the workers join
+// concurrently (local computation is free in the model) and their
+// sorted outputs k-way merge through the exchange layer.
 func materializeView(cluster *mpc.Cluster, g Group, strategy localjoin.Strategy) (*relation.Relation, error) {
-	out := relation.New(g.View, g.Query.Vars()...)
-	seen := relation.NewTupleSet(g.Query.NumVars(), 0)
+	workers := cluster.Workers()
+	rows := make([][]relation.Tuple, len(workers))
+	errs := make([]error, len(workers))
 	prefix := g.View + "/"
-	for _, w := range cluster.Workers() {
-		b := localjoin.Bindings{}
-		for _, atom := range g.Query.Atoms {
-			b[atom.Name] = w.Received(prefix + atom.Name)
-		}
-		rows, err := localjoin.Evaluate(g.Query, b, strategy)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *mpc.Worker) {
+			defer wg.Done()
+			b := localjoin.Bindings{}
+			for _, atom := range g.Query.Atoms {
+				b[atom.Name] = w.Received(prefix + atom.Name)
+			}
+			rows[i], errs[i] = localjoin.Evaluate(g.Query, b, strategy)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range rows {
-			if seen.Add(t) {
-				out.Tuples = append(out.Tuples, t)
-			}
-		}
 	}
-	out.Sort()
+	out := relation.New(g.View, g.Query.Vars()...)
+	out.Tuples = exchange.MergeDedupTuples(rows, g.Query.NumVars())
 	return out, nil
 }
 

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
+	"repro/internal/exchange"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
 	"repro/internal/query"
@@ -169,11 +171,55 @@ type Result struct {
 	CapExceeded bool
 }
 
-func hashVal(v int, seed uint64) uint64 {
-	z := uint64(v) + seed + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// heavyRoute fixes the routing of one heavy join value: split sides
+// round-robin across the block, broadcast sides replicate to all of it.
+type heavyRoute struct {
+	block []int
+	split bool
+}
+
+// joinPartitioner is the skew-aware routing discipline as an
+// exchange.Partitioner: light values hash to one server, heavy values
+// either split round-robin across their block or broadcast to the
+// whole block. The round-robin position of each tuple is precomputed
+// per heavy value (splitRank), so routing is stateless at Route time —
+// parallel sender shards need no shared counters — while every heavy
+// value still spreads exactly evenly over its block regardless of how
+// its occurrences are laid out in the source relation.
+type joinPartitioner struct {
+	col       int
+	p         int
+	seed      uint64
+	heavy     map[int]heavyRoute
+	splitRank []int32 // tuple index → rank among its value's occurrences
+}
+
+// computeSplitRanks numbers each split-side heavy tuple among the
+// occurrences of its join value, in relation order (the legacy
+// per-value counter, hoisted out of the routing hot path).
+func computeSplitRanks(rel *relation.Relation, col int, heavy map[int]heavyRoute) []int32 {
+	ranks := make([]int32, len(rel.Tuples))
+	counter := make(map[int]int32, len(heavy))
+	for i, t := range rel.Tuples {
+		v := t[col]
+		if hr, ok := heavy[v]; ok && hr.split {
+			ranks[i] = counter[v]
+			counter[v]++
+		}
+	}
+	return ranks
+}
+
+// Route implements exchange.Partitioner.
+func (j *joinPartitioner) Route(i int, t relation.Tuple, buf []int) []int {
+	v := t[j.col]
+	if hr, ok := j.heavy[v]; ok {
+		if hr.split {
+			return append(buf, hr.block[int(j.splitRank[i])%len(hr.block)])
+		}
+		return append(buf, hr.block...)
+	}
+	return append(buf, exchange.HashDest(v, j.seed, j.p))
 }
 
 // RunJoin executes R ⋈ S on p servers under the chosen mode. The
@@ -209,7 +255,6 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	}
 
 	var heavy []int
-	heavySet := map[int]bool{}
 	blocks := map[int][]int{} // heavy value → server block
 	splitR := map[int]bool{}  // heavy value → split R (true) or S
 	if mode == Resilient {
@@ -229,7 +274,6 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 		heavy = HeavyHitters(freqR, freqS, threshold)
 		next := 0
 		for _, v := range heavy {
-			heavySet[v] = true
 			// Block size proportional to the value's share of the data.
 			combined := freqR[v] + freqS[v]
 			size := combined * p / (len(r.Tuples) + len(s.Tuples))
@@ -249,40 +293,26 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 		}
 	}
 
-	yR := r.AttrIndex("y")
-	yS := s.AttrIndex("y")
+	// Build one skew-aware partitioner per side; the split/broadcast
+	// decision flips between R and S for each heavy value.
+	partR := &joinPartitioner{col: r.AttrIndex("y"), p: p, seed: opts.Seed}
+	partS := &joinPartitioner{col: s.AttrIndex("y"), p: p, seed: opts.Seed}
+	if mode == Resilient {
+		partR.heavy = make(map[int]heavyRoute, len(heavy))
+		partS.heavy = make(map[int]heavyRoute, len(heavy))
+		for _, v := range heavy {
+			partR.heavy[v] = heavyRoute{block: blocks[v], split: splitR[v]}
+			partS.heavy[v] = heavyRoute{block: blocks[v], split: !splitR[v]}
+		}
+		partR.splitRank = computeSplitRanks(r, partR.col, partR.heavy)
+		partS.splitRank = computeSplitRanks(s, partS.col, partS.heavy)
+	}
 	capExceeded := false
 	cluster.BeginRound()
-	counterR := map[int]int{}
-	if err := cluster.Scatter(r, func(t relation.Tuple) []int {
-		v := t[yR]
-		if mode == Resilient && heavySet[v] {
-			block := blocks[v]
-			if splitR[v] {
-				i := counterR[v]
-				counterR[v]++
-				return []int{block[i%len(block)]}
-			}
-			return block // broadcast the smaller side
-		}
-		return []int{int(hashVal(v, opts.Seed) % uint64(p))}
-	}); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+	if err := cluster.ScatterPart(r, partR); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
 		return nil, err
 	}
-	counterS := map[int]int{}
-	if err := cluster.Scatter(s, func(t relation.Tuple) []int {
-		v := t[yS]
-		if mode == Resilient && heavySet[v] {
-			block := blocks[v]
-			if !splitR[v] {
-				i := counterS[v]
-				counterS[v]++
-				return []int{block[i%len(block)]}
-			}
-			return block
-		}
-		return []int{int(hashVal(v, opts.Seed) % uint64(p))}
-	}); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+	if err := cluster.ScatterPart(s, partS); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
 		return nil, err
 	}
 	if err := cluster.EndRound(); err != nil {
@@ -294,24 +324,28 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	}
 
 	q := JoinQuery()
-	seen := relation.NewTupleSet(q.NumVars(), 0)
-	var answers []relation.Tuple
-	for _, w := range cluster.Workers() {
-		b := localjoin.Bindings{
-			"R": w.Received("R"),
-			"S": w.Received("S"),
-		}
-		rows, err := localjoin.Evaluate(q, b, mode.localStrategy())
+	workers := cluster.Workers()
+	rows := make([][]relation.Tuple, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *mpc.Worker) {
+			defer wg.Done()
+			b := localjoin.Bindings{
+				"R": w.Received("R"),
+				"S": w.Received("S"),
+			}
+			rows[i], errs[i] = localjoin.Evaluate(q, b, mode.localStrategy())
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range rows {
-			if seen.Add(t) {
-				answers = append(answers, t)
-			}
-		}
 	}
-	sort.Slice(answers, func(i, j int) bool { return answers[i].Less(answers[j]) })
+	answers := exchange.MergeDedupTuples(rows, q.NumVars())
 	return &Result{
 		Answers:       answers,
 		Stats:         cluster.Stats(),
