@@ -1,12 +1,21 @@
-// Command mpcplan analyzes a conjunctive query under the MPC(ε) model:
-// it prints the hypergraph statistics, both LPs of Figure 1 with their
-// optimal solutions, τ*, the one-round space exponent, HyperCube
-// shares for a given p, the multi-round plan, and round bounds.
+// Command mpcplan analyzes a conjunctive query under the MPC(ε) model
+// and explains the plan the statistics-driven planner would execute:
+// the hypergraph statistics, both LPs of Figure 1 with their optimal
+// solutions, τ*, the one-round space exponent, round bounds, and the
+// EXPLAIN report of internal/plan — LP-derived shares, predicted load
+// against the paper's bound and the ε-budget, and the engine decision
+// (one-round HyperCube, multiround decomposition, or skew-aware
+// routing).
 //
 // Usage:
 //
-//	mpcplan -query 'q(x,y,z) = R(x,y), S(y,z)' [-eps 0] [-p 64]
+//	mpcplan -query 'q(x,y,z) = R(x,y), S(y,z)' [-eps 1/2] [-p 64] [-n 10000]
 //	mpcplan -family C5 [-eps 1/3] [-p 64]
+//
+// Without -eps the planner uses the query's own one-round space
+// exponent 1 − 1/τ*. The -n flag sets the cardinality of the assumed
+// matching database the plan is costed against (mpcplan is static:
+// real data flows through cmd/mpcrun, which collects live statistics).
 package main
 
 import (
@@ -14,13 +23,10 @@ import (
 	"fmt"
 	"math/big"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/hypercube"
-	"repro/internal/multiround"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -28,24 +34,27 @@ func main() {
 	var (
 		queryStr  = flag.String("query", "", "conjunctive query, e.g. 'q(x,y) = R(x,y)'")
 		familyStr = flag.String("family", "", "query family: L<k>, C<k>, T<k>, SP<k>, B<k>_<m>")
-		epsStr    = flag.String("eps", "0", "space exponent ε as a fraction, e.g. 1/2")
+		epsStr    = flag.String("eps", "", "space exponent ε as a fraction, e.g. 1/2 (default: the query's own 1 − 1/τ*)")
 		p         = flag.Int("p", 64, "number of servers for share computation")
+		n         = flag.Int("n", 10000, "assumed relation cardinality for plan costing")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *familyStr, *epsStr, *p); err != nil {
+	if err := run(*queryStr, *familyStr, *epsStr, *p, *n); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, familyStr, epsStr string, p int) error {
+func run(queryStr, familyStr, epsStr string, p, n int) error {
 	q, err := resolveQuery(queryStr, familyStr)
 	if err != nil {
 		return err
 	}
-	eps, err := parseRat(epsStr)
-	if err != nil {
-		return err
+	var eps *big.Rat
+	if epsStr != "" {
+		if eps, err = parseRat(epsStr); err != nil {
+			return err
+		}
 	}
 	a, err := core.Analyze(q)
 	if err != nil {
@@ -55,23 +64,20 @@ func run(queryStr, familyStr, epsStr string, p int) error {
 	if err := experiments.Figure1(os.Stdout, []*query.Query{q}); err != nil {
 		return err
 	}
-	if a.Connected {
-		shares, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("HyperCube shares for p=%d: %s (grid %d)\n", p, shares, shares.GridSize())
-		lower, upper, err := a.RoundBounds(eps)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("rounds at ε=%s: lower %d, upper %d\n", eps.RatString(), lower, upper)
-		plan, err := multiround.Build(q, eps)
-		if err != nil {
-			return err
-		}
-		fmt.Print(plan)
+	// The planner: share exponents from the LPs, integer shares, cost
+	// estimates, engine choice — the one source of share math.
+	pl, err := plan.Build(q, plan.MatchingStats(q, n), plan.Options{P: p, Epsilon: eps})
+	if err != nil {
+		return err
 	}
+	if a.Connected {
+		lower, upper, err := a.RoundBounds(pl.Epsilon)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rounds at ε=%s: lower %d, upper %d\n", pl.Epsilon.RatString(), lower, upper)
+	}
+	fmt.Print(pl.Explain())
 	return nil
 }
 
@@ -83,52 +89,9 @@ func resolveQuery(queryStr, familyStr string) (*query.Query, error) {
 	case queryStr != "":
 		return query.Parse(queryStr)
 	case familyStr != "":
-		return parseFamily(familyStr)
+		return query.ParseFamily(familyStr)
 	default:
 		return nil, fmt.Errorf("one of -query or -family is required")
-	}
-}
-
-// parseFamily reads L8, C5, T3, SP4, B4_2.
-func parseFamily(s string) (*query.Query, error) {
-	switch {
-	case strings.HasPrefix(s, "SP"):
-		k, err := strconv.Atoi(s[2:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.SpokedWheel(k), nil
-	case strings.HasPrefix(s, "B"):
-		parts := strings.SplitN(s[1:], "_", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("family %q: want B<k>_<m>", s)
-		}
-		k, err1 := strconv.Atoi(parts[0])
-		m, err2 := strconv.Atoi(parts[1])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("family %q: bad numbers", s)
-		}
-		return query.Binom(k, m), nil
-	case strings.HasPrefix(s, "L"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Chain(k), nil
-	case strings.HasPrefix(s, "C"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Cycle(k), nil
-	case strings.HasPrefix(s, "T"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Star(k), nil
-	default:
-		return nil, fmt.Errorf("unknown family %q (want L<k>, C<k>, T<k>, SP<k>, B<k>_<m>)", s)
 	}
 }
 

@@ -1,45 +1,11 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
 )
-
-func TestParseFamily(t *testing.T) {
-	cases := []struct {
-		in        string
-		atoms     int
-		wantError bool
-	}{
-		{"L5", 5, false},
-		{"C4", 4, false},
-		{"T3", 3, false},
-		{"SP2", 4, false},
-		{"B4_2", 6, false},
-		{"X9", 0, true},
-		{"L", 0, true},
-		{"B4", 0, true},
-		{"Bx_y", 0, true},
-		{"SPx", 0, true},
-		{"Cx", 0, true},
-		{"Tx", 0, true},
-	}
-	for _, c := range cases {
-		q, err := parseFamily(c.in)
-		if c.wantError {
-			if err == nil {
-				t.Errorf("parseFamily(%q): want error", c.in)
-			}
-			continue
-		}
-		if err != nil {
-			t.Errorf("parseFamily(%q): %v", c.in, err)
-			continue
-		}
-		if q.NumAtoms() != c.atoms {
-			t.Errorf("parseFamily(%q): %d atoms, want %d", c.in, q.NumAtoms(), c.atoms)
-		}
-	}
-}
 
 func TestParseRat(t *testing.T) {
 	r, err := parseRat("1/2")
@@ -68,21 +34,64 @@ func TestResolveQuery(t *testing.T) {
 	if err != nil || q.NumAtoms() != 2 {
 		t.Errorf("resolveQuery text: %v, %v", q, err)
 	}
+	if _, err := resolveQuery("", "C4"); err != nil {
+		t.Errorf("resolveQuery family: %v", err)
+	}
+}
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	// Exercise the full analysis pipeline (output goes to stdout; we
-	// only assert it succeeds).
-	if err := run("", "C3", "1/3", 27); err != nil {
+	// Full pipeline on a simple query, explicit ε.
+	if err := run("q(x,y) = R(x,y)", "", "0", 8, 100); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("q(x,y) = R(x,y)", "", "0", 8); err != nil {
+	// Default ε (the query's own exponent).
+	if err := run("", "L3", "", 16, 200); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "nope", "0", 8); err == nil {
+	if err := run("", "nope", "0", 8, 100); err == nil {
 		t.Error("want error for bad family")
 	}
-	if err := run("", "L4", "7/3", 8); err == nil {
+	if err := run("", "L4", "7/3", 8, 100); err == nil {
 		t.Error("want error for bad epsilon")
+	}
+	if err := run("", "L4", "0", 0, 100); err == nil {
+		t.Error("want error for p = 0")
+	}
+}
+
+// TestTriangleExplainOutput is the CLI half of the PR's acceptance
+// check: the EXPLAIN for C3 shows the LP-derived p^{1/3} grid and the
+// paper-bound comparison.
+func TestTriangleExplainOutput(t *testing.T) {
+	out := capture(t, func() error { return run("", "C3", "1/3", 64, 20000) })
+	for _, want := range []string{
+		"τ* = 3/2",
+		"share exponents e = v/τ*: x1=1/3 x2=1/3 x3=1/3",
+		"[x1:4 x2:4 x3:4], grid 64 (p^{1/3} per hashed dimension)",
+		"paper bound Σ_j |S_j|/p^{Σe_i}: 3750 tuples/worker",
+		"engine: one-round hypercube",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN missing %q in:\n%s", want, out)
+		}
 	}
 }

@@ -1,18 +1,28 @@
-// Command mpcrun evaluates a conjunctive query over a freshly
-// generated random matching database in the simulated MPC(ε) cluster,
-// either in one round with the HyperCube algorithm or with a
-// multi-round Γ^r_ε plan, and reports communication statistics.
+// Command mpcrun evaluates a conjunctive query on the simulated MPC(ε)
+// cluster. By default it is planner-driven: it collects statistics
+// over the input relations (relation.CollectStats), builds a
+// cost-based plan (internal/plan) that picks the share grid and the
+// engine — one-round HyperCube, multiround Γ^r_ε decomposition, or
+// skew-aware routing — prints the plan's EXPLAIN, and executes it end
+// to end through the columnar exchange layer.
 //
 // Usage:
 //
-//	mpcrun -family C3 -n 10000 -p 64                 # one-round HC
-//	mpcrun -family L16 -n 5000 -p 64 -mode multi -eps 1/2
+//	mpcrun -family C3 -n 10000 -p 64                 # planner-driven (auto)
+//	mpcrun -family L16 -n 5000 -p 64 -eps 1/2        # planner at a fixed ε
 //	mpcrun -query 'R(x,y),S(y,z)' -n 1000 -p 16
 //	mpcrun -query 'R(x,y),S(y,z)' -data 'R=r.csv,S=s.csv' -p 16
+//	mpcrun -family C3 -mode one                      # manual: force one round
+//	mpcrun -family L16 -mode multi -eps 1/2          # manual: force Γ^r_ε
+//	mpcrun -family C3 -plan 'shares=x1:4,x2:4,x3:4'  # manual share override
+//	mpcrun -query 'R(x,y),S(y,z)' -plan engine=skew  # manual engine override
 //
 // Without -data, a random matching database over [n] is generated;
 // with -data, each named relation is loaded from a CSV file (header =
-// attribute names, rows = positive integers).
+// attribute names, rows = positive integers). The -plan flag overrides
+// parts of the planner's decision: a semicolon-separated list of
+// engine=one|multi|skew and/or shares=v1:d1,v2:d2,… (shares imply the
+// one-round engine).
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -35,21 +47,22 @@ func main() {
 		familyStr = flag.String("family", "", "query family: L<k>, C<k>, T<k>, SP<k>, B<k>_<m>")
 		n         = flag.Int("n", 10000, "domain size (tuples per relation)")
 		p         = flag.Int("p", 64, "number of servers")
-		mode      = flag.String("mode", "one", "one | multi")
-		epsStr    = flag.String("eps", "", "space exponent (default: the query's 1-1/τ* for one-round, 0 for multi)")
+		mode      = flag.String("mode", "auto", "auto (planner-driven) | one | multi")
+		epsStr    = flag.String("eps", "", "space exponent (default: the query's 1-1/τ* for auto/one-round, 0 for multi)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		capC      = flag.Float64("cap", 0, "receive-cap constant c (0 disables enforcement)")
 		show      = flag.Int("show", 5, "print at most this many answers")
 		dataStr   = flag.String("data", "", "comma-separated Rel=file.csv pairs; omit to generate a matching database")
+		planStr   = flag.String("plan", "", "manual plan override: 'engine=one|multi|skew' and/or 'shares=x:4,y:4', semicolon-separated")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr); err != nil {
+	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr string) error {
+func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr string) error {
 	q, err := resolveQuery(queryStr, familyStr)
 	if err != nil {
 		return err
@@ -72,7 +85,12 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 		return err
 	}
 	switch mode {
+	case "auto":
+		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, truth)
 	case "one":
+		if planStr != "" {
+			return fmt.Errorf("-plan only applies to -mode auto")
+		}
 		eps := -1.0
 		if epsStr != "" {
 			r, err := parseRat(epsStr)
@@ -94,6 +112,9 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 		fmt.Printf("replication: %.2fx input\n", res.Stats.Replication(db.InputBits()))
 		printAnswers(q, res.Answers, show)
 	case "multi":
+		if planStr != "" {
+			return fmt.Errorf("-plan only applies to -mode auto")
+		}
 		epsRat := big.NewRat(0, 1)
 		if epsStr != "" {
 			epsRat, err = parseRat(epsStr)
@@ -113,9 +134,117 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 			res.Stats.MaxLoadTuples(), res.Stats.TotalBits(), res.CapExceeded)
 		printAnswers(q, res.Answers, show)
 	default:
-		return fmt.Errorf("unknown -mode %q (want one or multi)", mode)
+		return fmt.Errorf("unknown -mode %q (want auto, one or multi)", mode)
 	}
 	return nil
+}
+
+// runAuto is the planner-driven path: collect statistics, build the
+// plan, apply any -plan override, EXPLAIN, execute, report.
+func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, truth []relation.Tuple) error {
+	var eps *big.Rat
+	if epsStr != "" {
+		var err error
+		if eps, err = parseRat(epsStr); err != nil {
+			return err
+		}
+	}
+	stats := relation.CollectStats(db)
+	// A caller-supplied cap constant is both enforced at execution and
+	// used as the planner's budget factor, so EXPLAIN's verdict and the
+	// engine's enforcement agree.
+	pl, err := plan.Build(q, stats, plan.Options{P: p, Epsilon: eps, CapFactor: capC})
+	if err != nil {
+		return err
+	}
+	if planStr != "" {
+		if pl, err = applyPlanOverride(pl, planStr); err != nil {
+			return err
+		}
+	}
+	fmt.Print(pl.Explain())
+	res, err := pl.Execute(db, plan.ExecOptions{Seed: seed, CapConstant: capC})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed: %s in %d rounds\n", res.Engine, res.Rounds)
+	fmt.Printf("answers: %d / %d ground truth\n", len(res.Answers), len(truth))
+	fmt.Printf("max load: %d tuples (predicted %.0f), total %d bits (cap exceeded: %v)\n",
+		res.Stats.MaxLoadTuples(), pl.Cost.LoadTuples, res.Stats.TotalBits(), res.CapExceeded)
+	fmt.Printf("replication: %.2fx input\n", res.Stats.Replication(db.InputBits()))
+	printAnswers(q, res.Answers, show)
+	return nil
+}
+
+// applyPlanOverride parses the -plan flag: semicolon-separated
+// key=value pairs, keys "engine" (one|multi|skew) and "shares"
+// (comma-separated var:dim). Shares imply the one-round engine.
+func applyPlanOverride(pl *plan.Plan, s string) (*plan.Plan, error) {
+	engine := ""
+	var shares *hypercube.Shares
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.Index(part, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad -plan entry %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(part[:eq]), strings.TrimSpace(part[eq+1:])
+		switch key {
+		case "engine":
+			engine = val
+		case "shares":
+			parsed, err := parseShares(val)
+			if err != nil {
+				return nil, err
+			}
+			shares = parsed
+		default:
+			return nil, fmt.Errorf("unknown -plan key %q (want engine or shares)", key)
+		}
+	}
+	if shares != nil {
+		if engine != "" && engine != "one" {
+			return nil, fmt.Errorf("-plan shares imply engine=one, got engine=%s", engine)
+		}
+		return pl.WithShares(shares)
+	}
+	switch engine {
+	case "one":
+		return pl.WithEngine(plan.OneRound)
+	case "multi":
+		return pl.WithEngine(plan.MultiRound)
+	case "skew":
+		return pl.WithEngine(plan.SkewJoin)
+	case "":
+		return nil, fmt.Errorf("-plan needs engine= or shares=")
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want one, multi or skew)", engine)
+	}
+}
+
+// parseShares reads "x:4,y:4,z:2" into a share vector.
+func parseShares(s string) (*hypercube.Shares, error) {
+	out := &hypercube.Shares{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		colon := strings.Index(pair, ":")
+		if colon <= 0 || colon == len(pair)-1 {
+			return nil, fmt.Errorf("bad share %q (want var:dim)", pair)
+		}
+		d, err := strconv.Atoi(pair[colon+1:])
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad share dimension in %q", pair)
+		}
+		out.Vars = append(out.Vars, pair[:colon])
+		out.Dims = append(out.Dims, d)
+	}
+	if len(out.Vars) == 0 {
+		return nil, fmt.Errorf("empty shares")
+	}
+	return out, nil
 }
 
 func printAnswers(q *query.Query, answers []relation.Tuple, show int) {
@@ -184,51 +313,9 @@ func resolveQuery(queryStr, familyStr string) (*query.Query, error) {
 	case queryStr != "":
 		return query.Parse(queryStr)
 	case familyStr != "":
-		return parseFamily(familyStr)
+		return query.ParseFamily(familyStr)
 	default:
 		return nil, fmt.Errorf("one of -query or -family is required")
-	}
-}
-
-func parseFamily(s string) (*query.Query, error) {
-	switch {
-	case strings.HasPrefix(s, "SP"):
-		k, err := strconv.Atoi(s[2:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.SpokedWheel(k), nil
-	case strings.HasPrefix(s, "B"):
-		parts := strings.SplitN(s[1:], "_", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("family %q: want B<k>_<m>", s)
-		}
-		k, err1 := strconv.Atoi(parts[0])
-		m, err2 := strconv.Atoi(parts[1])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("family %q: bad numbers", s)
-		}
-		return query.Binom(k, m), nil
-	case strings.HasPrefix(s, "L"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Chain(k), nil
-	case strings.HasPrefix(s, "C"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Cycle(k), nil
-	case strings.HasPrefix(s, "T"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("family %q: %v", s, err)
-		}
-		return query.Star(k), nil
-	default:
-		return nil, fmt.Errorf("unknown family %q", s)
 	}
 }
 

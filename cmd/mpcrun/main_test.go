@@ -6,40 +6,87 @@ import (
 	"testing"
 )
 
+func TestRunAutoMode(t *testing.T) {
+	// Planner-driven default on a cyclic and an acyclic family.
+	if err := run("", "C3", 200, 8, "auto", "", 1, 0, 2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "L3", 100, 8, "auto", "", 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Fixed ε that forces the multiround engine.
+	if err := run("", "L4", 100, 16, "auto", "0", 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanOverrides(t *testing.T) {
+	if err := run("", "C3", 100, 27, "auto", "", 1, 0, 0, "", "shares=x1:3,x2:3,x3:3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "C3", 100, 27, "auto", "", 1, 0, 0, "", "engine=multi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 100, 8, "auto", "", 1, 0, 0, "", "engine=skew"); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid overrides.
+	for _, bad := range []string{
+		"engine=warp",                         // unknown engine
+		"shares=x1:3",                         // missing variables
+		"shares=x1:0,x2:3",                    // bad dimension
+		"gibberish",                           // not key=value
+		"zzz=1",                               // unknown key
+		"engine=multi;shares=x1:27,x2:1,x3:1", // conflicting
+		"engine=skew;shares=x1:27,x2:1,x3:1",  // conflicting
+	} {
+		if err := run("", "C3", 50, 27, "auto", "", 1, 0, 0, "", bad); err == nil {
+			t.Errorf("-plan %q: want error", bad)
+		}
+	}
+	// -plan is auto-only.
+	if err := run("", "C3", 50, 8, "one", "", 1, 0, 0, "", "engine=one"); err == nil {
+		t.Error("-plan with -mode one: want error")
+	}
+}
+
 func TestRunOneRoundMode(t *testing.T) {
-	if err := run("", "C3", 200, 8, "one", "", 1, 0, 2, ""); err != nil {
+	if err := run("", "C3", 200, 8, "one", "", 1, 0, 2, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit epsilon.
-	if err := run("", "L3", 100, 8, "one", "1/2", 1, 0, 0, ""); err != nil {
+	if err := run("", "L3", 100, 8, "one", "1/2", 1, 0, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMultiMode(t *testing.T) {
-	if err := run("", "L4", 80, 8, "multi", "", 1, 0, 1, ""); err != nil {
+	if err := run("", "L4", 80, 8, "multi", "", 1, 0, 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "L16", 50, 8, "multi", "1/2", 1, 0, 0, ""); err != nil {
+	if err := run("", "L16", 50, 8, "multi", "1/2", 1, 0, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 10, 4, "one", "", 1, 0, 0, ""); err == nil {
+	if err := run("", "", 10, 4, "one", "", 1, 0, 0, "", ""); err == nil {
 		t.Error("want error: no query")
 	}
-	if err := run("R(x)", "L2", 10, 4, "one", "", 1, 0, 0, ""); err == nil {
+	if err := run("R(x)", "L2", 10, 4, "one", "", 1, 0, 0, "", ""); err == nil {
 		t.Error("want error: both query and family")
 	}
-	if err := run("", "L2", 10, 4, "bogus", "", 1, 0, 0, ""); err == nil {
+	if err := run("", "L2", 10, 4, "bogus", "", 1, 0, 0, "", ""); err == nil {
 		t.Error("want error: unknown mode")
 	}
-	if err := run("", "L2", 10, 4, "one", "nope", 1, 0, 0, ""); err == nil {
+	if err := run("", "L2", 10, 4, "one", "nope", 1, 0, 0, "", ""); err == nil {
 		t.Error("want error: bad epsilon")
 	}
-	if err := run("", "L2", 10, 4, "multi", "3/2", 1, 0, 0, ""); err == nil {
+	if err := run("", "L2", 10, 4, "multi", "3/2", 1, 0, 0, "", ""); err == nil {
 		t.Error("want error: epsilon out of range")
+	}
+	if err := run("", "L2", 10, 4, "auto", "nope", 1, 0, 0, "", ""); err == nil {
+		t.Error("want error: bad epsilon in auto mode")
 	}
 }
 
@@ -54,36 +101,39 @@ func TestRunWithCSVData(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := "R=" + rPath + ",S=" + sPath
-	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "1/2", 1, 0, 10, data); err != nil {
+	// Planner-driven over CSV data.
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "auto", "", 1, 0, 10, data, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "1/2", 1, 0, 10, data, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Missing relation in -data.
-	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath); err == nil {
+	if err := run("q(x,y,z) = R(x,y), S(y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath, ""); err == nil {
 		t.Error("want error: S missing from -data")
 	}
 	// Malformed pair.
-	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R"); err == nil {
+	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R", ""); err == nil {
 		t.Error("want error: malformed -data")
 	}
 	// Nonexistent file.
-	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R="+filepath.Join(dir, "nope.csv")); err == nil {
+	if err := run("q(x,y) = R(x,y)", "", 0, 4, "one", "", 1, 0, 0, "R="+filepath.Join(dir, "nope.csv"), ""); err == nil {
 		t.Error("want error: missing file")
 	}
 	// Arity mismatch.
-	if err := run("q(x,y,z) = R(x,y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath); err == nil {
+	if err := run("q(x,y,z) = R(x,y,z)", "", 0, 4, "one", "", 1, 0, 0, "R="+rPath, ""); err == nil {
 		t.Error("want error: arity mismatch")
 	}
 }
 
-func TestParseFamilyRun(t *testing.T) {
-	for _, good := range []string{"L3", "C5", "T2", "SP3", "B3_2"} {
-		if _, err := parseFamily(good); err != nil {
-			t.Errorf("parseFamily(%q): %v", good, err)
-		}
+func TestParseShares(t *testing.T) {
+	s, err := parseShares("x:4,y:2")
+	if err != nil || len(s.Vars) != 2 || s.Dims[0] != 4 || s.Dims[1] != 2 {
+		t.Fatalf("parseShares = %v, %v", s, err)
 	}
-	for _, bad := range []string{"", "Q1", "L", "B1", "SPz"} {
-		if _, err := parseFamily(bad); err == nil {
-			t.Errorf("parseFamily(%q): want error", bad)
+	for _, bad := range []string{"", "x", "x:", ":3", "x:zero", "x:-1"} {
+		if _, err := parseShares(bad); err == nil {
+			t.Errorf("parseShares(%q): want error", bad)
 		}
 	}
 }

@@ -43,18 +43,29 @@
 //	internal/localjoin   per-worker join evaluation (WCOJ default, hash, backtracking)
 //	internal/hypercube   the HyperCube algorithm (Theorem 1.1)
 //	internal/multiround  Γ^r_ε plans and the round executor (§4.1)
+//	internal/plan        the statistics-driven planner: LP → shares → engine, EXPLAIN
 //	internal/theory      closed-form bounds, ε-good sets, (ε,r)-plans
 //	internal/cc          connected components (Theorem 4.10)
 //	internal/witness     JOIN-WITNESS (Proposition 3.12)
 //	internal/experiments the table/figure regeneration harness
 //	internal/core        the high-level facade API
-//	cmd/mpcplan          query analysis CLI
-//	cmd/mpcrun           cluster execution CLI
+//	cmd/mpcplan          query analysis + EXPLAIN CLI
+//	cmd/mpcrun           planner-driven cluster execution CLI
 //	cmd/mpcbench         experiment regeneration CLI
+//	cmd/doccheck         CI documentation gate (exports + markdown snippets)
 //	examples/...         runnable end-to-end programs
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory
-// and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. Benchmarks in bench_test.go regenerate each experiment
-// under `go test -bench`.
+// Query planning is statistics-driven: internal/plan consumes a
+// parsed query plus relation.Stats (cardinalities, per-column
+// heavy-hitter counts), solves the Figure 1 LPs for the share
+// exponents, predicts load and communication, and selects among the
+// one-round, multiround, and skew-aware engines against the MPC(ε)
+// budget. cmd/mpcplan prints the plan's EXPLAIN; cmd/mpcrun executes
+// it (with a -plan manual-override escape hatch).
+//
+// See README.md for a walkthrough, ARCHITECTURE.md for the layer
+// diagram and data flow, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// Benchmarks in bench_test.go regenerate each experiment under
+// `go test -bench`.
 package repro

@@ -10,6 +10,13 @@
 //     graph): always 2 rounds, the Karloff-et-al. regime the paper
 //     contrasts against.
 //
+// The lower bound rides on the chain-query reduction: a path crossing
+// k layers is exactly an L_k instance. The planner's EXPLAIN for that
+// underlying query (printed first) shows why one round cannot work at
+// ε = 1/2 — the one-round load blows the budget and the Γ^r_ε plan
+// needs multiple rounds — which is the phenomenon the table then
+// measures on real component algorithms.
+//
 // Run with:
 //
 //	go run ./examples/components
@@ -19,15 +26,33 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/big"
 	"math/rand/v2"
 	"os"
 	"text/tabwriter"
 
 	"repro/internal/cc"
+	"repro/internal/plan"
+	"repro/internal/query"
 )
 
 func main() {
 	rng := rand.New(rand.NewPCG(2013, 4))
+
+	// The reduction target: components on a k-layer graph embed the
+	// chain query L_k. Plan it at ε = 1/2 to see the round structure.
+	const kDemo = 8
+	lk := query.Chain(kDemo)
+	pl, err := plan.Build(lk, plan.MatchingStats(lk, 10000), plan.Options{
+		P: 64, Epsilon: big.NewRat(1, 2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the Theorem 4.10 reduction embeds L%d; its plan at ε=1/2:\n", kDemo)
+	fmt.Print(pl.Explain())
+	fmt.Println()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "layered graphs with k = ⌊√p⌋ layers (Theorem 4.10 input family)")
 	fmt.Fprintln(tw, "p\tlayers\tvertices\tneighbor-min\thash-to-min\tdense(ε=1)\tlog2 p")

@@ -7,9 +7,9 @@
 //
 // This example sweeps the group count g and reports the
 // replication-vs-reducer-size tradeoff the introduction describes,
-// then confirms the HyperCube shares for the product query recover
-// g = √p automatically (the vertex cover of R(x),S(y) is
-// v_x = v_y = 1, τ* = 2, shares p^{1/2} each).
+// then confirms the planner recovers g = √p automatically from the
+// LPs (the vertex cover of R(x),S(y) is v_x = v_y = 1, τ* = 2, shares
+// p^{1/2} each) and executes the product through it.
 //
 // Run with:
 //
@@ -20,12 +20,11 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand/v2"
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/hypercube"
 	"repro/internal/localjoin"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -48,19 +47,12 @@ func main() {
 	tw.Flush()
 	fmt.Printf("\nwith p = %d servers the sweet spot is g = √p = %d: every server\nhandles exactly one pair of groups.\n\n", p, int(math.Sqrt(p)))
 
-	// HyperCube recovers this automatically: the fractional vertex
+	// The planner recovers this automatically: the fractional vertex
 	// cover of R(x),S(y) is (1,1), τ* = 2, share exponents (1/2,1/2),
-	// so shares are √p × √p.
-	shares, err := hypercube.SharesForQuery(q, p, hypercube.GreedyRounding)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("HyperCube shares for %s at p=%d: %s\n", q, p, shares)
-
-	// Run it on a scaled-down instance (n² pairs materialize in memory;
-	// 400² = 160k is plenty to see the load profile).
+	// so shares are √p × √p. Run it on a scaled-down instance (n²
+	// pairs materialize in memory; 400² = 160k is plenty to see the
+	// load profile).
 	const nRun = 400
-	rng := rand.New(rand.NewPCG(7, 7))
 	db := relation.NewDatabase(nRun)
 	r := relation.New("R", "x")
 	s := relation.New("S", "y")
@@ -68,12 +60,16 @@ func main() {
 		r.MustAdd(relation.Tuple{i})
 		s.MustAdd(relation.Tuple{i})
 	}
-	_ = rng
 	db.AddRelation(r)
 	db.AddRelation(s)
 
-	res, err := hypercube.Run(q, db, p, hypercube.Options{
-		Epsilon:  0.5, // 1 − 1/τ* = 1/2: the cartesian product needs √p replication
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pl.Explain())
+
+	res, err := pl.Execute(db, plan.ExecOptions{
 		Seed:     3,
 		Strategy: localjoin.HashJoin,
 	})

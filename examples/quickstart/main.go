@@ -1,11 +1,13 @@
 // Quickstart: analyze the chain query L3, generate a random matching
-// database, and evaluate it in one communication round with the
-// HyperCube algorithm on a simulated 64-server MPC cluster.
+// database, and let the statistics-driven planner choose and execute
+// the evaluation strategy on a simulated 64-server MPC cluster.
 //
 // L3(x0..x3) = S1(x0,x1), S2(x1,x2), S3(x2,x3) has τ* = 2, so its
-// one-round space exponent is ε = 1/2 (Theorem 1.1): each input tuple
-// is replicated to √p servers and every one of the n answers is found
-// in a single shuffle.
+// one-round space exponent is ε = 1/2 (Theorem 1.1): the planner
+// derives share exponents (0, 1/2, 0, 1/2) from the vertex-cover LP,
+// predicts that one round fits the ε-budget, and runs the HyperCube
+// algorithm — each input tuple replicated to √p servers, every one of
+// the n answers found in a single shuffle.
 //
 // Run with:
 //
@@ -19,6 +21,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -40,13 +43,18 @@ func main() {
 	rng := rand.New(rand.NewPCG(42, 42))
 	db := relation.MatchingDatabase(rng, q, n)
 
-	// One communication round on p = 64 servers at the query's own
-	// space exponent ε = 1/2. Each server receives O(n/p^{1/2}) tuples.
+	// The planner: collect statistics, solve the LPs, pick shares and
+	// engine, and explain the decision.
 	const p = 64
-	res, err := core.EvaluateOneRound(q, db, p, core.OneRoundOptions{
-		Epsilon: -1, // use the query's space exponent
-		Seed:    7,
-	})
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(pl.Explain())
+
+	// Execute the plan end to end through the columnar exchange.
+	res, err := pl.Execute(db, plan.ExecOptions{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,9 +63,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nHyperCube on p=%d servers, shares %s\n", p, res.Shares)
+	fmt.Printf("\nexecuted %v on p=%d servers, shares %s\n", res.Engine, p, res.Shares)
 	fmt.Printf("found %d answers (ground truth %d)\n", len(res.Answers), len(truth))
-	fmt.Printf("max per-server load: %d tuples\n", res.Stats.MaxLoadTuples())
+	fmt.Printf("max per-server load: %d tuples (planner predicted %.0f)\n",
+		res.Stats.MaxLoadTuples(), pl.Cost.LoadTuples)
 	fmt.Printf("replication: %.2fx the input (theory: p^ε = %.2f)\n",
 		res.Stats.Replication(db.InputBits()), math.Sqrt(p))
 }

@@ -11,6 +11,12 @@
 //     heavy value across a server block, broadcast the small side)
 //     restores near-ideal balance.
 //
+// The statistics-driven planner automates exactly this fallback: on
+// the Zipf input its collected statistics show a heavy hitter above
+// the (|R|+|S|)/p threshold and the EXPLAIN below picks the skew-aware
+// engine; on the matching input it stays with plain one-round
+// HyperCube.
+//
 // Run with:
 //
 //	go run ./examples/skewjoin
@@ -23,6 +29,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/skew"
 )
@@ -33,6 +40,20 @@ func main() {
 		p = 32
 	)
 	rng := rand.New(rand.NewPCG(2013, 8))
+
+	// The planner detects the skew from statistics alone.
+	q := skew.JoinQuery()
+	zr0, zs0 := skew.ZipfJoinInput(rng, n, 1.1)
+	db := relation.NewDatabase(n)
+	db.AddRelation(zr0)
+	db.AddRelation(zs0)
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pl.Explain())
+	fmt.Println()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "R(x,y) ⋈ S(y,z), n=%d tuples per relation, p=%d servers (ideal load 2n/p = %d)\n",
 		n, p, 2*n/p)

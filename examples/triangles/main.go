@@ -1,15 +1,18 @@
 // Triangle counting à la Suri–Vassilvitskii ("Counting triangles and
 // the curse of the last reducer", WWW 2011), one of the works the
-// HyperCube algorithm generalizes. The triangle query C3 is evaluated
-// two ways on the same graph:
+// HyperCube algorithm generalizes. The triangle query C3 is planned by
+// the statistics-driven planner and then evaluated two ways on the
+// same graph:
 //
-//  1. one round of HyperCube shuffle with shares p^{1/3}×p^{1/3}×p^{1/3}
-//     (the paper's optimal one-round algorithm, ε = 1/3), and
-//  2. a two-round Γ^r_ε plan at ε = 0: first the path S1⋈S2, then the
-//     close with S3 — less replication per round, more rounds.
+//  1. the planner's own choice — one round of HyperCube shuffle with
+//     the LP-derived shares p^{1/3}×p^{1/3}×p^{1/3} (ε = 1/3), and
+//  2. the same query planned at ε = 0, where the one-round load blows
+//     the tighter budget and the planner itself falls back to the
+//     two-round Γ^r_0 plan: first the path S1⋈S2, then the close with
+//     S3 — less replication per round, more rounds.
 //
 // Both report the same triangles; the interesting output is the
-// communication profile.
+// communication profile, which the planner's EXPLAIN predicts.
 //
 // Run with:
 //
@@ -23,6 +26,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -41,22 +45,37 @@ func main() {
 	}
 	fmt.Printf("C3 on matching database, n=%d, p=%d; true triangles: %d\n\n", n, p, len(truth))
 
-	// Strategy 1: one round at ε = 1/3.
-	one, err := core.EvaluateOneRound(q, db, p, core.OneRoundOptions{Epsilon: -1, Seed: 99})
+	// The planner chooses strategy 1 on its own: the LP gives share
+	// exponents (1/3,1/3,1/3) and one round fits the ε = 1/3 budget.
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("one-round HyperCube (ε = 1/3, shares %s):\n", one.Shares)
+	fmt.Print(pl.Explain())
+	one, err := pl.Execute(db, plan.ExecOptions{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner choice (%v, shares %s):\n", one.Engine, one.Shares)
 	fmt.Printf("  triangles found: %d\n", len(one.Answers))
 	fmt.Printf("  rounds: %d, max load: %d tuples, replication %.2fx\n\n",
-		one.Stats.NumRounds(), one.Stats.MaxLoadTuples(), one.Stats.Replication(db.InputBits()))
+		one.Rounds, one.Stats.MaxLoadTuples(), one.Stats.Replication(db.InputBits()))
 
-	// Strategy 2: two rounds at ε = 0 (join two edges, then close).
-	multi, err := core.EvaluateMultiRound(q, db, p, big.NewRat(0, 1), core.MultiRoundOptions{Seed: 99})
+	// Tighten the budget to ε = 0: one round would need p^{2/3}-scale
+	// loads, so the planner falls back to the two-round decomposition
+	// (join two edges, then close).
+	pl0, err := plan.Build(q, relation.CollectStats(db), plan.Options{
+		P: p, Epsilon: big.NewRat(0, 1),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("multi-round plan (ε = 0):\n")
+	fmt.Print(pl0.Explain())
+	multi, err := pl0.Execute(db, plan.ExecOptions{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner choice at ε=0 (%v):\n", multi.Engine)
 	fmt.Printf("  triangles found: %d\n", len(multi.Answers))
 	fmt.Printf("  rounds: %d, max load/round: %d tuples, total %.2fx input\n\n",
 		multi.Rounds, multi.Stats.MaxLoadTuples(), multi.Stats.Replication(db.InputBits()))

@@ -1,0 +1,210 @@
+package lp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// This file covers the LP-solver edge cases the planner can feed it:
+// constraint-free programs, the single-relation query LPs, and
+// degenerate packings with non-unique optima. The rat helper lives in
+// lp_test.go.
+
+// TestNoConstraints: with no constraints, a minimization of a
+// non-negative objective sits at the origin; a maximization with a
+// positive coefficient is unbounded.
+func TestNoConstraints(t *testing.T) {
+	min := NewProblem(2, false)
+	min.SetObjective(0, rat(1, 1))
+	min.SetObjective(1, rat(3, 1))
+	sol, err := Solve(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value.Sign() != 0 {
+		t.Fatalf("min over origin: %v value %v", sol.Status, sol.Value)
+	}
+	for i, x := range sol.X {
+		if x.Sign() != 0 {
+			t.Errorf("x%d = %s, want 0", i, x.RatString())
+		}
+	}
+
+	max := NewProblem(1, true)
+	max.SetObjective(0, rat(1, 1))
+	sol, err = Solve(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("unconstrained max: %v, want unbounded", sol.Status)
+	}
+}
+
+// TestZeroObjective: a feasibility-only program (all-zero objective)
+// solves to value 0.
+func TestZeroObjective(t *testing.T) {
+	p := NewProblem(2, true)
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, EQ, rat(5, 1))
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value.Sign() != 0 {
+		t.Fatalf("feasibility program: %v value %v", sol.Status, sol.Value)
+	}
+	sum := new(big.Rat).Add(sol.X[0], sol.X[1])
+	if sum.Cmp(rat(5, 1)) != 0 {
+		t.Errorf("x0+x1 = %s, want 5", sum.RatString())
+	}
+}
+
+// TestSingleRelationLPs: the Figure 1 LPs of the one-atom query
+// R(x1,…,xa). The vertex cover puts total weight 1 on the atom's
+// variables (τ* = 1) and the edge packing gives the atom u = 1 —
+// the degenerate base case the planner hits for single-atom queries.
+func TestSingleRelationLPs(t *testing.T) {
+	for arity := 1; arity <= 4; arity++ {
+		// Vertex cover: minimize Σ v_i s.t. Σ v_i ≥ 1.
+		vc := NewProblem(arity, false)
+		coeffs := make([]*big.Rat, arity)
+		for i := 0; i < arity; i++ {
+			vc.SetObjective(i, rat(1, 1))
+			coeffs[i] = rat(1, 1)
+		}
+		vc.AddConstraint(coeffs, GE, rat(1, 1))
+		sol, err := Solve(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal || sol.Value.Cmp(rat(1, 1)) != 0 {
+			t.Fatalf("arity %d cover: %v value %v", arity, sol.Status, sol.Value)
+		}
+
+		// Edge packing: maximize u s.t. u ≤ 1 per variable.
+		ep := NewProblem(1, true)
+		ep.SetObjective(0, rat(1, 1))
+		for i := 0; i < arity; i++ {
+			ep.AddConstraint([]*big.Rat{rat(1, 1)}, LE, rat(1, 1))
+		}
+		sol, err = Solve(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal || sol.Value.Cmp(rat(1, 1)) != 0 {
+			t.Fatalf("arity %d packing: %v value %v", arity, sol.Status, sol.Value)
+		}
+		if sol.X[0].Cmp(rat(1, 1)) != 0 {
+			t.Errorf("arity %d packing: u = %s, want 1", arity, sol.X[0].RatString())
+		}
+	}
+}
+
+// TestDegeneratePacking: the star query T2's edge-packing LP
+// (maximize u1+u2 s.t. u1+u2 ≤ 1 on the hub, u1 ≤ 1, u2 ≤ 1 on the
+// leaves) has a whole optimal face; Bland's rule must terminate and
+// return one optimal vertex with value exactly 1.
+func TestDegeneratePacking(t *testing.T) {
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(1, 1))
+	p.SetObjective(1, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), rat(1, 1)}, LE, rat(1, 1)) // hub z
+	p.AddConstraint([]*big.Rat{rat(1, 1), nil}, LE, rat(1, 1))       // leaf x1
+	p.AddConstraint([]*big.Rat{nil, rat(1, 1)}, LE, rat(1, 1))       // leaf x2
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value.Cmp(rat(1, 1)) != 0 {
+		t.Fatalf("T2 packing: %v value %v", sol.Status, sol.Value)
+	}
+	sum := new(big.Rat).Add(sol.X[0], sol.X[1])
+	if sum.Cmp(rat(1, 1)) != 0 {
+		t.Errorf("u1+u2 = %s, want exactly 1 on the optimal face", sum.RatString())
+	}
+}
+
+// TestDegenerateEqualityCollapse: equality constraints that pin every
+// variable leave no freedom — the objective is forced.
+func TestDegenerateEqualityCollapse(t *testing.T) {
+	p := NewProblem(2, true)
+	p.SetObjective(0, rat(3, 1))
+	p.SetObjective(1, rat(5, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1), nil}, EQ, rat(2, 1))
+	p.AddConstraint([]*big.Rat{nil, rat(1, 1)}, EQ, rat(7, 2))
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat).Add(rat(6, 1), new(big.Rat).Mul(rat(5, 1), rat(7, 2)))
+	if sol.Status != Optimal || sol.Value.Cmp(want) != 0 {
+		t.Fatalf("pinned program: %v value %v, want %v", sol.Status, sol.Value, want)
+	}
+}
+
+// TestConflictingEqualities: x = 1 and x = 2 is infeasible, not an
+// internal error.
+func TestConflictingEqualities(t *testing.T) {
+	p := NewProblem(1, false)
+	p.SetObjective(0, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1)}, EQ, rat(1, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 1)}, EQ, rat(2, 1))
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("conflicting equalities: %v, want infeasible", sol.Status)
+	}
+}
+
+// TestMalformedPrograms: the "empty query" class — programs a caller
+// could build from a query with no atoms or mismatched dimensions
+// must fail validation, not crash the tableau.
+func TestMalformedPrograms(t *testing.T) {
+	zero := &Problem{NumVars: 0}
+	if _, err := Solve(zero); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NumVars=0: err = %v, want ErrBadProblem", err)
+	}
+	neg := &Problem{NumVars: -3, Objective: []*big.Rat{}}
+	if _, err := Solve(neg); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NumVars<0: err = %v, want ErrBadProblem", err)
+	}
+	short := &Problem{NumVars: 2, Objective: []*big.Rat{rat(1, 1)}}
+	if _, err := Solve(short); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("short objective: err = %v, want ErrBadProblem", err)
+	}
+	badRow := NewProblem(2, false)
+	badRow.Constraints = append(badRow.Constraints, Constraint{
+		Coeffs: []*big.Rat{rat(1, 1)}, Rel: LE, RHS: rat(1, 1),
+	})
+	if _, err := Solve(badRow); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("short constraint row: err = %v, want ErrBadProblem", err)
+	}
+	nilRHS := NewProblem(1, false)
+	nilRHS.Constraints = append(nilRHS.Constraints, Constraint{
+		Coeffs: []*big.Rat{rat(1, 1)}, Rel: LE,
+	})
+	if _, err := Solve(nilRHS); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("nil RHS: err = %v, want ErrBadProblem", err)
+	}
+}
+
+// TestNilCoefficientHandling: nil coefficients are zeros everywhere —
+// objective, constraints, and the String renderer.
+func TestNilCoefficientHandling(t *testing.T) {
+	p := NewProblem(3, false)
+	p.SetObjective(1, rat(1, 1)) // x0, x2 objective nil
+	p.AddConstraint([]*big.Rat{nil, rat(1, 1), nil}, GE, rat(4, 1))
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value.Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("nil-coefficient program: %v value %v", sol.Status, sol.Value)
+	}
+	if s := p.String(); s == "" {
+		t.Error("String must render nil coefficients")
+	}
+}

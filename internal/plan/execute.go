@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hypercube"
+	"repro/internal/localjoin"
+	"repro/internal/mpc"
+	"repro/internal/multiround"
+	"repro/internal/relation"
+	"repro/internal/skew"
+)
+
+// ExecOptions configures Plan.Execute.
+type ExecOptions struct {
+	// Seed drives every hash function of the run.
+	Seed uint64
+	// CapConstant enables receive-budget enforcement in the engine when
+	// positive (c in c·N/p^{1−ε} bits).
+	CapConstant float64
+	// Strategy selects the per-worker local join algorithm; the zero
+	// value is localjoin.Default (the worst-case-optimal join).
+	Strategy localjoin.Strategy
+}
+
+// Result reports a planner-driven execution.
+type Result struct {
+	// Answers is the full answer set in Query.Vars() order, sorted and
+	// deduplicated.
+	Answers []relation.Tuple
+	// Engine is the strategy that actually ran.
+	Engine Engine
+	// Rounds is the number of communication rounds used.
+	Rounds int
+	// Stats is the engine's communication record.
+	Stats *mpc.Stats
+	// CapExceeded reports whether any worker broke the receive budget.
+	CapExceeded bool
+	// Shares is the grid geometry (one-round engine only, nil
+	// otherwise).
+	Shares *hypercube.Shares
+}
+
+// Execute runs the plan's chosen engine on db end to end through the
+// columnar exchange layer and returns the answers in the original
+// query's variable order.
+func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error) {
+	switch p.Engine {
+	case OneRound:
+		return p.executeOneRound(db, opts)
+	case MultiRound:
+		if p.Multi == nil {
+			return nil, fmt.Errorf("plan: multiround engine selected but no Γ^r_ε plan was built")
+		}
+		res, err := multiround.Execute(p.Multi, db, p.P, multiround.Options{
+			CapConstant: opts.CapConstant,
+			Seed:        opts.Seed,
+			Strategy:    opts.Strategy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Answers:     res.Answers,
+			Engine:      MultiRound,
+			Rounds:      res.Rounds,
+			Stats:       res.Stats,
+			CapExceeded: res.CapExceeded,
+		}, nil
+	case SkewJoin:
+		return p.executeSkewJoin(db, opts)
+	default:
+		return nil, fmt.Errorf("plan: unknown engine %v", p.Engine)
+	}
+}
+
+func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result, error) {
+	epsF, _ := p.Epsilon.Float64()
+	res, err := hypercube.RunWithShares(p.Query, db, p.P, p.Shares, hypercube.Options{
+		Epsilon:     epsF,
+		CapConstant: opts.CapConstant,
+		Seed:        opts.Seed,
+		Strategy:    opts.Strategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Answers:     res.Answers,
+		Engine:      OneRound,
+		Rounds:      res.Stats.NumRounds(),
+		Stats:       res.Stats,
+		CapExceeded: res.CapExceeded,
+		Shares:      res.Shares,
+	}, nil
+}
+
+// executeSkewJoin maps the query onto the canonical R(x,y) ⋈ S(y,z)
+// shape, runs the resilient heavy-hitter discipline, and maps the
+// (x,y,z) answers back into Query.Vars() order.
+func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result, error) {
+	m := p.SkewMap
+	if m == nil {
+		return nil, fmt.Errorf("plan: skew engine selected but query %s is not a two-atom binary join", p.Query.Name)
+	}
+	relR, ok := db.Relation(m.R)
+	if !ok {
+		return nil, fmt.Errorf("plan: database missing relation %s", m.R)
+	}
+	relS, ok := db.Relation(m.S)
+	if !ok {
+		return nil, fmt.Errorf("plan: database missing relation %s", m.S)
+	}
+	r := remapBinary(relR, "R", []string{"x", "y"}, 1-m.RY, m.RY)
+	s := remapBinary(relS, "S", []string{"y", "z"}, m.SY, 1-m.SY)
+	res, err := skew.RunJoin(r, s, p.P, skew.Resilient, skew.Options{
+		Seed:        opts.Seed,
+		CapConstant: opts.CapConstant,
+		HeavyFactor: p.heavyFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// res.Answers are (x,y,z); project into Query.Vars() order.
+	roleOf := map[string]int{m.XVar: 0, m.YVar: 1, m.ZVar: 2}
+	vars := p.Query.Vars()
+	answers := make([]relation.Tuple, len(res.Answers))
+	for i, t := range res.Answers {
+		row := make(relation.Tuple, len(vars))
+		for j, v := range vars {
+			row[j] = t[roleOf[v]]
+		}
+		answers[i] = row
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].Less(answers[j]) })
+	return &Result{
+		Answers:     answers,
+		Engine:      SkewJoin,
+		Rounds:      res.Stats.NumRounds(),
+		Stats:       res.Stats,
+		CapExceeded: res.CapExceeded,
+	}, nil
+}
+
+// remapBinary returns a column-reordered copy of a binary relation
+// under a new name and schema: position 0 of the output reads input
+// column c0, position 1 reads c1.
+func remapBinary(src *relation.Relation, name string, attrs []string, c0, c1 int) *relation.Relation {
+	out := relation.New(name, attrs...)
+	out.Tuples = make([]relation.Tuple, len(src.Tuples))
+	for i, t := range src.Tuples {
+		out.Tuples[i] = relation.Tuple{t[c0], t[c1]}
+	}
+	return out
+}
+
+// WithShares returns a copy of the plan forced onto the one-round
+// engine with the given integer shares — the cmd/mpcrun -plan manual
+// override. Cost estimates are recomputed for the new grid.
+func (p *Plan) WithShares(shares *hypercube.Shares) (*Plan, error) {
+	if shares.GridSize() > p.P {
+		return nil, fmt.Errorf("plan: manual grid %d exceeds %d servers", shares.GridSize(), p.P)
+	}
+	for _, v := range p.Query.Vars() {
+		if shares.DimOf(v) < 0 {
+			return nil, fmt.Errorf("plan: manual shares missing variable %s", v)
+		}
+	}
+	out := *p
+	out.Shares = shares
+	out.SizeAware = false
+	uniform, skewLoad := oneRoundLoad(p.Query, p.Stats, shares)
+	comm, err := hypercube.CommunicationCost(p.Query, shares, p.Stats.Sizes())
+	if err != nil {
+		return nil, err
+	}
+	out.UniformLoad, out.SkewLoad = uniform, skewLoad
+	out.OneRoundCost = CostEstimate{
+		LoadTuples: math.Max(uniform, skewLoad),
+		CommTuples: comm,
+		Rounds:     1,
+	}
+	out.Engine = OneRound
+	out.Cost = out.OneRoundCost
+	out.Reason = "manual share override (-plan)"
+	out.manualShares = true
+	return &out, nil
+}
+
+// WithEngine returns a copy of the plan forced onto the given engine —
+// the cmd/mpcrun -plan manual override. It errors when the plan lacks
+// what the engine needs (no Γ^r_ε decomposition, or not the two-atom
+// join shape).
+func (p *Plan) WithEngine(e Engine) (*Plan, error) {
+	out := *p
+	out.Engine = e
+	out.Reason = "manual engine override (-plan)"
+	switch e {
+	case OneRound:
+		out.Cost = p.OneRoundCost
+	case MultiRound:
+		if p.Multi == nil {
+			return nil, fmt.Errorf("plan: no multiround decomposition of %s at ε=%s",
+				p.Query.Name, p.Epsilon.RatString())
+		}
+		out.Cost = *p.MultiCost
+	case SkewJoin:
+		if p.SkewMap == nil {
+			return nil, fmt.Errorf("plan: query %s is not a two-atom binary join", p.Query.Name)
+		}
+		out.Cost = CostEstimate{
+			LoadTuples: skewJoinLoad(p),
+			CommTuples: p.OneRoundCost.CommTuples,
+			Rounds:     1,
+		}
+	default:
+		return nil, fmt.Errorf("plan: unknown engine %v", e)
+	}
+	return &out, nil
+}

@@ -3,6 +3,8 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // This file builds the running-example query families of Table 1 and
@@ -118,3 +120,65 @@ func CartesianPair() *Query {
 }
 
 func varX(i int) string { return fmt.Sprintf("x%d", i) }
+
+// ParseFamily resolves a family label into its query: L<k> (chain),
+// C<k> (cycle), T<k> (star), SP<k> (spoked wheel), B<k>_<m>
+// (binomial). It is the shared flag parser of cmd/mpcplan and
+// cmd/mpcrun, returning errors (never panicking) on malformed labels
+// or out-of-range parameters.
+func ParseFamily(s string) (*Query, error) {
+	switch {
+	case strings.HasPrefix(s, "SP"):
+		k, err := strconv.Atoi(s[2:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("family %q: need k >= 1", s)
+		}
+		return SpokedWheel(k), nil
+	case strings.HasPrefix(s, "B"):
+		parts := strings.SplitN(s[1:], "_", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("family %q: want B<k>_<m>", s)
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("family %q: bad numbers", s)
+		}
+		if m < 1 || m > k {
+			return nil, fmt.Errorf("family %q: need 1 <= m <= k", s)
+		}
+		return Binom(k, m), nil
+	case strings.HasPrefix(s, "L"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("family %q: need k >= 1", s)
+		}
+		return Chain(k), nil
+	case strings.HasPrefix(s, "C"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		if k < 2 {
+			return nil, fmt.Errorf("family %q: need k >= 2", s)
+		}
+		return Cycle(k), nil
+	case strings.HasPrefix(s, "T"):
+		k, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("family %q: %v", s, err)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("family %q: need k >= 1", s)
+		}
+		return Star(k), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q (want L<k>, C<k>, T<k>, SP<k>, B<k>_<m>)", s)
+	}
+}

@@ -1,0 +1,46 @@
+package query
+
+import "testing"
+
+func TestParseFamily(t *testing.T) {
+	cases := []struct {
+		in        string
+		atoms     int
+		wantError bool
+	}{
+		{"L5", 5, false},
+		{"C4", 4, false},
+		{"T3", 3, false},
+		{"SP2", 4, false},
+		{"B4_2", 6, false},
+		{"X9", 0, true},
+		{"L", 0, true},
+		{"L0", 0, true},
+		{"C1", 0, true},
+		{"T0", 0, true},
+		{"SP0", 0, true},
+		{"B4", 0, true},
+		{"B2_3", 0, true},
+		{"Bx_y", 0, true},
+		{"SPx", 0, true},
+		{"Cx", 0, true},
+		{"Tx", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		q, err := ParseFamily(c.in)
+		if c.wantError {
+			if err == nil {
+				t.Errorf("ParseFamily(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFamily(%q): %v", c.in, err)
+			continue
+		}
+		if q.NumAtoms() != c.atoms {
+			t.Errorf("ParseFamily(%q): %d atoms, want %d", c.in, q.NumAtoms(), c.atoms)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StatsTopK bounds how many of the most frequent values per column a
+// collected ColumnStats retains. The planner only ever compares the
+// head of the frequency distribution against a heavy-hitter threshold
+// of order |R|/p, so a small constant suffices: any value outside the
+// top StatsTopK has frequency at most MaxFreq and at most |R|/StatsTopK
+// of the column, which the planner accounts for via MaxFreq alone.
+const StatsTopK = 16
+
+// ValueCount pairs a domain value with its number of occurrences in
+// one column.
+type ValueCount struct {
+	// Value is the domain value.
+	Value int
+	// Count is its frequency in the column.
+	Count int
+}
+
+// ColumnStats summarizes the value distribution of one relation column.
+// It is what the paper's Section 2.4 allows an input server to compute
+// over its own relation before the first communication round: counts,
+// not data.
+type ColumnStats struct {
+	// Distinct is the number of distinct values in the column.
+	Distinct int
+	// MaxFreq is the frequency of the most common value (1 on a
+	// matching, where every column is a permutation).
+	MaxFreq int
+	// Top lists the most frequent values, descending by count (ties
+	// broken by smaller value), capped at StatsTopK entries.
+	Top []ValueCount
+}
+
+// RelationStats is the planner-facing summary of one relation:
+// cardinality plus per-column value distributions.
+type RelationStats struct {
+	// Name is the relation symbol.
+	Name string
+	// Count is the relation's cardinality |R|.
+	Count int
+	// Attrs names the columns, aligned with Cols.
+	Attrs []string
+	// Cols holds one ColumnStats per column, in schema order.
+	Cols []*ColumnStats
+}
+
+// Col returns the stats of the column at position i, or nil when out of
+// range.
+func (rs *RelationStats) Col(i int) *ColumnStats {
+	if i < 0 || i >= len(rs.Cols) {
+		return nil
+	}
+	return rs.Cols[i]
+}
+
+// ColByName returns the stats of the named column, or nil.
+func (rs *RelationStats) ColByName(attr string) *ColumnStats {
+	for i, a := range rs.Attrs {
+		if a == attr {
+			return rs.Cols[i]
+		}
+	}
+	return nil
+}
+
+// String renders a one-line summary: |R|=n plus each column's max
+// frequency when it exceeds 1 (matching columns are omitted as noise).
+func (rs *RelationStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "|%s|=%d", rs.Name, rs.Count)
+	for i, c := range rs.Cols {
+		if c.MaxFreq > 1 {
+			fmt.Fprintf(&sb, " maxfreq(%s)=%d", rs.Attrs[i], c.MaxFreq)
+		}
+	}
+	return sb.String()
+}
+
+// CollectRelationStats scans one relation and returns its summary. The
+// scan is a single pass per column over a frequency map, O(|R|·arity).
+func CollectRelationStats(r *Relation) *RelationStats {
+	rs := &RelationStats{
+		Name:  r.Name,
+		Count: len(r.Tuples),
+		Attrs: append([]string(nil), r.Attrs...),
+		Cols:  make([]*ColumnStats, r.Arity()),
+	}
+	for col := 0; col < r.Arity(); col++ {
+		freq := make(map[int]int)
+		for _, t := range r.Tuples {
+			freq[t[col]]++
+		}
+		cs := &ColumnStats{Distinct: len(freq)}
+		top := make([]ValueCount, 0, len(freq))
+		for v, c := range freq {
+			if c > cs.MaxFreq {
+				cs.MaxFreq = c
+			}
+			top = append(top, ValueCount{Value: v, Count: c})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Count != top[j].Count {
+				return top[i].Count > top[j].Count
+			}
+			return top[i].Value < top[j].Value
+		})
+		if len(top) > StatsTopK {
+			top = top[:StatsTopK]
+		}
+		cs.Top = append([]ValueCount(nil), top...)
+		rs.Cols[col] = cs
+	}
+	return rs
+}
+
+// Stats is a database-wide statistics catalog keyed by relation name —
+// the planner's input alongside the query itself.
+type Stats struct {
+	// Relations maps relation name → collected summary.
+	Relations map[string]*RelationStats
+}
+
+// CollectStats scans every relation of the database. In the MPC model
+// this is legal "free" preprocessing: each input server computes
+// statistics over its own relation only (Section 2.4) and the Θ(p)
+// numbers exchanged are negligible against the Ω(n) data.
+func CollectStats(db *Database) *Stats {
+	s := &Stats{Relations: make(map[string]*RelationStats, len(db.Relations))}
+	for _, name := range db.Names() {
+		r, _ := db.Relation(name)
+		s.Relations[name] = CollectRelationStats(r)
+	}
+	return s
+}
+
+// Relation returns the summary of the named relation, or nil.
+func (s *Stats) Relation(name string) *RelationStats {
+	if s == nil {
+		return nil
+	}
+	return s.Relations[name]
+}
+
+// Size returns the cardinality of the named relation and whether it is
+// known.
+func (s *Stats) Size(name string) (int, bool) {
+	rs := s.Relation(name)
+	if rs == nil {
+		return 0, false
+	}
+	return rs.Count, true
+}
+
+// Sizes returns a name → cardinality map (the shape the hypercube
+// share optimizer consumes).
+func (s *Stats) Sizes() map[string]int {
+	out := make(map[string]int, len(s.Relations))
+	for name, rs := range s.Relations {
+		out[name] = rs.Count
+	}
+	return out
+}
+
+// TotalTuples returns the summed cardinality Σ_j |S_j|.
+func (s *Stats) TotalTuples() int {
+	total := 0
+	for _, rs := range s.Relations {
+		total += rs.Count
+	}
+	return total
+}
+
+// MaxCount returns the largest relation cardinality (the n of the
+// paper's per-relation bounds), or 0 for an empty catalog.
+func (s *Stats) MaxCount() int {
+	max := 0
+	for _, rs := range s.Relations {
+		if rs.Count > max {
+			max = rs.Count
+		}
+	}
+	return max
+}

@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestCollectRelationStatsBasics(t *testing.T) {
+	r := New("R", "x", "y")
+	// x: 1×3, 2×2, 3×1; y: all distinct.
+	for i, x := range []int{1, 1, 1, 2, 2, 3} {
+		r.MustAdd(Tuple{x, 10 + i})
+	}
+	rs := CollectRelationStats(r)
+	if rs.Name != "R" || rs.Count != 6 {
+		t.Fatalf("got name=%s count=%d", rs.Name, rs.Count)
+	}
+	cx := rs.ColByName("x")
+	if cx == nil {
+		t.Fatal("no stats for column x")
+	}
+	if cx.Distinct != 3 || cx.MaxFreq != 3 {
+		t.Errorf("x: distinct=%d maxfreq=%d, want 3, 3", cx.Distinct, cx.MaxFreq)
+	}
+	want := []ValueCount{{1, 3}, {2, 2}, {3, 1}}
+	if len(cx.Top) != len(want) {
+		t.Fatalf("x top = %v", cx.Top)
+	}
+	for i, w := range want {
+		if cx.Top[i] != w {
+			t.Errorf("x top[%d] = %v, want %v", i, cx.Top[i], w)
+		}
+	}
+	cy := rs.Col(1)
+	if cy.Distinct != 6 || cy.MaxFreq != 1 {
+		t.Errorf("y: distinct=%d maxfreq=%d, want 6, 1", cy.Distinct, cy.MaxFreq)
+	}
+	if rs.Col(2) != nil || rs.Col(-1) != nil || rs.ColByName("nope") != nil {
+		t.Error("out-of-range column lookups must return nil")
+	}
+}
+
+func TestStatsTopKCap(t *testing.T) {
+	r := New("R", "x")
+	for v := 1; v <= 3*StatsTopK; v++ {
+		for i := 0; i < v; i++ { // value v appears v times
+			r.MustAdd(Tuple{v})
+		}
+	}
+	rs := CollectRelationStats(r)
+	cs := rs.Col(0)
+	if len(cs.Top) != StatsTopK {
+		t.Fatalf("top has %d entries, want cap %d", len(cs.Top), StatsTopK)
+	}
+	// The cap keeps the most frequent values.
+	if cs.Top[0].Value != 3*StatsTopK || cs.Top[0].Count != 3*StatsTopK {
+		t.Errorf("top[0] = %v", cs.Top[0])
+	}
+	if cs.MaxFreq != 3*StatsTopK || cs.Distinct != 3*StatsTopK {
+		t.Errorf("maxfreq=%d distinct=%d", cs.MaxFreq, cs.Distinct)
+	}
+}
+
+func TestCollectStatsOnMatchingDatabase(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	r := Matching(rng, "R", []string{"x", "y"}, 200)
+	s := Matching(rng, "S", []string{"y", "z"}, 200)
+	db := NewDatabase(200)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	st := CollectStats(db)
+	if st.TotalTuples() != 400 || st.MaxCount() != 200 {
+		t.Fatalf("total=%d max=%d", st.TotalTuples(), st.MaxCount())
+	}
+	for _, name := range []string{"R", "S"} {
+		rs := st.Relation(name)
+		if rs == nil {
+			t.Fatalf("missing stats for %s", name)
+		}
+		if n, ok := st.Size(name); !ok || n != 200 {
+			t.Errorf("Size(%s) = %d, %v", name, n, ok)
+		}
+		for i := range rs.Cols {
+			if rs.Cols[i].MaxFreq != 1 || rs.Cols[i].Distinct != 200 {
+				t.Errorf("%s col %d: matching columns are permutations, got %+v", name, i, rs.Cols[i])
+			}
+		}
+	}
+	if st.Relation("nope") != nil {
+		t.Error("unknown relation must yield nil stats")
+	}
+	if _, ok := st.Size("nope"); ok {
+		t.Error("unknown relation must report !ok")
+	}
+	sizes := st.Sizes()
+	if sizes["R"] != 200 || sizes["S"] != 200 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
