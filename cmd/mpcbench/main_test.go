@@ -1,27 +1,140 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunSelections(t *testing.T) {
 	// Small sizes keep this fast; each selection must succeed.
-	if err := run(1, 0, "", false, 100, 1, 2); err != nil {
+	if err := run(1, 0, "", false, 100, 1, 2, "", "", 0.25); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 0, "", false, 100, 1, 2); err != nil {
+	if err := run(2, 0, "", false, 100, 1, 2, "", "", 0.25); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 1, "", false, 100, 1, 2); err != nil {
+	if err := run(0, 1, "", false, 100, 1, 2, "", "", 0.25); err != nil {
 		t.Fatal(err)
 	}
 	for _, exp := range []string{"rounds", "round-bounds", "opt-shares", "friedgut"} {
-		if err := run(0, 0, exp, false, 100, 1, 2); err != nil {
+		if err := run(0, 0, exp, false, 100, 1, 2, "", "", 0.25); err != nil {
 			t.Fatalf("experiment %s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunNothingSelected(t *testing.T) {
-	if err := run(0, 0, "", false, 100, 1, 2); err == nil {
+	if err := run(0, 0, "", false, 100, 1, 2, "", "", 0.25); err == nil {
 		t.Error("want error when nothing is selected")
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	report := &BenchReport{
+		Schema:             benchSchema,
+		GoVersion:          "go1.22",
+		CalibrationNsPerOp: 100,
+		Benchmarks: []BenchRecord{
+			{Name: "a", NsPerOp: 500, Normalized: 5, Iterations: 10},
+			{Name: "b", NsPerOp: 1000, Normalized: 10, Iterations: 5},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != report.Schema || len(got.Benchmarks) != 2 || got.Benchmarks[1].Normalized != 10 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	base := &BenchReport{Schema: benchSchema, Benchmarks: []BenchRecord{
+		{Name: "steady", Normalized: 10},
+		{Name: "regressing", Normalized: 10},
+		{Name: "removed", Normalized: 3},
+	}}
+	// Within budget: 20% slower on one benchmark passes a 25% gate.
+	cur := &BenchReport{Schema: benchSchema, Benchmarks: []BenchRecord{
+		{Name: "steady", Normalized: 10},
+		{Name: "regressing", Normalized: 12},
+		{Name: "brand-new", Normalized: 1},
+	}}
+	var buf bytes.Buffer
+	if err := compareBenchReports(&buf, base, cur, 0.25); err != nil {
+		t.Fatalf("within-budget comparison failed: %v\n%s", err, buf.String())
+	}
+	for _, needle := range []string{"NEW", "GONE"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Errorf("comparison output missing %q:\n%s", needle, buf.String())
+		}
+	}
+
+	// Over budget: 30% slower fails and names the benchmark.
+	cur.Benchmarks[1].Normalized = 13
+	buf.Reset()
+	err := compareBenchReports(&buf, base, cur, 0.25)
+	if err == nil {
+		t.Fatal("30%% regression passed a 25%% gate")
+	}
+	if !strings.Contains(err.Error(), "regressing") {
+		t.Errorf("gate error does not name the regressed benchmark: %v", err)
+	}
+
+	// Schema mismatch refuses to compare.
+	bad := &BenchReport{Schema: benchSchema + 1}
+	if err := compareBenchReports(&buf, bad, cur, 0.25); err == nil {
+		t.Error("schema mismatch passed")
+	}
+}
+
+// TestBenchSuiteAgainstCheckedInBaseline is the CI regression gate in
+// miniature: the suite must run, produce a well-formed report, and the
+// checked-in baseline must be loadable and schema-compatible. The
+// actual >25% gate runs in CI's bench job where timings are measured
+// at full benchtime; here the measurements are shrunk to a fraction of
+// a second each (timings are meaningless under -race anyway) and the
+// comparison runs with an effectively-open budget so shared test
+// runners cannot flake this test.
+func TestBenchSuiteAgainstCheckedInBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite is slow")
+	}
+	// Shrink every testing.Benchmark measurement for the duration of
+	// this test; the dedicated bench job measures at the default 1s.
+	if err := flag.Set("test.benchtime", "10ms"); err != nil {
+		t.Fatalf("cannot shrink benchtime: %v", err)
+	}
+	defer func() { _ = flag.Set("test.benchtime", "1s") }()
+	var buf bytes.Buffer
+	report, err := runBenchSuite(&buf, 2013)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) < 5 || report.CalibrationNsPerOp <= 0 {
+		t.Fatalf("suspicious report: %+v", report)
+	}
+	for _, b := range report.Benchmarks {
+		if b.NsPerOp <= 0 || b.Normalized <= 0 {
+			t.Errorf("benchmark %s has non-positive timing: %+v", b.Name, b)
+		}
+	}
+	if _, err := os.Stat("../../bench_baseline.json"); err != nil {
+		t.Fatalf("checked-in baseline missing: %v", err)
+	}
+	base, err := readBenchJSON("../../bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBenchReports(&buf, base, report, 1e9); err != nil {
+		t.Fatalf("comparison against checked-in baseline failed: %v", err)
 	}
 }

@@ -46,6 +46,12 @@ func main() {
 }
 
 func run(queryStr, familyStr, epsStr string, p, n int) error {
+	if p < 1 {
+		return fmt.Errorf("-p = %d, need ≥ 1", p)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n = %d, need ≥ 1", n)
+	}
 	q, err := resolveQuery(queryStr, familyStr)
 	if err != nil {
 		return err

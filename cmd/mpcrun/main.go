@@ -63,6 +63,12 @@ func main() {
 }
 
 func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr string) error {
+	if p < 1 {
+		return fmt.Errorf("-p = %d, need ≥ 1", p)
+	}
+	if dataStr == "" && n < 1 {
+		return fmt.Errorf("-n = %d, need ≥ 1", n)
+	}
 	q, err := resolveQuery(queryStr, familyStr)
 	if err != nil {
 		return err

@@ -137,3 +137,32 @@ func TestParseShares(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFlagValidation checks the hard rejections: non-positive -p
+// and -n, empty queries, and unknown engine names must produce a clear
+// error (the CLI turns it into a non-zero exit), never a panic or a
+// silent default.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"p zero", func() error { return run("", "C3", 100, 0, "auto", "", 1, 0, 0, "", "") }},
+		{"p negative", func() error { return run("", "C3", 100, -4, "one", "", 1, 0, 0, "", "") }},
+		{"n zero", func() error { return run("", "C3", 0, 8, "auto", "", 1, 0, 0, "", "") }},
+		{"empty query", func() error { return run("", "", 100, 8, "auto", "", 1, 0, 0, "", "") }},
+		{"both query and family", func() error { return run("R(x,y)", "C3", 100, 8, "auto", "", 1, 0, 0, "", "") }},
+		{"unparsable query", func() error { return run("R(x,", "", 100, 8, "auto", "", 1, 0, 0, "", "") }},
+		{"unknown family", func() error { return run("", "Q9", 100, 8, "auto", "", 1, 0, 0, "", "") }},
+		{"unknown mode", func() error { return run("", "C3", 100, 8, "warp", "", 1, 0, 0, "", "") }},
+		{"unknown plan engine", func() error { return run("", "C3", 100, 8, "auto", "", 1, 0, 0, "", "engine=warp") }},
+		{"bad eps", func() error { return run("", "C3", 100, 8, "auto", "2", 1, 0, 0, "", "") }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.err(); err == nil {
+				t.Errorf("want error, got nil")
+			}
+		})
+	}
+}

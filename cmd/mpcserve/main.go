@@ -1,0 +1,218 @@
+// Command mpcserve runs the long-running multi-query MPC(ε) service:
+// an HTTP/JSON front end (internal/serve) over the statistics-driven
+// planner and the columnar exchange engines. Datasets are loaded once
+// and kept resident; compiled plans and collected statistics are
+// cached across requests; a bounded worker pool admission-controls
+// concurrent executions under a global predicted-load budget.
+//
+// Usage:
+//
+//	mpcserve -addr :8377 -gen 'tri:family=C3,n=10000,seed=1'
+//	mpcserve -dataset 'edges:R=r.csv,S=s.csv' -p 64 -max-concurrent 128
+//
+// Endpoints:
+//
+//	POST /query     {"dataset":"tri","family":"C3"}          answers + EXPLAIN + round stats
+//	GET  /datasets                                           registry listing
+//	POST /datasets  {"name":"d2","generator":{"family":"C3","n":1000}}
+//	GET  /healthz                                            liveness + Prometheus metrics
+//
+// The -dataset flag (repeatable) preloads CSV relations:
+// 'name:R=file.csv,S=file.csv'. The -gen flag (repeatable) preloads a
+// synthetic dataset: 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]'
+// (use query=… instead of family=… for ad-hoc shapes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+)
+
+// repeatableFlag collects repeated string flag occurrences.
+type repeatableFlag []string
+
+// String renders the flag value for -help.
+func (r *repeatableFlag) String() string { return strings.Join(*r, " ") }
+
+// Set appends one occurrence.
+func (r *repeatableFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8377", "listen address")
+		p       = flag.Int("p", 64, "default number of servers per query")
+		maxP    = flag.Int("max-p", 1024, "largest accepted per-query p")
+		capC    = flag.Float64("cap", 0, "planner budget constant c in c·N/p^{1−ε} (0: planner default)")
+		workers = flag.Int("max-concurrent", 128, "admission gate: max in-flight query executions")
+		budget  = flag.Int64("load-budget", 0, "admission gate: global predicted-load budget in tuples (0: unbounded)")
+		cache   = flag.Int("cache", 128, "plan cache capacity (compiled plans)")
+		answers = flag.Int("max-answers", 100, "default per-response answer cap")
+		datas   repeatableFlag
+		gens    repeatableFlag
+	)
+	flag.Var(&datas, "dataset", "preload CSV dataset 'name:R=file.csv,S=file.csv' (repeatable)")
+	flag.Var(&gens, "gen", "preload generated dataset 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]' (repeatable)")
+	flag.Parse()
+	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, datas, gens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcserve:", err)
+		os.Exit(1)
+	}
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "mpcserve: empty -addr")
+		os.Exit(1)
+	}
+	fmt.Printf("mpcserve listening on %s (datasets: %s)\n", *addr, strings.Join(srv.Registry().Names(), ", "))
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcserve:", err)
+		os.Exit(1)
+	}
+}
+
+// build validates the flags and assembles the server with all
+// preloaded datasets. It is main without the listener, so tests can
+// drive it.
+func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, datas, gens []string) (*serve.Server, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("-p = %d, need ≥ 1", p)
+	}
+	if maxP < p {
+		return nil, fmt.Errorf("-max-p = %d smaller than -p = %d", maxP, p)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("-max-concurrent = %d, need ≥ 1", workers)
+	}
+	if cache < 1 {
+		return nil, fmt.Errorf("-cache = %d, need ≥ 1", cache)
+	}
+	srv := serve.New(serve.Config{
+		DefaultP:         p,
+		MaxP:             maxP,
+		CapFactor:        capC,
+		MaxConcurrent:    workers,
+		LoadBudgetTuples: budget,
+		CacheSize:        cache,
+		MaxAnswers:       answers,
+	})
+	for _, spec := range datas {
+		name, db, err := loadCSVDataset(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-dataset %q: %w", spec, err)
+		}
+		if _, err := srv.Registry().Add(name, db); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range gens {
+		name, db, err := generateDataset(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-gen %q: %w", spec, err)
+		}
+		if _, err := srv.Registry().Add(name, db); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// loadCSVDataset parses 'name:R=file.csv,S=file.csv' and loads every
+// file.
+func loadCSVDataset(spec string) (string, *relation.Database, error) {
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || rest == "" {
+		return "", nil, fmt.Errorf("want 'name:R=file.csv,…'")
+	}
+	csvs := map[string]string{}
+	for _, pair := range strings.Split(rest, ",") {
+		rel, path, ok := strings.Cut(pair, "=")
+		if !ok || rel == "" || path == "" {
+			return "", nil, fmt.Errorf("bad relation entry %q (want R=file.csv)", pair)
+		}
+		text, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			return "", nil, err
+		}
+		csvs[strings.TrimSpace(rel)] = string(text)
+	}
+	db, err := serve.DatabaseFromCSV(csvs)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, db, nil
+}
+
+// generateDataset parses 'name:family=C3,n=10000,…' into a
+// serve.GeneratorSpec and runs it.
+func generateDataset(spec string) (string, *relation.Database, error) {
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || rest == "" {
+		return "", nil, fmt.Errorf("want 'name:family=C3,n=10000,…'")
+	}
+	gs := serve.GeneratorSpec{}
+	for _, pair := range splitTopLevel(rest) {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("bad generator entry %q (want key=value)", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "family":
+			gs.Family = val
+		case "query":
+			gs.Query = val
+		case "n":
+			gs.N, err = strconv.Atoi(val)
+		case "seed":
+			gs.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "kind":
+			gs.Kind = val
+		case "skew":
+			gs.Skew, err = strconv.ParseFloat(val, 64)
+		default:
+			return "", nil, fmt.Errorf("unknown generator key %q (want family, query, n, seed, kind or skew)", key)
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("bad generator value %q: %v", pair, err)
+		}
+	}
+	db, err := serve.Generate(gs)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, db, nil
+}
+
+// splitTopLevel splits a generator spec on commas into key=value
+// entries, re-attaching pieces that do not start a new key — so query
+// text like query=R(x,y),S(y,z) stays one entry even though its atoms
+// are comma-separated.
+func splitTopLevel(s string) []string {
+	var out []string
+	for _, piece := range strings.Split(s, ",") {
+		if len(out) > 0 && !startsKeyValue(piece) {
+			out[len(out)-1] += "," + piece
+			continue
+		}
+		out = append(out, piece)
+	}
+	return out
+}
+
+// startsKeyValue reports whether the piece begins with a key= prefix
+// (an '=' appearing before any parenthesis).
+func startsKeyValue(piece string) bool {
+	eq := strings.Index(piece, "=")
+	paren := strings.Index(piece, "(")
+	return eq > 0 && (paren < 0 || eq < paren)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"p zero", func() error { _, err := build(0, 1024, 0, 8, 0, 8, 10, nil, nil); return err }},
+		{"p negative", func() error { _, err := build(-2, 1024, 0, 8, 0, 8, 10, nil, nil); return err }},
+		{"max-p below p", func() error { _, err := build(64, 8, 0, 8, 0, 8, 10, nil, nil); return err }},
+		{"no workers", func() error { _, err := build(8, 64, 0, 0, 0, 8, 10, nil, nil); return err }},
+		{"no cache", func() error { _, err := build(8, 64, 0, 8, 0, 0, 10, nil, nil); return err }},
+		{"bad dataset spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, []string{"noname"}, nil); return err }},
+		{"missing csv file", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, []string{"d:R=/does/not/exist.csv"}, nil)
+			return err
+		}},
+		{"bad gen spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, nil, []string{"tri"}); return err }},
+		{"gen unknown key", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, nil, []string{"tri:warp=1"}); return err }},
+		{"gen zero n", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, nil, []string{"tri:family=C3,n=0"}); return err }},
+		{"gen unknown kind", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, nil, []string{"tri:family=C3,n=10,kind=warp"})
+			return err
+		}},
+		{"duplicate dataset name", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, nil,
+				[]string{"tri:family=C3,n=10", "tri:family=C3,n=20"})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.err(); err == nil {
+				t.Errorf("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestBuildPreloadsAndServes(t *testing.T) {
+	// One generated dataset plus one loaded from a CSV file on disk.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(path, []byte("x,y\n1,2\n2,3\n3,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := build(8, 64, 0, 8, 0, 8, 10,
+		[]string{"edges:R=" + path},
+		[]string{"tri:family=C3,n=50,seed=3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := srv.Registry().Names()
+	if len(names) != 2 || names[0] != "edges" || names[1] != "tri" {
+		t.Fatalf("registry names = %v", names)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// L2 joins two of the matchings: exactly n answers, always.
+	body, _ := json.Marshal(serve.QueryRequest{Dataset: "tri", Family: "L2"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: status %d", resp.StatusCode)
+	}
+	var out serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.AnswerCount != 50 || out.Engine == "" {
+		t.Fatalf("want 50 answers and an engine, got: %+v", out)
+	}
+}
+
+func TestGenerateDatasetZipf(t *testing.T) {
+	name, db, err := generateDataset("skewed:query=R(x,y),S(y,z),n=200,seed=2,kind=zipf,skew=1.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "skewed" {
+		t.Fatalf("name = %q", name)
+	}
+	r, ok := db.Relation("R")
+	if !ok || r.Size() != 200 {
+		t.Fatalf("R missing or wrong size")
+	}
+}

@@ -241,6 +241,15 @@ func (s *Stats) Replication(inputBits int64) float64 {
 }
 
 // Cluster is a running MPC(ε) simulation.
+//
+// A Cluster owns all of its mutable state — workers, columnar stores,
+// round statistics — and shares nothing with other Clusters, so
+// independent simulations may run concurrently (every engine builds a
+// fresh Cluster per execution; the serving layer's concurrent query
+// executions rely on this isolation). One Cluster's methods are not
+// themselves safe for concurrent use: rounds are driven by a single
+// caller, while the per-worker concurrency happens inside RunRound
+// and ScatterPart.
 type Cluster struct {
 	cfg     Config
 	workers []*Worker

@@ -46,6 +46,11 @@ type Result struct {
 // Execute runs the plan's chosen engine on db end to end through the
 // columnar exchange layer and returns the answers in the original
 // query's variable order.
+//
+// Execute is safe for concurrent use: it treats both the plan and db
+// as read-only and allocates per-call state (cluster, hash functions,
+// buffers), so many executions — of the same plan or of different
+// plans over a shared database — may run in parallel.
 func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error) {
 	switch p.Engine {
 	case OneRound:

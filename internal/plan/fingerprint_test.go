@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	q := query.Triangle()
+	k1 := CacheKey{Query: q, Dataset: "d", Opts: Options{P: 64}}
+	k2 := CacheKey{Query: q, Dataset: "d", Opts: Options{P: 64}}
+	if k1.Fingerprint() != k2.Fingerprint() {
+		t.Fatalf("equal keys fingerprint differently: %s vs %s", k1.Fingerprint(), k2.Fingerprint())
+	}
+	variants := []CacheKey{
+		{Query: q, Dataset: "other", Opts: Options{P: 64}},
+		{Query: q, Dataset: "d", Opts: Options{P: 32}},
+		{Query: q, Dataset: "d", Opts: Options{P: 64, Epsilon: big.NewRat(1, 2)}},
+		{Query: q, Dataset: "d", Opts: Options{P: 64, CapFactor: 4}},
+		{Query: query.Chain(3), Dataset: "d", Opts: Options{P: 64}},
+	}
+	for _, v := range variants {
+		if v.Fingerprint() == k1.Fingerprint() {
+			t.Errorf("distinct key %q collides with %q", v, k1)
+		}
+	}
+}
+
+func TestPlanFingerprintMatchesRebuild(t *testing.T) {
+	q := query.Triangle()
+	stats := MatchingStats(q, 1000)
+	p1, err := Build(q, stats, Options{P: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(q, stats, Options{P: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatalf("identical builds fingerprint differently")
+	}
+	p3, err := Build(q, stats, Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Fingerprint() == p1.Fingerprint() {
+		t.Fatalf("p=16 plan collides with p=64 plan")
+	}
+}
+
+// TestConcurrentExecuteSharedPlan is the concurrency contract of the
+// Plan type: one compiled plan executed from many goroutines over one
+// shared database must race-free produce the ground truth every time
+// (run under -race in CI).
+func TestConcurrentExecuteSharedPlan(t *testing.T) {
+	q := query.Triangle()
+	rng := rand.New(rand.NewPCG(7, 0))
+	db := relation.MatchingDatabase(rng, q, 300)
+	pl, err := Build(q, relation.CollectStats(db), Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := core.GroundTruth(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	counts := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := pl.Execute(db, ExecOptions{Seed: uint64(g + 1)})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			counts[g] = len(res.Answers)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if counts[g] != len(truth) {
+			t.Fatalf("goroutine %d: %d answers, want %d", g, counts[g], len(truth))
+		}
+	}
+}

@@ -116,6 +116,13 @@ type JoinMapping struct {
 }
 
 // Plan is an executable, explainable query plan.
+//
+// A Plan is immutable after Build: Execute reads the plan and the
+// database but mutates neither (each execution builds its own
+// mpc.Cluster, hashers, and output buffers), and the override methods
+// WithShares/WithEngine return modified copies. One cached Plan may
+// therefore be Executed concurrently from many goroutines — the
+// contract the serving layer's plan cache relies on.
 type Plan struct {
 	// Query is the planned query.
 	Query *query.Query
@@ -179,6 +186,7 @@ type Plan struct {
 	SkewLoad float64
 
 	heavyFactor  float64
+	capFactor    float64
 	manualShares bool // set by WithShares: Shares no longer follow the LP
 }
 
@@ -226,6 +234,7 @@ func Build(q *query.Query, stats *relation.Stats, opts Options) (*Plan, error) {
 		ShareExponents: cr.ShareExponents(),
 		EdgePacking:    cr.EdgePacking,
 		heavyFactor:    heavyFactor,
+		capFactor:      capFactor,
 	}
 
 	// Integer shares: LP-exponent rounding on uniform cardinalities,

@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tuple is a row over the domain [n]; Tuple[i] is the value of the
@@ -258,6 +259,9 @@ type Database struct {
 	// Relations maps relation name → relation.
 	Relations map[string]*Relation
 	order     []string
+
+	statsMu     sync.Mutex
+	cachedStats *Stats
 }
 
 // NewDatabase returns an empty database over domain [n].
@@ -266,11 +270,18 @@ func NewDatabase(n int) *Database {
 }
 
 // AddRelation inserts a relation, replacing any with the same name.
+// Any memoized statistics (see Stats) are invalidated. The insertion
+// happens under the statistics lock, so it serializes with a
+// concurrent Stats() collection; like the rest of Database, it is not
+// otherwise synchronized against concurrent readers.
 func (db *Database) AddRelation(r *Relation) {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	if _, exists := db.Relations[r.Name]; !exists {
 		db.order = append(db.order, r.Name)
 	}
 	db.Relations[r.Name] = r
+	db.cachedStats = nil
 }
 
 // Relation fetches a relation by name.

@@ -140,6 +140,21 @@ func CollectStats(db *Database) *Stats {
 	return s
 }
 
+// Stats returns the database's statistics catalog, collecting it on
+// first use and memoizing it for every later call — the serving layer
+// amortizes the O(Σ|S_j|·a_j) scan across all queries that hit the
+// same resident dataset. AddRelation invalidates the memo. The
+// returned catalog is shared and must be treated as read-only;
+// concurrent callers are safe.
+func (db *Database) Stats() *Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	if db.cachedStats == nil {
+		db.cachedStats = CollectStats(db)
+	}
+	return db.cachedStats
+}
+
 // Relation returns the summary of the named relation, or nil.
 func (s *Stats) Relation(name string) *RelationStats {
 	if s == nil {

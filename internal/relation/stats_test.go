@@ -97,3 +97,54 @@ func TestCollectStatsOnMatchingDatabase(t *testing.T) {
 		t.Errorf("sizes = %v", sizes)
 	}
 }
+
+// TestDatabaseStatsMemoized checks the serving-layer contract of
+// Database.Stats: repeated calls return the same collected catalog,
+// concurrent first calls are safe, and AddRelation invalidates the
+// memo.
+func TestDatabaseStatsMemoized(t *testing.T) {
+	db := NewDatabase(10)
+	r := New("R", "x", "y")
+	r.MustAdd(Tuple{1, 2})
+	r.MustAdd(Tuple{1, 3})
+	db.AddRelation(r)
+
+	first := db.Stats()
+	if first == nil || first.Relation("R") == nil || first.Relation("R").Count != 2 {
+		t.Fatalf("unexpected first stats: %+v", first)
+	}
+	if again := db.Stats(); again != first {
+		t.Errorf("second Stats() recollected instead of memoizing")
+	}
+
+	// Concurrent readers all see one shared catalog.
+	const readers = 8
+	got := make([]*Stats, readers)
+	done := make(chan int, readers)
+	for i := 0; i < readers; i++ {
+		go func(i int) {
+			got[i] = db.Stats()
+			done <- i
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		<-done
+	}
+	for i := 0; i < readers; i++ {
+		if got[i] != first {
+			t.Fatalf("reader %d saw a different catalog", i)
+		}
+	}
+
+	// Mutation invalidates.
+	s := New("S", "y", "z")
+	s.MustAdd(Tuple{2, 4})
+	db.AddRelation(s)
+	second := db.Stats()
+	if second == first {
+		t.Fatalf("AddRelation did not invalidate the stats memo")
+	}
+	if second.Relation("S") == nil || second.Relation("S").Count != 1 {
+		t.Fatalf("recollected stats missing S: %+v", second)
+	}
+}

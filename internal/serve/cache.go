@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// PlanCache is a fixed-capacity LRU cache of compiled plans keyed by
+// plan.CacheKey fingerprints. Plans are immutable after Build (see
+// internal/plan), so a cached entry may be handed to any number of
+// concurrent executors. The cache is safe for concurrent use.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// cacheEntry is one resident plan.
+type cacheEntry struct {
+	key string
+	pl  *plan.Plan
+}
+
+// NewPlanCache returns an empty cache holding at most capacity plans;
+// capacity < 1 selects 1.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the plan cached under key and marks it most recently
+// used, or (nil, false).
+func (c *PlanCache) Get(key string) (*plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).pl, true
+}
+
+// Put inserts (or refreshes) a plan under key, evicting the least
+// recently used entry when the cache is full.
+func (c *PlanCache) Put(key string, pl *plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).pl = pl
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, pl: pl})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of resident plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the maximum number of resident plans.
+func (c *PlanCache) Capacity() int { return c.capacity }

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpc"
+)
+
+// Metrics aggregates the service's operational counters. All fields
+// are safe for concurrent update; WriteProm renders them in the
+// Prometheus text exposition format served by GET /healthz.
+type Metrics struct {
+	// QueriesServed counts successfully answered POST /query requests.
+	QueriesServed atomic.Int64
+	// QueryErrors counts POST /query requests that failed after
+	// admission (planning or execution errors).
+	QueryErrors atomic.Int64
+	// QueriesRejected counts requests the admission gate turned away
+	// (client disconnect or shutdown while queued).
+	QueriesRejected atomic.Int64
+	// InFlight is the number of queries currently executing.
+	InFlight atomic.Int64
+	// PlanCacheHits counts POST /query requests served from a compiled
+	// cached plan.
+	PlanCacheHits atomic.Int64
+	// PlanCacheMisses counts requests that had to build a fresh plan.
+	PlanCacheMisses atomic.Int64
+	// StatsCacheHits counts plan builds that reused a dataset's
+	// memoized statistics catalog.
+	StatsCacheHits atomic.Int64
+	// StatsCacheMisses counts plan builds that collected statistics.
+	StatsCacheMisses atomic.Int64
+	// AnswersReturned counts answer tuples shipped to clients (after
+	// per-response truncation).
+	AnswersReturned atomic.Int64
+	// ShuffleBits is the total number of bits received by workers
+	// across all executed queries, as accounted by the MPC simulator.
+	ShuffleBits atomic.Int64
+
+	mu           sync.Mutex
+	perRoundBits []int64
+}
+
+// RecordExecution folds one execution's communication record into the
+// shuffle counters: the total bits and the per-round-number bit
+// histogram (round r of every query accumulates into bucket r).
+func (m *Metrics) RecordExecution(stats *mpc.Stats) {
+	if stats == nil {
+		return
+	}
+	m.ShuffleBits.Add(stats.TotalBits())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range stats.Rounds {
+		for len(m.perRoundBits) <= i {
+			m.perRoundBits = append(m.perRoundBits, 0)
+		}
+		m.perRoundBits[i] += r.TotalBits
+	}
+}
+
+// PerRoundBits returns a copy of the cumulative per-round-number bit
+// counters (index 0 = first round of each query).
+func (m *Metrics) PerRoundBits() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int64(nil), m.perRoundBits...)
+}
+
+// PlanCacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (m *Metrics) PlanCacheHitRate() float64 {
+	h, s := m.PlanCacheHits.Load(), m.PlanCacheHits.Load()+m.PlanCacheMisses.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(h) / float64(s)
+}
+
+// WriteProm renders every counter in the Prometheus text exposition
+// format (one HELP/TYPE header per metric, then the sample).
+func (m *Metrics) WriteProm(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mpcserve_queries_served_total", "Queries answered successfully.", m.QueriesServed.Load())
+	counter("mpcserve_query_errors_total", "Queries that failed during planning or execution.", m.QueryErrors.Load())
+	counter("mpcserve_queries_rejected_total", "Queries rejected by the admission gate.", m.QueriesRejected.Load())
+	gauge("mpcserve_queries_in_flight", "Queries currently executing.", m.InFlight.Load())
+	counter("mpcserve_plan_cache_hits_total", "Queries served from a cached compiled plan.", m.PlanCacheHits.Load())
+	counter("mpcserve_plan_cache_misses_total", "Queries that built a fresh plan.", m.PlanCacheMisses.Load())
+	counter("mpcserve_stats_cache_hits_total", "Plan builds that reused memoized dataset statistics.", m.StatsCacheHits.Load())
+	counter("mpcserve_stats_cache_misses_total", "Plan builds that collected dataset statistics.", m.StatsCacheMisses.Load())
+	counter("mpcserve_answers_returned_total", "Answer tuples returned to clients.", m.AnswersReturned.Load())
+	counter("mpcserve_shuffle_bits_total", "Bits received by workers across all queries.", m.ShuffleBits.Load())
+	fmt.Fprintf(w, "# HELP mpcserve_plan_cache_hit_rate Plan cache hits over lookups.\n# TYPE mpcserve_plan_cache_hit_rate gauge\nmpcserve_plan_cache_hit_rate %.4f\n",
+		m.PlanCacheHitRate())
+	rounds := m.PerRoundBits()
+	fmt.Fprintf(w, "# HELP mpcserve_shuffle_round_bits_total Bits received by workers, by round number.\n# TYPE mpcserve_shuffle_round_bits_total counter\n")
+	for i, bits := range rounds {
+		fmt.Fprintf(w, "mpcserve_shuffle_round_bits_total{round=%q} %d\n", fmt.Sprint(i+1), bits)
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Dataset is one resident named database: loaded (or generated) once,
+// its columnar relations and memoized statistics then shared by every
+// query that names it. Datasets are immutable after registration —
+// the property that makes the plan cache sound (a cached plan embeds
+// the statistics it was costed against) and concurrent executions
+// race-free (Plan.Execute treats the database as read-only).
+type Dataset struct {
+	// Name is the registry key.
+	Name string
+	// DB is the resident database. Treat as read-only.
+	DB *relation.Database
+
+	statsSeen atomic.Bool
+}
+
+// Stats returns the dataset's statistics catalog and whether it was
+// already memoized (false exactly once, for the collecting call — the
+// serving layer's stats-cache hit/miss signal).
+func (d *Dataset) Stats() (stats *relation.Stats, cached bool) {
+	cached = d.statsSeen.Swap(true)
+	return d.DB.Stats(), cached
+}
+
+// Bind resolves a query against the dataset: every atom must name a
+// resident relation of matching arity. It returns a cheap per-request
+// database view whose relations carry the atom's variables as their
+// schema — the tuple storage is shared with the resident dataset and
+// must not be mutated.
+func (d *Dataset) Bind(q *query.Query) (*relation.Database, error) {
+	view := relation.NewDatabase(d.DB.N)
+	for _, a := range q.Atoms {
+		rel, ok := d.DB.Relation(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("dataset %s has no relation %s (has: %s)",
+				d.Name, a.Name, strings.Join(d.DB.Names(), ", "))
+		}
+		if rel.Arity() != a.Arity() {
+			return nil, fmt.Errorf("dataset %s: relation %s has arity %d, atom %s needs %d",
+				d.Name, a.Name, rel.Arity(), a, a.Arity())
+		}
+		view.AddRelation(&relation.Relation{
+			Name:   a.Name,
+			Attrs:  append([]string(nil), a.Vars...),
+			Tuples: rel.Tuples,
+		})
+	}
+	return view, nil
+}
+
+// Registry is the named-dataset catalog of the service. It is safe
+// for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Dataset)}
+}
+
+// ErrDuplicateDataset reports an Add under an already-registered
+// name. Registered datasets are immutable, so the name cannot be
+// reused (a silent replace would invalidate cached plans).
+var ErrDuplicateDataset = errors.New("serve: dataset already registered")
+
+// Add registers db under name. Re-registering an existing name fails
+// with ErrDuplicateDataset; callers pick a new name instead.
+func (r *Registry) Add(name string, db *relation.Database) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty dataset name")
+	}
+	if db == nil || len(db.Relations) == 0 {
+		return nil, fmt.Errorf("serve: dataset %s has no relations", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.sets[name]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateDataset, name)
+	}
+	d := &Dataset{Name: name, DB: db}
+	r.sets[name] = d
+	return d, nil
+}
+
+// Get returns the named dataset.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.sets[name]
+	return d, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sets))
+	for name := range r.sets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DatabaseFromCSV builds a database from in-memory CSV texts, one per
+// relation (header = attribute names, rows = positive integers). The
+// domain size is the largest value appearing in any relation.
+func DatabaseFromCSV(csvs map[string]string) (*relation.Database, error) {
+	if len(csvs) == 0 {
+		return nil, fmt.Errorf("serve: no relations supplied")
+	}
+	names := make([]string, 0, len(csvs))
+	for name := range csvs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	maxVal := 1
+	rels := make([]*relation.Relation, 0, len(names))
+	for _, name := range names {
+		rel, err := relation.ReadCSV(strings.NewReader(csvs[name]), name)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: %w", name, err)
+		}
+		if mv := rel.MaxValue(); mv > maxVal {
+			maxVal = mv
+		}
+		rels = append(rels, rel)
+	}
+	db := relation.NewDatabase(maxVal)
+	for _, rel := range rels {
+		db.AddRelation(rel)
+	}
+	return db, nil
+}
+
+// GeneratorSpec describes a synthetic dataset: the relations of a
+// query family (or parsed query text) populated with either matching
+// or Zipf-skewed data over [n].
+type GeneratorSpec struct {
+	// Family is a query family name (C3, L4, …); exactly one of Family
+	// and Query must be set.
+	Family string `json:"family,omitempty"`
+	// Query is conjunctive query text whose atoms name the relations.
+	Query string `json:"query,omitempty"`
+	// N is the domain size (tuples per relation). Must be ≥ 1.
+	N int `json:"n"`
+	// Seed drives the generator; 1 if zero.
+	Seed uint64 `json:"seed,omitempty"`
+	// Kind is "matching" (default) or "zipf".
+	Kind string `json:"kind,omitempty"`
+	// Skew is the Zipf exponent for Kind "zipf"; 1.1 if zero.
+	Skew float64 `json:"skew,omitempty"`
+}
+
+// Generate builds the database the spec describes.
+func Generate(spec GeneratorSpec) (*relation.Database, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("serve: generator n = %d, need ≥ 1", spec.N)
+	}
+	var q *query.Query
+	var err error
+	switch {
+	case spec.Family != "" && spec.Query != "":
+		return nil, fmt.Errorf("serve: generator needs family or query, not both")
+	case spec.Family != "":
+		q, err = query.ParseFamily(spec.Family)
+	case spec.Query != "":
+		q, err = query.Parse(spec.Query)
+	default:
+		return nil, fmt.Errorf("serve: generator needs a family or query")
+	}
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5e12e))
+	switch spec.Kind {
+	case "", "matching":
+		return relation.MatchingDatabase(rng, q, spec.N), nil
+	case "zipf":
+		skew := spec.Skew
+		if skew == 0 {
+			skew = 1.1
+		}
+		db := relation.NewDatabase(spec.N)
+		for _, a := range q.Atoms {
+			if a.Arity() != 2 {
+				return nil, fmt.Errorf("serve: zipf generator needs binary atoms, %s has arity %d", a, a.Arity())
+			}
+			db.AddRelation(relation.SkewedZipf(rng, a.Name, a.Vars, spec.N, skew))
+		}
+		return db, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown generator kind %q (want matching or zipf)", spec.Kind)
+	}
+}

@@ -1,0 +1,501 @@
+// Package serve is the long-running multi-query service layer of the
+// reproduction: cmd/mpcserve in library form.
+//
+// The Beame–Koutris–Suciu MPC model is about answering many
+// conjunctive queries on one shared cluster under a per-worker load
+// budget, and everything below this package is per-query: parse, plan,
+// shuffle, join, gather. Serve adds the amortization layer a sustained
+// workload needs:
+//
+//   - a named-dataset Registry keeps relations resident and columnar
+//     across requests, with the statistics catalog memoized on first
+//     use (relation.Database.Stats);
+//   - a PlanCache holds compiled plan.Plans under plan.CacheKey
+//     fingerprints, so repeated queries skip the LP solve, share
+//     rounding, and cost model entirely — Plans are immutable and
+//     concurrency-safe, so one cached plan serves any number of
+//     simultaneous executions;
+//   - a Gate admission-controls executions: a bounded worker pool
+//     (slots) plus a global predicted-load budget in tuples, FIFO to
+//     avoid starvation;
+//   - Metrics counts queries, cache hit rates, and per-round shuffle
+//     bits, rendered in Prometheus text format.
+//
+// The HTTP surface is JSON: POST /query plans (or cache-hits) and
+// executes a query against a named dataset and returns answers plus
+// the EXPLAIN report and round statistics; GET /datasets lists the
+// registry; POST /datasets registers a dataset from inline CSV or a
+// generator spec; GET /healthz serves liveness plus the metrics.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DefaultP is the server count used when a query request does not
+	// set p. ≤ 0 selects 64.
+	DefaultP int
+	// MaxP bounds the per-query p (each simulated worker is a
+	// goroutine, so p is a real resource). ≤ 0 selects 1024.
+	MaxP int
+	// CapFactor is the planner budget constant c of c·N/p^{1−ε}
+	// forwarded to plan.Build; ≤ 0 selects the planner default.
+	CapFactor float64
+	// MaxConcurrent is the admission gate's worker-pool size. ≤ 0
+	// selects 128.
+	MaxConcurrent int
+	// LoadBudgetTuples is the gate's global predicted-load budget; ≤ 0
+	// disables the load bound (slots still bound concurrency).
+	LoadBudgetTuples int64
+	// CacheSize is the plan cache capacity; ≤ 0 selects 128.
+	CacheSize int
+	// MaxAnswers caps answers returned per response when the request
+	// does not set its own cap. ≤ 0 selects 100.
+	MaxAnswers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DefaultP <= 0 {
+		c.DefaultP = 64
+	}
+	if c.MaxP <= 0 {
+		c.MaxP = 1024
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 128
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxAnswers <= 0 {
+		c.MaxAnswers = 100
+	}
+	return c
+}
+
+// Server is the shared state of the query service. Create one with
+// New, register datasets, and mount Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *PlanCache
+	gate     *Gate
+	metrics  *Metrics
+	started  time.Time
+}
+
+// New returns a Server with an empty registry and cold caches.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		cache:    NewPlanCache(cfg.CacheSize),
+		gate:     NewGate(cfg.MaxConcurrent, cfg.LoadBudgetTuples),
+		metrics:  &Metrics{},
+		started:  time.Now(),
+	}
+}
+
+// Registry returns the dataset registry (for preloading at startup).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics returns the server's counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// PlanCache returns the compiled-plan cache.
+func (s *Server) PlanCache() *PlanCache { return s.cache }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Dataset names the registered dataset to run against. Required.
+	Dataset string `json:"dataset"`
+	// Query is conjunctive query text; exactly one of Query and Family
+	// must be set.
+	Query string `json:"query,omitempty"`
+	// Family is a query family name (C3, L4, SP3, …).
+	Family string `json:"family,omitempty"`
+	// P is the number of servers; 0 selects the service default.
+	P int `json:"p,omitempty"`
+	// Epsilon is the space exponent as a rational ("1/2"); empty
+	// selects the query's own one-round exponent.
+	Epsilon string `json:"eps,omitempty"`
+	// Seed drives the run's hash functions; 0 selects 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxAnswers caps the answers in the response; 0 selects the
+	// service default, negative returns the count only.
+	MaxAnswers int `json:"maxAnswers,omitempty"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	// Dataset echoes the request.
+	Dataset string `json:"dataset"`
+	// Query is the canonical text of the executed query.
+	Query string `json:"query"`
+	// P is the number of servers used.
+	P int `json:"p"`
+	// Engine names the executed strategy.
+	Engine string `json:"engine"`
+	// Rounds is the number of communication rounds.
+	Rounds int `json:"rounds"`
+	// Fingerprint is the plan's cache identity.
+	Fingerprint string `json:"fingerprint"`
+	// PlanCached reports whether the plan came from the cache.
+	PlanCached bool `json:"planCached"`
+	// StatsCached reports whether the dataset statistics were already
+	// memoized (always true after the dataset's first planned query).
+	StatsCached bool `json:"statsCached"`
+	// Explain is the plan's EXPLAIN report.
+	Explain string `json:"explain"`
+	// Vars is the output schema (query variable order of Answers).
+	Vars []string `json:"vars"`
+	// AnswerCount is the full answer cardinality.
+	AnswerCount int `json:"answerCount"`
+	// Answers holds at most MaxAnswers tuples, sorted.
+	Answers [][]int `json:"answers,omitempty"`
+	// Truncated reports Answers holds fewer than AnswerCount tuples.
+	Truncated bool `json:"truncated,omitempty"`
+	// MaxLoadTuples is the observed per-worker per-round maximum load.
+	MaxLoadTuples int64 `json:"maxLoadTuples"`
+	// TotalBits is the total communication of the run.
+	TotalBits int64 `json:"totalBits"`
+	// PerRoundBits lists each round's received bits.
+	PerRoundBits []int64 `json:"perRoundBits"`
+	// CapExceeded reports a broken receive budget (informational).
+	CapExceeded bool `json:"capExceeded"`
+	// ElapsedMs is the wall-clock execution time in milliseconds.
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// errorReply is the JSON error envelope.
+type errorReply struct {
+	// Error is the human-readable failure.
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders a JSON error.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleQuery is POST /query: resolve, plan (cache-first), admit,
+// execute, report.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	q, err := resolveRequestQuery(req.Query, req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := req.P
+	if p == 0 {
+		p = s.cfg.DefaultP
+	}
+	if p < 1 {
+		writeError(w, http.StatusBadRequest, "p = %d, need ≥ 1", p)
+		return
+	}
+	if p > s.cfg.MaxP {
+		writeError(w, http.StatusBadRequest, "p = %d exceeds server limit %d", p, s.cfg.MaxP)
+		return
+	}
+	var eps *big.Rat
+	if req.Epsilon != "" {
+		eps = new(big.Rat)
+		if _, ok := eps.SetString(req.Epsilon); !ok {
+			writeError(w, http.StatusBadRequest, "cannot parse eps %q as a rational", req.Epsilon)
+			return
+		}
+		if eps.Sign() < 0 || eps.Cmp(big.NewRat(1, 1)) >= 0 {
+			writeError(w, http.StatusBadRequest, "eps = %s outside [0,1)", eps.RatString())
+			return
+		}
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required")
+		return
+	}
+	ds, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q (registered: %v)", req.Dataset, s.registry.Names())
+		return
+	}
+	view, err := ds.Bind(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Plan: cache-first under the (query, dataset, p, ε) fingerprint.
+	opts := plan.Options{P: p, Epsilon: eps, CapFactor: s.cfg.CapFactor}
+	key := plan.CacheKey{Query: q, Dataset: ds.Name, Opts: opts}.Fingerprint()
+	pl, planCached := s.cache.Get(key)
+	statsCached := ds.statsSeen.Load()
+	if planCached {
+		s.metrics.PlanCacheHits.Add(1)
+	} else {
+		s.metrics.PlanCacheMisses.Add(1)
+		stats, hit := ds.Stats()
+		if hit {
+			s.metrics.StatsCacheHits.Add(1)
+		} else {
+			s.metrics.StatsCacheMisses.Add(1)
+		}
+		statsCached = hit
+		pl, err = plan.Build(q, queryScopedStats(stats, q), opts)
+		if err != nil {
+			s.metrics.QueryErrors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "planning failed: %v", err)
+			return
+		}
+		s.cache.Put(key, pl)
+	}
+
+	// Admission: predicted per-worker load × workers ≈ tuples this
+	// execution materializes across the simulated cluster.
+	cost := int64(pl.Cost.LoadTuples*float64(p)) + 1
+	if err := s.gate.Acquire(r.Context(), cost); err != nil {
+		s.metrics.QueriesRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "admission rejected: %v", err)
+		return
+	}
+	s.metrics.InFlight.Add(1)
+	start := time.Now()
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := pl.Execute(view, plan.ExecOptions{Seed: seed})
+	elapsed := time.Since(start)
+	s.metrics.InFlight.Add(-1)
+	s.gate.Release(cost)
+	if err != nil {
+		s.metrics.QueryErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, "execution failed: %v", err)
+		return
+	}
+	s.metrics.QueriesServed.Add(1)
+	s.metrics.RecordExecution(res.Stats)
+
+	maxAnswers := req.MaxAnswers
+	if maxAnswers == 0 {
+		maxAnswers = s.cfg.MaxAnswers
+	}
+	if maxAnswers < 0 {
+		maxAnswers = 0
+	}
+	answers := make([][]int, 0, min(maxAnswers, len(res.Answers)))
+	for i, t := range res.Answers {
+		if i >= maxAnswers {
+			break
+		}
+		answers = append(answers, []int(t))
+	}
+	s.metrics.AnswersReturned.Add(int64(len(answers)))
+	perRound := make([]int64, 0, len(res.Stats.Rounds))
+	for _, rs := range res.Stats.Rounds {
+		perRound = append(perRound, rs.TotalBits)
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset:       ds.Name,
+		Query:         q.String(),
+		P:             p,
+		Engine:        res.Engine.String(),
+		Rounds:        res.Rounds,
+		Fingerprint:   key,
+		PlanCached:    planCached,
+		StatsCached:   statsCached,
+		Explain:       pl.Explain(),
+		Vars:          q.Vars(),
+		AnswerCount:   len(res.Answers),
+		Answers:       answers,
+		Truncated:     len(answers) < len(res.Answers),
+		MaxLoadTuples: res.Stats.MaxLoadTuples(),
+		TotalBits:     res.Stats.TotalBits(),
+		PerRoundBits:  perRound,
+		CapExceeded:   res.CapExceeded,
+		ElapsedMs:     float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// DatasetRequest is the POST /datasets body: a name plus exactly one
+// of CSV (inline relation texts) or Generator.
+type DatasetRequest struct {
+	// Name is the registry key for the new dataset. Required.
+	Name string `json:"name"`
+	// CSV maps relation name → CSV text (header then integer rows).
+	CSV map[string]string `json:"csv,omitempty"`
+	// Generator describes a synthetic dataset.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// DatasetInfo is one dataset in the GET /datasets listing.
+type DatasetInfo struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// DomainN is the domain size [n].
+	DomainN int `json:"domainN"`
+	// Relations lists the resident relations.
+	Relations []RelationInfo `json:"relations"`
+	// StatsCollected reports whether statistics are memoized.
+	StatsCollected bool `json:"statsCollected"`
+}
+
+// RelationInfo summarizes one resident relation.
+type RelationInfo struct {
+	// Name is the relation symbol.
+	Name string `json:"name"`
+	// Arity is the column count.
+	Arity int `json:"arity"`
+	// Tuples is the cardinality.
+	Tuples int `json:"tuples"`
+}
+
+// handleDatasets is GET (list) and POST (register) /datasets.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []DatasetInfo
+		for _, name := range s.registry.Names() {
+			ds, _ := s.registry.Get(name)
+			out = append(out, s.describe(ds))
+		}
+		if out == nil {
+			out = []DatasetInfo{}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req DatasetRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		var db *relation.Database
+		var err error
+		switch {
+		case len(req.CSV) > 0 && req.Generator != nil:
+			writeError(w, http.StatusBadRequest, "use csv or generator, not both")
+			return
+		case len(req.CSV) > 0:
+			db, err = DatabaseFromCSV(req.CSV)
+		case req.Generator != nil:
+			db, err = Generate(*req.Generator)
+		default:
+			writeError(w, http.StatusBadRequest, "one of csv or generator is required")
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ds, err := s.registry.Add(req.Name, db)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrDuplicateDataset) {
+				code = http.StatusConflict
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.describe(ds))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// describe renders a dataset summary.
+func (s *Server) describe(ds *Dataset) DatasetInfo {
+	info := DatasetInfo{
+		Name:           ds.Name,
+		DomainN:        ds.DB.N,
+		StatsCollected: ds.statsSeen.Load(),
+	}
+	for _, name := range ds.DB.Names() {
+		rel, _ := ds.DB.Relation(name)
+		info.Relations = append(info.Relations, RelationInfo{
+			Name:   name,
+			Arity:  rel.Arity(),
+			Tuples: rel.Size(),
+		})
+	}
+	return info
+}
+
+// handleHealthz is GET /healthz: liveness plus the full metric set in
+// Prometheus text format.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# mpcserve up %.0fs, datasets %d, cached plans %d/%d\n",
+		time.Since(s.started).Seconds(), len(s.registry.Names()), s.cache.Len(), s.cache.Capacity())
+	s.metrics.WriteProm(w)
+}
+
+// resolveRequestQuery parses the query/family pair of a request.
+func resolveRequestQuery(queryStr, familyStr string) (*query.Query, error) {
+	switch {
+	case queryStr != "" && familyStr != "":
+		return nil, fmt.Errorf("use query or family, not both")
+	case queryStr != "":
+		return query.Parse(queryStr)
+	case familyStr != "":
+		return query.ParseFamily(familyStr)
+	default:
+		return nil, fmt.Errorf("one of query or family is required")
+	}
+}
+
+// queryScopedStats restricts a dataset catalog to the query's atoms,
+// so budgets (Σ|S_j|) see the same totals cmd/mpcrun computes over an
+// exactly-matching database.
+func queryScopedStats(stats *relation.Stats, q *query.Query) *relation.Stats {
+	scoped := &relation.Stats{Relations: make(map[string]*relation.RelationStats, q.NumAtoms())}
+	for _, a := range q.Atoms {
+		if rs := stats.Relation(a.Name); rs != nil {
+			scoped.Relations[a.Name] = rs
+		}
+	}
+	return scoped
+}
