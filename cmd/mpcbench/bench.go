@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/exchange"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/skew"
+	"repro/internal/wire"
 )
 
 // benchSchema versions the BENCH.json layout; bump on incompatible
@@ -211,6 +214,26 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 				relation.CollectStats(triDB)
 			}
 		}},
+		{"wire-encode-n16384", func(b *testing.B) {
+			frame := wireBenchFrame(seed, 1<<14)
+			for i := 0; i < b.N; i++ {
+				if err := wire.Encode(io.Discard, frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"wire-decode-n16384", func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := wire.Encode(&buf, wireBenchFrame(seed, 1<<14)); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Decode(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 	for _, s := range suite {
 		ns, normalized, iters := measureNormalized(s.fn)
@@ -228,6 +251,22 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 			rec.Name, rec.NsPerOp, rec.Normalized, rec.Iterations)
 	}
 	return report, nil
+}
+
+// wireBenchFrame builds the packed 3-ary data frame the wire suite
+// benchmarks serialize (the shape a triangle scatter ships).
+func wireBenchFrame(seed uint64, n int) *wire.Frame {
+	rng := rand.New(rand.NewPCG(seed, 0x117e))
+	b := exchange.NewBuffer(3)
+	row := make(relation.Tuple, 3)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.IntN(1 << 20)
+		}
+		b.Append(row)
+	}
+	b.Seal()
+	return &wire.Frame{Type: wire.TypeData, Data: wire.Data{Round: 1, Rel: "R", Buf: b}}
 }
 
 // writeBenchJSON writes the report to path.

@@ -15,6 +15,7 @@
 //	mpcbench -experiment cc
 //	mpcbench -experiment skew
 //	mpcbench -experiment shuffle
+//	mpcbench -experiment wire
 //	mpcbench -experiment opt-shares
 //	mpcbench -experiment friedgut
 //	mpcbench -all                # everything
@@ -26,8 +27,9 @@
 //	mpcbench -json BENCH.json -baseline bench_baseline.json
 //
 // The suite times the hot paths (columnar shuffle, WCOJ and hash
-// local joins, plan build, end-to-end execute) with the testing
-// harness and normalizes every result by a fixed CPU-bound
+// local joins, plan build, end-to-end execute, wire encode/decode of
+// the distributed runtime) with the testing harness and normalizes
+// every result by a fixed CPU-bound
 // calibration loop measured in the same run, so reports compare
 // across machines of different speeds. With -baseline, the run fails
 // when any benchmark's normalized time regresses by more than
@@ -48,7 +50,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure     = flag.Int("figure", 0, "regenerate Figure 1")
-		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | opt-shares | friedgut | knowledge | tail")
+		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | wire | opt-shares | friedgut | knowledge | tail")
 		all        = flag.Bool("all", false, "run everything")
 		n          = flag.Int("n", 2000, "domain size for data experiments")
 		seed       = flag.Uint64("seed", 2013, "random seed")
@@ -195,6 +197,14 @@ func run(table, figure int, experiment string, all bool, n int, seed uint64, tri
 		ran = true
 		fmt.Fprintln(w, "── E-SHUF: columnar exchange shuffle throughput & per-round load ──")
 		if _, err := experiments.Shuffle(w, 5*n, []int{8, 32, 64, 128}, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || experiment == "wire" {
+		ran = true
+		fmt.Fprintln(w, "── E-WIRE: distributed wire codec throughput (internal/wire) ──")
+		if _, err := experiments.Wire(w, []int{1 << 10, 1 << 14, 1 << 17}, seed); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -16,6 +16,14 @@
 //	mpcrun -family L16 -mode multi -eps 1/2          # manual: force Γ^r_ε
 //	mpcrun -family C3 -plan 'shares=x1:4,x2:4,x3:4'  # manual share override
 //	mpcrun -query 'R(x,y),S(y,z)' -plan engine=skew  # manual engine override
+//	mpcrun -family C3 -workers localhost:9001,localhost:9002,localhost:9003,localhost:9004
+//
+// With -workers, the rounds run distributed: the listed mpcworker
+// processes (cmd/mpcworker) form the cluster, p is the pool size, and
+// every shuffle crosses TCP instead of process memory. Answers and
+// round statistics are identical to the in-process run by
+// construction (the differential tests in internal/dist hold both
+// paths to that).
 //
 // Without -data, a random matching database over [n] is generated;
 // with -data, each named relation is loaded from a CSV file (header =
@@ -26,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
@@ -33,8 +42,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/hypercube"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -54,17 +65,32 @@ func main() {
 		show      = flag.Int("show", 5, "print at most this many answers")
 		dataStr   = flag.String("data", "", "comma-separated Rel=file.csv pairs; omit to generate a matching database")
 		planStr   = flag.String("plan", "", "manual plan override: 'engine=one|multi|skew' and/or 'shares=x:4,y:4', semicolon-separated")
+		workers   = flag.String("workers", "", "comma-separated mpcworker addresses; run the rounds distributed over TCP (p becomes the pool size; the run is bounded by a 10-minute deadline)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr); err != nil {
+	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr string) error {
+func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr, workers string) error {
 	if p < 1 {
 		return fmt.Errorf("-p = %d, need ≥ 1", p)
+	}
+	addrs, err := dist.ParseAddrs(workers)
+	if err != nil {
+		return err
+	}
+	if len(addrs) > 0 {
+		if mode != "auto" {
+			return fmt.Errorf("-workers requires -mode auto (the planner-driven path)")
+		}
+		// The cluster size is the pool size: one worker id per process.
+		if p != len(addrs) {
+			fmt.Printf("note: -workers fixes p to the pool size %d (ignoring -p %d)\n", len(addrs), p)
+		}
+		p = len(addrs)
 	}
 	if dataStr == "" && n < 1 {
 		return fmt.Errorf("-n = %d, need ≥ 1", n)
@@ -92,7 +118,7 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 	}
 	switch mode {
 	case "auto":
-		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, truth)
+		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, addrs, truth)
 	case "one":
 		if planStr != "" {
 			return fmt.Errorf("-plan only applies to -mode auto")
@@ -146,8 +172,9 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 }
 
 // runAuto is the planner-driven path: collect statistics, build the
-// plan, apply any -plan override, EXPLAIN, execute, report.
-func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, truth []relation.Tuple) error {
+// plan, apply any -plan override, EXPLAIN, execute (in process, or
+// distributed over a TCP worker pool when addrs are given), report.
+func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, addrs []string, truth []relation.Tuple) error {
 	var eps *big.Rat
 	if epsStr != "" {
 		var err error
@@ -169,7 +196,20 @@ func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed u
 		}
 	}
 	fmt.Print(pl.Explain())
-	res, err := pl.Execute(db, plan.ExecOptions{Seed: seed, CapConstant: capC})
+	opts := plan.ExecOptions{Seed: seed, CapConstant: capC}
+	if len(addrs) > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		tr, err := dist.DialTCP(ctx, addrs)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		opts.Transport = tr
+		opts.Context = ctx
+		fmt.Printf("distributed: %d TCP workers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+	}
+	res, err := pl.Execute(db, opts)
 	if err != nil {
 		return err
 	}

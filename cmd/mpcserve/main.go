@@ -9,6 +9,12 @@
 //
 //	mpcserve -addr :8377 -gen 'tri:family=C3,n=10000,seed=1'
 //	mpcserve -dataset 'edges:R=r.csv,S=s.csv' -p 64 -max-concurrent 128
+//	mpcserve -gen 'tri:family=C3,n=10000' -workers localhost:9001,localhost:9002
+//
+// With -workers, cached plans execute against the distributed TCP
+// worker pool (cmd/mpcworker) instead of the in-process loopback: p
+// becomes the pool size and each query dials its own isolated worker
+// session, so concurrent queries share the pool safely.
 //
 // Endpoints:
 //
@@ -31,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/relation"
 	"repro/internal/serve"
 )
@@ -57,13 +64,14 @@ func main() {
 		budget  = flag.Int64("load-budget", 0, "admission gate: global predicted-load budget in tuples (0: unbounded)")
 		cache   = flag.Int("cache", 128, "plan cache capacity (compiled plans)")
 		answers = flag.Int("max-answers", 100, "default per-response answer cap")
+		pool    = flag.String("workers", "", "comma-separated mpcworker addresses; execute queries on this distributed TCP pool (p becomes the pool size)")
 		datas   repeatableFlag
 		gens    repeatableFlag
 	)
 	flag.Var(&datas, "dataset", "preload CSV dataset 'name:R=file.csv,S=file.csv' (repeatable)")
 	flag.Var(&gens, "gen", "preload generated dataset 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]' (repeatable)")
 	flag.Parse()
-	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, datas, gens)
+	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, *pool, datas, gens)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcserve:", err)
 		os.Exit(1)
@@ -82,11 +90,20 @@ func main() {
 // build validates the flags and assembles the server with all
 // preloaded datasets. It is main without the listener, so tests can
 // drive it.
-func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, datas, gens []string) (*serve.Server, error) {
+func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, pool string, datas, gens []string) (*serve.Server, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("-p = %d, need ≥ 1", p)
 	}
-	if maxP < p {
+	poolAddrs, err := dist.ParseAddrs(pool)
+	if err != nil {
+		return nil, err
+	}
+	if len(poolAddrs) > 0 {
+		// The distributed pool fixes the cluster size (withDefaults
+		// also reconciles MaxP for library users).
+		p = len(poolAddrs)
+	}
+	if len(poolAddrs) == 0 && maxP < p {
 		return nil, fmt.Errorf("-max-p = %d smaller than -p = %d", maxP, p)
 	}
 	if workers < 1 {
@@ -103,6 +120,7 @@ func build(p, maxP int, capC float64, workers int, budget int64, cache, answers 
 		LoadBudgetTuples: budget,
 		CacheSize:        cache,
 		MaxAnswers:       answers,
+		WorkerAddrs:      poolAddrs,
 	})
 	for _, spec := range datas {
 		name, db, err := loadCSVDataset(spec)

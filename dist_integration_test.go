@@ -1,0 +1,126 @@
+package repro
+
+// Multi-process distributed integration: spawn real mpcworker
+// processes (the built binary, not in-process listeners) and hold the
+// TCP execution path to ground truth across families and engines.
+// The test is gated on MPCWORKER_BIN — CI builds the binary, exports
+// the path, and runs this with a hard timeout; locally:
+//
+//	go build -o /tmp/mpcworker ./cmd/mpcworker
+//	MPCWORKER_BIN=/tmp/mpcworker go test -run TestDistributedWorkerProcesses -v .
+
+import (
+	"bufio"
+	"context"
+	"math/big"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// spawnWorkers starts n mpcworker processes on OS-assigned ports and
+// returns their addresses, parsed from each process's startup line.
+func spawnWorkers(t *testing.T, ctx context.Context, bin string, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.CommandContext(ctx, bin, "-listen", "127.0.0.1:0")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		line, err := bufio.NewReader(out).ReadString('\n')
+		if err != nil {
+			t.Fatalf("worker %d produced no startup line: %v", i, err)
+		}
+		// "mpcworker listening on 127.0.0.1:NNNN"
+		fields := strings.Fields(strings.TrimSpace(line))
+		addr := fields[len(fields)-1]
+		if !strings.Contains(addr, ":") {
+			t.Fatalf("worker %d startup line %q has no address", i, line)
+		}
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+// TestDistributedWorkerProcesses is the CI integration job's body.
+func TestDistributedWorkerProcesses(t *testing.T) {
+	bin := os.Getenv("MPCWORKER_BIN")
+	if bin == "" {
+		t.Skip("MPCWORKER_BIN not set; run the in-process suite in internal/dist instead")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const p = 4
+	addrs := spawnWorkers(t, ctx, bin, p)
+
+	cases := []struct {
+		name string
+		q    *query.Query
+		eps  *big.Rat
+	}{
+		{"triangle", query.Cycle(3), nil},
+		{"star", query.Star(3), nil},
+		{"chain-multiround", query.Chain(4), big.NewRat(0, 1)},
+		{"join", query.MustParse("q(x,y,z) = R(x,y), S(y,z)"), nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(31, uint64(len(c.name))))
+			db := relation.MatchingDatabase(rng, c.q, 400)
+			truth, err := core.GroundTruth(c.q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := plan.Build(c.q, relation.CollectStats(db), plan.Options{P: p, Epsilon: c.eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, err := pl.Execute(db, plan.ExecOptions{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := dist.DialTCP(ctx, addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			remote, err := pl.Execute(db, plan.ExecOptions{Seed: 5, Transport: tr, Context: ctx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(remote.Answers) != len(truth) {
+				t.Fatalf("distributed: %d answers, ground truth %d", len(remote.Answers), len(truth))
+			}
+			for i := range truth {
+				if !remote.Answers[i].Equal(truth[i]) {
+					t.Fatalf("answer %d differs from ground truth: %v vs %v", i, remote.Answers[i], truth[i])
+				}
+			}
+			if local.Stats.TotalBits() != remote.Stats.TotalBits() ||
+				local.Stats.MaxLoadBits() != remote.Stats.MaxLoadBits() {
+				t.Fatalf("stats differ: local (%d, %d) vs distributed (%d, %d)",
+					local.Stats.TotalBits(), local.Stats.MaxLoadBits(),
+					remote.Stats.TotalBits(), remote.Stats.MaxLoadBits())
+			}
+		})
+	}
+}

@@ -32,6 +32,16 @@
 // re-sorting. The BenchmarkShuffle* benchmarks compare this path
 // head to head against the historic per-tuple message routing.
 //
+// The rounds themselves run on a pluggable worker runtime,
+// internal/dist: the same bulk-synchronous protocol (scatter →
+// barrier → local join → gather) executes either in-process (the
+// loopback transport) or across real cmd/mpcworker processes over
+// TCP, with sealed columnar runs serialized as length-prefixed wire
+// frames (internal/wire). Receive accounting happens
+// coordinator-side, so both transports record identical round
+// statistics, and a differential test net holds every engine to
+// ground-truth-identical answers on both.
+//
 // Layout:
 //
 //	internal/lp          exact two-phase simplex over big.Rat
@@ -44,6 +54,9 @@
 //	internal/hypercube   the HyperCube algorithm (Theorem 1.1)
 //	internal/multiround  Γ^r_ε plans and the round executor (§4.1)
 //	internal/plan        the statistics-driven planner: LP → shares → engine, EXPLAIN
+//	internal/wire        length-prefixed wire frames for columnar runs + BSP control
+//	internal/dist        the distributed runtime: loopback/TCP transports, coordinator, worker
+//	internal/serve       the multi-query HTTP service: registry, plan cache, admission gate
 //	internal/theory      closed-form bounds, ε-good sets, (ε,r)-plans
 //	internal/cc          connected components (Theorem 4.10)
 //	internal/witness     JOIN-WITNESS (Proposition 3.12)
@@ -52,6 +65,8 @@
 //	cmd/mpcplan          query analysis + EXPLAIN CLI
 //	cmd/mpcrun           planner-driven cluster execution CLI
 //	cmd/mpcbench         experiment regeneration CLI
+//	cmd/mpcserve         the long-running HTTP/JSON query service
+//	cmd/mpcworker        one distributed worker process (TCP, internal/dist)
 //	cmd/doccheck         CI documentation gate (exports + markdown snippets)
 //	examples/...         runnable end-to-end programs
 //

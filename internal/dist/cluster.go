@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/localjoin"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Cluster drives MPC(ε) bulk-synchronous rounds against a worker pool
+// through a Transport. It is the distributed counterpart of
+// mpc.Cluster: the coordinator plays the paper's input servers —
+// partitioning base relations through the columnar exchange layer —
+// and performs the per-round receive accounting against the
+// c·N/p^{1−ε} budget. All accounting happens coordinator-side from
+// the sizes of the partitioned buffers, before they reach any
+// transport, so loopback and TCP executions record identical
+// statistics for identical inputs.
+//
+// A Cluster is driven by a single caller (rounds are inherently
+// sequential); the concurrency lives inside Scatter's parallel
+// partitioning and the transport's per-worker fan-out.
+type Cluster struct {
+	cfg   mpc.Config
+	tr    Transport
+	stats mpc.Stats
+	round int
+	open  bool
+}
+
+// NewCluster validates cfg against the transport's pool and returns
+// an idle cluster. cfg.Workers must equal tr.Workers().
+func NewCluster(cfg mpc.Config, tr Transport) (*Cluster, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("dist: nil transport")
+	}
+	if cfg.Workers != tr.Workers() {
+		return nil, fmt.Errorf("dist: config wants %d workers, transport pool has %d", cfg.Workers, tr.Workers())
+	}
+	if _, err := mpc.NewCluster(cfg); err != nil { // reuse the simulation's validation
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, tr: tr}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() mpc.Config { return c.cfg }
+
+// Workers returns the pool size p.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// Stats returns the accumulated per-round communication record.
+func (c *Cluster) Stats() *mpc.Stats { return &c.stats }
+
+// BeginRound opens a communication round into which subsequent
+// Scatter calls accumulate (all input servers transmit in one round).
+func (c *Cluster) BeginRound() {
+	c.round++
+	c.open = true
+	c.stats.Rounds = append(c.stats.Rounds, mpc.RoundStats{
+		Round:           c.round,
+		PerWorkerBits:   make([]int64, c.cfg.Workers),
+		PerWorkerTuples: make([]int64, c.cfg.Workers),
+	})
+}
+
+// Scatter partitions rel through part into per-destination sealed
+// runs — parallel sender shards, exactly the in-process shuffle path
+// — accounts their receipt against the open round (opening a fresh
+// round if none is), and ships them to the workers under store name
+// as.
+func (c *Cluster) Scatter(ctx context.Context, rel *relation.Relation, as string, part exchange.Partitioner) error {
+	if as == "" {
+		as = rel.Name
+	}
+	ds, err := exchange.Partition(as, rel.Tuples, rel.Arity(), c.cfg.Workers, part)
+	if err != nil {
+		return fmt.Errorf("dist: scatter: %w", err)
+	}
+	lone := !c.open
+	if lone {
+		c.BeginRound()
+		c.open = false
+	}
+	rs := &c.stats.Rounds[len(c.stats.Rounds)-1]
+	bitsPer := relation.BitsPerValue(c.cfg.DomainN)
+	for _, d := range ds {
+		n := int64(d.Buf.Len())
+		if n == 0 {
+			continue
+		}
+		rs.Account(d.To, n, d.Buf.Bits(bitsPer))
+	}
+	if err := c.tr.Deliver(ctx, c.round, ds); err != nil {
+		return err
+	}
+	if lone {
+		// Lone scatter: the round is self-contained, so synchronize and
+		// enforce the budget immediately.
+		if err := c.tr.Barrier(ctx, c.round); err != nil {
+			return err
+		}
+		return rs.CheckCap(c.cfg.ReceiveCap())
+	}
+	return nil
+}
+
+// EndRound closes the round opened by BeginRound: it synchronizes the
+// pool (every worker has ingested the round's runs) and enforces the
+// receive budget, returning an mpc.ErrCapExceeded-wrapping error on a
+// violation.
+func (c *Cluster) EndRound(ctx context.Context) error {
+	if !c.open {
+		return fmt.Errorf("dist: EndRound without BeginRound")
+	}
+	c.open = false
+	if err := c.tr.Barrier(ctx, c.round); err != nil {
+		return err
+	}
+	return c.stats.Rounds[len(c.stats.Rounds)-1].CheckCap(c.cfg.ReceiveCap())
+}
+
+// Join has every worker evaluate q over its stored tuples — local
+// computation, free in the MPC cost model — and keep the result under
+// view. bindings maps atom names to store names when they differ.
+func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]string, view string, strategy localjoin.Strategy) error {
+	return c.tr.Join(ctx, JoinSpec{
+		Query:    q.String(),
+		View:     view,
+		Bindings: bindings,
+		Strategy: uint8(strategy),
+	})
+}
+
+// Gather returns the deduplicated sorted union of the tuples every
+// worker holds under view — the cluster-wide answer of a query whose
+// per-worker outputs were stored by Join.
+func (c *Cluster) Gather(ctx context.Context, view string) ([]relation.Tuple, error) {
+	runs, err := c.tr.Gather(ctx, view)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	return exchange.MergeRuns(runs), nil
+}
+
+// Close closes the underlying transport session.
+func (c *Cluster) Close() error { return c.tr.Close() }

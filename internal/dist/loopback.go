@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/exchange"
+	"repro/internal/localjoin"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Loopback is the in-process Transport: p worker states in this
+// process's memory, deliveries as pointer hand-offs with no
+// serialization, local joins as one goroutine per worker. It is the
+// historical simulation path of the engines, now behind the Transport
+// interface, and the reference implementation the TCP transport is
+// differentially tested against.
+type Loopback struct {
+	ws []*workerStore
+}
+
+// NewLoopback returns an in-process pool of p workers with empty
+// stores.
+func NewLoopback(p int) *Loopback {
+	l := &Loopback{ws: make([]*workerStore, p)}
+	for i := range l.ws {
+		l.ws[i] = newWorkerStore()
+	}
+	return l
+}
+
+// Workers implements Transport.
+func (l *Loopback) Workers() int { return len(l.ws) }
+
+// Deliver implements Transport: runs land in the destination stores
+// immediately (destination range was validated by the partitioner).
+func (l *Loopback) Deliver(ctx context.Context, round int, ds []exchange.Delivery) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, d := range ds {
+		if d.To < 0 || d.To >= len(l.ws) {
+			return fmt.Errorf("dist: loopback delivery to worker %d out of range [0,%d)", d.To, len(l.ws))
+		}
+		l.ws[d.To].add(d.Rel, d.Buf)
+	}
+	return nil
+}
+
+// Barrier implements Transport; loopback deliveries are synchronous,
+// so it only observes cancellation.
+func (l *Loopback) Barrier(ctx context.Context, round int) error {
+	return ctx.Err()
+}
+
+// Join implements Transport: every worker evaluates the query over
+// its own store concurrently and keeps the result as a sealed run
+// under the view name.
+func (l *Loopback) Join(ctx context.Context, spec JoinSpec) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q, strategy, err := parseJoinSpec(spec)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(l.ws))
+	var wg sync.WaitGroup
+	for i, w := range l.ws {
+		wg.Add(1)
+		go func(i int, w *workerStore) {
+			defer wg.Done()
+			errs[i] = w.join(q, spec.Bindings, spec.View, strategy)
+		}(i, w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Gather implements Transport.
+func (l *Loopback) Gather(ctx context.Context, view string) ([]*exchange.Buffer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var runs []*exchange.Buffer
+	for _, w := range l.ws {
+		runs = append(runs, w.runs(view)...)
+	}
+	return runs, nil
+}
+
+// Close implements Transport.
+func (l *Loopback) Close() error { return nil }
+
+// parseJoinSpec validates the pieces of a JoinSpec shared by the
+// loopback transport and the remote worker session.
+func parseJoinSpec(spec JoinSpec) (*query.Query, localjoin.Strategy, error) {
+	q, err := query.Parse(spec.Query)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: join query: %w", err)
+	}
+	strategy := localjoin.Strategy(spec.Strategy)
+	switch strategy {
+	case localjoin.Default, localjoin.HashJoin, localjoin.Backtracking, localjoin.WCOJ:
+	default:
+		return nil, 0, fmt.Errorf("dist: unknown join strategy %d", spec.Strategy)
+	}
+	if spec.View == "" {
+		return nil, 0, fmt.Errorf("dist: join with empty view name")
+	}
+	return q, strategy, nil
+}
+
+// workerStore is one worker's state: received runs grouped by store
+// name. It is the same columnar layout as the mpc simulation's worker
+// store, shared between the loopback transport and the remote worker
+// session.
+type workerStore struct {
+	mu    sync.Mutex
+	store map[string]*exchange.Column
+}
+
+func newWorkerStore() *workerStore {
+	return &workerStore{store: make(map[string]*exchange.Column)}
+}
+
+// add appends a sealed run under the store name.
+func (w *workerStore) add(rel string, run *exchange.Buffer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	col := w.store[rel]
+	if col == nil {
+		col = &exchange.Column{}
+		w.store[rel] = col
+	}
+	col.Add(run)
+}
+
+// tuples materializes a fresh view of everything stored under rel.
+func (w *workerStore) tuples(rel string) []relation.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	col := w.store[rel]
+	if col == nil {
+		return nil
+	}
+	return col.Tuples()
+}
+
+// runs returns the sealed runs stored under rel.
+func (w *workerStore) runs(rel string) []*exchange.Buffer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	col := w.store[rel]
+	if col == nil {
+		return nil
+	}
+	return col.Runs()
+}
+
+// join evaluates q over the store (atom names mapped through
+// bindings) and stores the result as one sealed run under view.
+func (w *workerStore) join(q *query.Query, bindings map[string]string, view string, strategy localjoin.Strategy) error {
+	b := localjoin.Bindings{}
+	for _, a := range q.Atoms {
+		src := a.Name
+		if mapped, ok := bindings[a.Name]; ok {
+			src = mapped
+		}
+		b[a.Name] = w.tuples(src)
+	}
+	rows, err := localjoin.Evaluate(q, b, strategy)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	out := exchange.NewBuffer(q.NumVars())
+	for _, t := range rows {
+		out.Append(t)
+	}
+	out.Seal()
+	w.add(view, out)
+	return nil
+}

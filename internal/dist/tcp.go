@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/wire"
+)
+
+// TCP is the socket Transport: one connection per worker, wire frames
+// (internal/wire) for every primitive. A TCP value is one execution
+// session — the workers' per-connection stores live exactly as long
+// as it does — so callers that share a worker pool across concurrent
+// executions dial one TCP transport per execution.
+type TCP struct {
+	conns []*workerConn
+}
+
+// workerConn is the coordinator's end of one worker connection. The
+// mutex serializes frame traffic per worker; distinct workers proceed
+// in parallel.
+type workerConn struct {
+	id   int
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// ParseAddrs splits a comma-separated worker address list (the
+// -workers flag of mpcrun and mpcserve): entries are trimmed, empty
+// entries are rejected, and an all-whitespace input yields nil.
+func ParseAddrs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("dist: empty address in worker list %q", s)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
+// DialTCP connects to one mpcworker process per address and performs
+// the session handshake; the pool size is len(addrs) and worker i is
+// addrs[i]. On any failure every already-opened connection is closed.
+func DialTCP(ctx context.Context, addrs []string) (*TCP, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("dist: no worker addresses")
+	}
+	t := &TCP{conns: make([]*workerConn, len(addrs))}
+	var d net.Dialer
+	for i, addr := range addrs {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("dist: dial worker %d at %s: %w", i, addr, err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		wc := &workerConn{
+			id:   i,
+			conn: conn,
+			br:   bufio.NewReaderSize(conn, 1<<16),
+			bw:   bufio.NewWriterSize(conn, 1<<16),
+		}
+		t.conns[i] = wc
+		hello := &wire.Frame{Type: wire.TypeHello, Hello: wire.Hello{
+			Version: wire.Version,
+			Worker:  uint32(i),
+			P:       uint32(len(addrs)),
+		}}
+		err = wc.roundTrip(ctx, func() error {
+			if err := wire.Encode(wc.bw, hello); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			return wc.expectAck(0, false)
+		})
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("dist: handshake with worker %d at %s: %w", i, addr, err)
+		}
+	}
+	return t, nil
+}
+
+// Workers implements Transport.
+func (t *TCP) Workers() int { return len(t.conns) }
+
+// roundTrip runs op while ctx can interrupt the connection: if ctx is
+// cancelled (or its deadline passes) the connection deadline is
+// poisoned, so any blocked read or write inside op fails promptly
+// instead of hanging on a stuck worker. A poisoned connection stays
+// dead — the session is aborted anyway.
+func (wc *workerConn) roundTrip(ctx context.Context, op func() error) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { wc.conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	if err := op(); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("dist: worker %d: %w", wc.id, ctx.Err())
+		}
+		return fmt.Errorf("dist: worker %d: %w", wc.id, err)
+	}
+	return nil
+}
+
+// expectAck reads the next frame and requires an Ack (with the given
+// round echo when checkRound is set); an Error frame becomes the
+// worker's reported error.
+func (wc *workerConn) expectAck(round uint32, checkRound bool) error {
+	f, err := wire.Decode(wc.br)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case wire.TypeAck:
+		if checkRound && f.Round != round {
+			return fmt.Errorf("ack for round %d, want %d", f.Round, round)
+		}
+		return nil
+	case wire.TypeError:
+		return fmt.Errorf("worker error: %s", f.Msg)
+	default:
+		return fmt.Errorf("unexpected %s frame, want ack", f.Type)
+	}
+}
+
+// eachConn runs fn for every worker connection concurrently and joins
+// the failures.
+func (t *TCP) eachConn(fn func(wc *workerConn) error) error {
+	errs := make([]error, len(t.conns))
+	var wg sync.WaitGroup
+	for i, wc := range t.conns {
+		wg.Add(1)
+		go func(i int, wc *workerConn) {
+			defer wg.Done()
+			errs[i] = fn(wc)
+		}(i, wc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Deliver implements Transport: runs are framed and written to their
+// destination connections, all workers in parallel. Frames are only
+// buffered here; Barrier flushes and synchronizes.
+func (t *TCP) Deliver(ctx context.Context, round int, ds []exchange.Delivery) error {
+	byWorker := make([][]exchange.Delivery, len(t.conns))
+	for _, d := range ds {
+		if d.To < 0 || d.To >= len(t.conns) {
+			return fmt.Errorf("dist: delivery to worker %d out of range [0,%d)", d.To, len(t.conns))
+		}
+		byWorker[d.To] = append(byWorker[d.To], d)
+	}
+	return t.eachConn(func(wc *workerConn) error {
+		mine := byWorker[wc.id]
+		if len(mine) == 0 {
+			return nil
+		}
+		return wc.roundTrip(ctx, func() error {
+			for _, d := range mine {
+				f := &wire.Frame{Type: wire.TypeData, Data: wire.Data{
+					Round: uint32(round),
+					Dest:  uint32(d.To),
+					Rel:   d.Rel,
+					Buf:   d.Buf,
+				}}
+				if err := wire.Encode(wc.bw, f); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// Barrier implements Transport: every connection flushes its buffered
+// data frames, sends the barrier, and waits for the worker's ack.
+func (t *TCP) Barrier(ctx context.Context, round int) error {
+	return t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			f := &wire.Frame{Type: wire.TypeBarrier, Round: uint32(round)}
+			if err := wire.Encode(wc.bw, f); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			return wc.expectAck(uint32(round), true)
+		})
+	})
+}
+
+// Join implements Transport.
+func (t *TCP) Join(ctx context.Context, spec JoinSpec) error {
+	f := &wire.Frame{Type: wire.TypeJoin, Join: wire.Join{
+		Query:    spec.Query,
+		View:     spec.View,
+		Strategy: spec.Strategy,
+	}}
+	for atom, store := range spec.Bindings {
+		f.Join.Bindings = append(f.Join.Bindings, [2]string{atom, store})
+	}
+	return t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			if err := wire.Encode(wc.bw, f); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			return wc.expectAck(0, false)
+		})
+	})
+}
+
+// Gather implements Transport: every worker streams its runs back in
+// parallel; the result keeps worker order (all of worker 0's runs,
+// then worker 1's, …) so gathers are deterministic.
+func (t *TCP) Gather(ctx context.Context, view string) ([]*exchange.Buffer, error) {
+	perWorker := make([][]*exchange.Buffer, len(t.conns))
+	err := t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			if err := wire.Encode(wc.bw, &wire.Frame{Type: wire.TypeGather, View: view}); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			for {
+				f, err := wire.Decode(wc.br)
+				if err != nil {
+					return err
+				}
+				switch f.Type {
+				case wire.TypeData:
+					if f.Data.Rel != view {
+						return fmt.Errorf("gather of %q answered with run for %q", view, f.Data.Rel)
+					}
+					perWorker[wc.id] = append(perWorker[wc.id], f.Data.Buf)
+				case wire.TypeDone:
+					if int(f.Count) != len(perWorker[wc.id]) {
+						return fmt.Errorf("gather of %q: %d runs streamed, done frame says %d",
+							view, len(perWorker[wc.id]), f.Count)
+					}
+					return nil
+				case wire.TypeError:
+					return fmt.Errorf("worker error: %s", f.Msg)
+				default:
+					return fmt.Errorf("unexpected %s frame in gather stream", f.Type)
+				}
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var runs []*exchange.Buffer
+	for _, rs := range perWorker {
+		runs = append(runs, rs...)
+	}
+	return runs, nil
+}
+
+// Close implements Transport: all connections are closed; workers
+// drop the session stores when they observe the close.
+func (t *TCP) Close() error {
+	var errs []error
+	for _, wc := range t.conns {
+		if wc != nil && wc.conn != nil {
+			if err := wc.conn.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

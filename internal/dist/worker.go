@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Serve accepts coordinator connections on ln and serves each as an
+// isolated worker session until ctx is done or the listener fails.
+// Sessions are independent: concurrent executions (e.g. parallel
+// mpcserve queries sharing one worker pool) never see each other's
+// stores.
+func Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = ServeConn(ctx, conn)
+		}()
+	}
+}
+
+// ServeConn runs one worker session over conn: it expects a Hello,
+// then processes Data, Barrier, Join and Gather frames in order until
+// the coordinator closes the connection. Cancelling ctx aborts the
+// session by poisoning the connection deadline. Protocol violations
+// and evaluation failures are reported to the coordinator as Error
+// frames and returned.
+func ServeConn(ctx context.Context, conn net.Conn) error {
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	s := &session{store: newWorkerStore(), bw: bw}
+
+	hello, err := wire.Decode(br)
+	if err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if hello.Type != wire.TypeHello {
+		return s.abort(fmt.Errorf("first frame is %s, want hello", hello.Type))
+	}
+	if hello.Hello.Version != wire.Version {
+		return s.abort(fmt.Errorf("protocol version %d, worker speaks %d", hello.Hello.Version, wire.Version))
+	}
+	if hello.Hello.P == 0 || hello.Hello.Worker >= hello.Hello.P {
+		return s.abort(fmt.Errorf("worker id %d out of pool [0,%d)", hello.Hello.Worker, hello.Hello.P))
+	}
+	s.id = hello.Hello.Worker
+	if err := s.reply(&wire.Frame{Type: wire.TypeAck}); err != nil {
+		return err
+	}
+
+	for {
+		f, err := wire.Decode(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator closed the session
+			}
+			return fmt.Errorf("dist: worker %d: %w", s.id, err)
+		}
+		if err := s.handle(f); err != nil {
+			return s.abort(err)
+		}
+	}
+}
+
+// session is the per-connection worker state.
+type session struct {
+	id    uint32
+	store *workerStore
+	bw    *bufio.Writer
+}
+
+// reply encodes a frame and flushes it.
+func (s *session) reply(f *wire.Frame) error {
+	if err := wire.Encode(s.bw, f); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// abort reports err to the coordinator as an Error frame (best
+// effort) and returns it.
+func (s *session) abort(err error) error {
+	_ = s.reply(&wire.Frame{Type: wire.TypeError, Msg: err.Error()})
+	return fmt.Errorf("dist: worker %d: %w", s.id, err)
+}
+
+// handle processes one post-handshake frame.
+func (s *session) handle(f *wire.Frame) error {
+	switch f.Type {
+	case wire.TypeData:
+		if f.Data.Dest != s.id {
+			return fmt.Errorf("data frame for shard %d delivered to worker %d", f.Data.Dest, s.id)
+		}
+		s.store.add(f.Data.Rel, f.Data.Buf)
+		return nil
+	case wire.TypeBarrier:
+		// Frames on the connection are processed in order, so reaching
+		// the barrier means every preceding Data frame is ingested.
+		return s.reply(&wire.Frame{Type: wire.TypeAck, Round: f.Round})
+	case wire.TypeJoin:
+		spec := JoinSpec{
+			Query:    f.Join.Query,
+			View:     f.Join.View,
+			Strategy: f.Join.Strategy,
+		}
+		if len(f.Join.Bindings) > 0 {
+			spec.Bindings = make(map[string]string, len(f.Join.Bindings))
+			for _, b := range f.Join.Bindings {
+				spec.Bindings[b[0]] = b[1]
+			}
+		}
+		q, strategy, err := parseJoinSpec(spec)
+		if err != nil {
+			return err
+		}
+		if err := s.store.join(q, spec.Bindings, spec.View, strategy); err != nil {
+			return err
+		}
+		return s.reply(&wire.Frame{Type: wire.TypeAck})
+	case wire.TypeGather:
+		runs := s.store.runs(f.View)
+		for _, run := range runs {
+			frame := &wire.Frame{Type: wire.TypeData, Data: wire.Data{
+				Dest: s.id,
+				Rel:  f.View,
+				Buf:  run,
+			}}
+			if err := wire.Encode(s.bw, frame); err != nil {
+				return err
+			}
+		}
+		if err := wire.Encode(s.bw, &wire.Frame{Type: wire.TypeDone, Count: uint32(len(runs))}); err != nil {
+			return err
+		}
+		return s.bw.Flush()
+	default:
+		return fmt.Errorf("unexpected %s frame", f.Type)
+	}
+}

@@ -181,6 +181,78 @@ func (b *Buffer) appendRange(dst []relation.Tuple, from, to int) []relation.Tupl
 	return dst
 }
 
+// Words returns the packed uint64 payload and true when the buffer is
+// on the packed path (one word per tuple, values most-significant
+// first at the relation packed-key width). The slice aliases the
+// buffer; callers must treat it as read-only. It is the wire
+// representation internal/wire serializes.
+func (b *Buffer) Words() ([]uint64, bool) {
+	if !b.packed {
+		return nil, false
+	}
+	return b.words, true
+}
+
+// Flat returns the row-major []int payload of a buffer on the flat
+// fallback path (stride = arity). It returns nil for packed buffers;
+// check Words first. The slice aliases the buffer; callers must treat
+// it as read-only.
+func (b *Buffer) Flat() []int {
+	if b.packed {
+		return nil
+	}
+	return b.flat
+}
+
+// NewBufferFromWords reconstructs a packed buffer from a wire payload
+// of one word per tuple. It validates that the arity admits packing
+// and that no word sets bits above arity·shift (two distinct words
+// must never decode to the same tuple, or sealed word order would stop
+// coinciding with lexicographic tuple order). The returned buffer is
+// sealed — sorted and immutable — regardless of the input order, and
+// takes ownership of words.
+func NewBufferFromWords(arity int, words []uint64) (*Buffer, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("exchange: packed buffer arity %d, need ≥ 1", arity)
+	}
+	shift := relation.PackedShift(arity)
+	if shift == 0 {
+		return nil, fmt.Errorf("exchange: arity %d does not admit packed words", arity)
+	}
+	if used := uint(arity) * shift; used < 64 {
+		for _, w := range words {
+			if w>>used != 0 {
+				return nil, fmt.Errorf("exchange: packed word %#x sets bits above %d", w, used)
+			}
+		}
+	}
+	b := &Buffer{arity: arity, shift: shift, words: words, packed: true}
+	b.Seal()
+	return b, nil
+}
+
+// NewBufferFromFlat reconstructs a flat-path buffer from a row-major
+// wire payload (stride = arity). It validates the length is a whole
+// number of rows and every value is non-negative (tuple values are
+// domain elements). The returned buffer is sealed and takes ownership
+// of flat.
+func NewBufferFromFlat(arity int, flat []int) (*Buffer, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("exchange: flat buffer arity %d, need ≥ 1", arity)
+	}
+	if len(flat)%arity != 0 {
+		return nil, fmt.Errorf("exchange: flat payload of %d values is not a multiple of arity %d", len(flat), arity)
+	}
+	for _, v := range flat {
+		if v < 0 {
+			return nil, fmt.Errorf("exchange: negative value %d in flat payload", v)
+		}
+	}
+	b := &Buffer{arity: arity, flat: flat}
+	b.Seal()
+	return b, nil
+}
+
 // sortFlat sorts a row-major flat slice of the given stride
 // lexicographically.
 func sortFlat(flat []int, stride int) {

@@ -7,6 +7,7 @@ package experiments
 // ASCII charts for the two headline decay curves.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/big"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/cover"
+	"repro/internal/exchange"
 	"repro/internal/friedgut"
 	"repro/internal/hypercube"
 	"repro/internal/knowledge"
@@ -24,7 +26,83 @@ import (
 	"repro/internal/relation"
 	"repro/internal/skew"
 	"repro/internal/theory"
+	"repro/internal/wire"
 )
+
+// WireRow is one point of the E-WIRE experiment: throughput of the
+// distributed runtime's wire codec (internal/wire) on the columnar
+// data frame — the serialization cost a TCP shuffle adds on top of
+// the in-process loopback.
+type WireRow struct {
+	// Tuples is the packed tuple count of the encoded buffer.
+	Tuples int
+	// FrameBytes is the encoded frame size.
+	FrameBytes int
+	// EncodeMiBPerSec is serialization throughput.
+	EncodeMiBPerSec float64
+	// DecodeMiBPerSec is deserialization throughput (including the
+	// validating buffer reconstruction).
+	DecodeMiBPerSec float64
+}
+
+// Wire measures encode and decode throughput of the wire format's
+// columnar data frame for each buffer size: 3-ary packed tuples (the
+// triangle-scatter shape), repeated enough times to smooth timer
+// noise.
+func Wire(w io.Writer, sizes []int, seed uint64) ([]WireRow, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x33))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "E-WIRE: wire codec throughput, packed 3-ary data frames")
+	fmt.Fprintln(tw, "tuples\tframe bytes\tencode MiB/s\tdecode MiB/s")
+	var rows []WireRow
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: wire frame of %d tuples", n)
+		}
+		buf := exchange.NewBuffer(3)
+		row := make(relation.Tuple, 3)
+		for i := 0; i < n; i++ {
+			for j := range row {
+				row[j] = rng.IntN(1 << 20)
+			}
+			buf.Append(row)
+		}
+		buf.Seal()
+		frame := &wire.Frame{Type: wire.TypeData, Data: wire.Data{Round: 1, Rel: "R", Buf: buf}}
+		var enc bytes.Buffer
+		if err := wire.Encode(&enc, frame); err != nil {
+			return nil, err
+		}
+		reps := 2_000_000 / n
+		if reps < 3 {
+			reps = 3
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := wire.Encode(io.Discard, frame); err != nil {
+				return nil, err
+			}
+		}
+		encSec := time.Since(start).Seconds()
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := wire.Decode(bytes.NewReader(enc.Bytes())); err != nil {
+				return nil, err
+			}
+		}
+		decSec := time.Since(start).Seconds()
+		mib := float64(enc.Len()) * float64(reps) / (1 << 20)
+		r := WireRow{
+			Tuples:          n,
+			FrameBytes:      enc.Len(),
+			EncodeMiBPerSec: mib / encSec,
+			DecodeMiBPerSec: mib / decSec,
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\n", r.Tuples, r.FrameBytes, r.EncodeMiBPerSec, r.DecodeMiBPerSec)
+	}
+	return rows, tw.Flush()
+}
 
 // SkewRow is one point of the E-SKEW experiment.
 type SkewRow struct {

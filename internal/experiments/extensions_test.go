@@ -10,6 +10,33 @@ import (
 
 func triangleQuery() *query.Query { return query.Triangle() }
 
+func TestWireExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Wire(&buf, []int{256, 1024}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.EncodeMiBPerSec <= 0 || r.DecodeMiBPerSec <= 0 {
+			t.Errorf("n=%d: non-positive throughput %+v", r.Tuples, r)
+		}
+		// Header (5) + round/dest (8) + name (2+1) + arity/enc/count (7)
+		// + 8 bytes per packed 3-ary tuple.
+		if want := 23 + 8*r.Tuples; r.FrameBytes != want {
+			t.Errorf("n=%d: frame bytes %d, want %d", r.Tuples, r.FrameBytes, want)
+		}
+	}
+	if !strings.Contains(buf.String(), "E-WIRE") {
+		t.Error("report missing E-WIRE header")
+	}
+	if _, err := Wire(&buf, []int{0}, 5); err == nil {
+		t.Error("zero-size frame accepted")
+	}
+}
+
 func TestSkewExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	rows, err := Skew(&buf, 1500, 32, 1.1, 31)

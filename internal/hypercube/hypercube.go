@@ -19,13 +19,14 @@
 package hypercube
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"repro/internal/cover"
-	"repro/internal/exchange"
+	"repro/internal/dist"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
 	"repro/internal/query"
@@ -363,6 +364,14 @@ type Options struct {
 	// join — the right evaluator for the cyclic residual queries HC
 	// workers see.
 	Strategy localjoin.Strategy
+	// Transport selects the worker pool the round runs on: nil is the
+	// in-process loopback (the historical simulation), a dist.TCP
+	// value executes against remote mpcworker processes. The pool size
+	// must equal p.
+	Transport dist.Transport
+	// Context bounds a distributed execution (cancellation, deadline);
+	// nil selects context.Background().
+	Context context.Context
 }
 
 // Result reports a HyperCube execution.
@@ -435,6 +444,11 @@ func RunSampled(q *query.Query, db *relation.Database, p int, opts Options) (*Re
 	return runWithShares(q, db, p, shares, opts, chosen)
 }
 
+// answersView is the reserved store name per-worker HC outputs land
+// under before the gather ("!" keeps it out of the query.Parse
+// identifier space, so it cannot collide with a relation name).
+const answersView = "hc!answers"
+
 // runWithShares is the shared core. sample, when non-nil, maps
 // materialized grid points to servers; nil materializes the whole grid
 // (which must then fit in p).
@@ -442,13 +456,21 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	if sample == nil && shares.GridSize() > p {
 		return nil, fmt.Errorf("hypercube: grid size %d exceeds %d servers", shares.GridSize(), p)
 	}
-	cluster, err := mpc.NewCluster(mpc.Config{
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = dist.NewLoopback(p)
+	}
+	cluster, err := dist.NewCluster(mpc.Config{
 		Workers:     p,
 		Epsilon:     opts.Epsilon,
 		InputBits:   db.InputBits(),
 		CapConstant: opts.CapConstant,
 		DomainN:     db.N,
-	})
+	}, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -463,40 +485,25 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 			return nil, fmt.Errorf("hypercube: database missing relation %s", a.Name)
 		}
 		part := NewGridPartitioner(shares, hasher, a).WithSample(sample)
-		if err := cluster.ScatterPart(rel, part); err != nil {
+		if err := cluster.Scatter(ctx, rel, a.Name, part); err != nil {
 			return nil, err
 		}
 	}
-	capErr := cluster.EndRound()
+	capErr := cluster.EndRound(ctx)
 	if capErr != nil && !errors.Is(capErr, mpc.ErrCapExceeded) {
 		return nil, capErr
 	}
 
 	// Local computation (free in the MPC cost model): each worker joins
-	// what it received.
-	answers := make([][]relation.Tuple, p)
-	errs := make([]error, p)
-	done := make(chan int, p)
-	for i := 0; i < p; i++ {
-		go func(i int) {
-			w := cluster.Worker(i)
-			b := localjoin.Bindings{}
-			for _, a := range q.Atoms {
-				b[a.Name] = w.Received(a.Name)
-			}
-			answers[i], errs[i] = localjoin.Evaluate(q, b, opts.Strategy)
-			done <- i
-		}(i)
+	// what it received, and the sorted per-worker outputs k-way merge
+	// in the gather.
+	if err := cluster.Join(ctx, q, nil, answersView, opts.Strategy); err != nil {
+		return nil, err
 	}
-	for i := 0; i < p; i++ {
-		<-done
+	merged, err := cluster.Gather(ctx, answersView)
+	if err != nil {
+		return nil, err
 	}
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
-	}
-	merged := exchange.MergeDedupTuples(answers, q.NumVars())
 
 	grid := shares.GridSize()
 	if sample != nil && grid > p {

@@ -191,6 +191,41 @@ type RoundStats struct {
 	PerWorkerTuples []int64
 }
 
+// Account folds one delivered run — tuples tuples costing bits bits,
+// received by worker to — into the round's counters. PerWorkerBits and
+// PerWorkerTuples must already be sized to the cluster. It is the one
+// accounting primitive shared by the in-process simulation and the
+// distributed coordinator (internal/dist), so both record identical
+// statistics for identical deliveries.
+func (rs *RoundStats) Account(to int, tuples, bits int64) {
+	rs.PerWorkerBits[to] += bits
+	rs.PerWorkerTuples[to] += tuples
+	rs.TotalBits += bits
+	rs.TotalTuples += tuples
+	if rs.PerWorkerBits[to] > rs.MaxReceivedBits {
+		rs.MaxReceivedBits = rs.PerWorkerBits[to]
+	}
+	if rs.PerWorkerTuples[to] > rs.MaxReceivedTuples {
+		rs.MaxReceivedTuples = rs.PerWorkerTuples[to]
+	}
+}
+
+// CheckCap validates the round against a per-worker receive budget in
+// bits, returning an ErrCapExceeded-wrapping error naming the first
+// offending worker. A budget ≤ 0 disables enforcement.
+func (rs *RoundStats) CheckCap(budget int64) error {
+	if budget <= 0 {
+		return nil
+	}
+	for w, bits := range rs.PerWorkerBits {
+		if bits > budget {
+			return fmt.Errorf("%w: worker %d received %d bits in round %d, budget %d",
+				ErrCapExceeded, w, bits, rs.Round, budget)
+		}
+	}
+	return nil
+}
+
 // Stats aggregates per-round statistics for a run.
 type Stats struct {
 	Rounds []RoundStats
@@ -418,33 +453,14 @@ func (c *Cluster) route(all []exchange.Delivery, rs *RoundStats) error {
 		}
 		bits := d.Buf.Bits(relation.BitsPerValue(c.cfg.DomainN))
 		c.workers[d.To].addRun(d.Rel, d.Buf)
-		rs.PerWorkerBits[d.To] += bits
-		rs.PerWorkerTuples[d.To] += n
-		rs.TotalBits += bits
-		rs.TotalTuples += n
-		if rs.PerWorkerBits[d.To] > rs.MaxReceivedBits {
-			rs.MaxReceivedBits = rs.PerWorkerBits[d.To]
-		}
-		if rs.PerWorkerTuples[d.To] > rs.MaxReceivedTuples {
-			rs.MaxReceivedTuples = rs.PerWorkerTuples[d.To]
-		}
+		rs.Account(d.To, n, bits)
 	}
 	return nil
 }
 
 // checkCap validates the round against the receive budget.
 func (c *Cluster) checkCap(rs *RoundStats) error {
-	budget := c.cfg.ReceiveCap()
-	if budget <= 0 {
-		return nil
-	}
-	for w, bits := range rs.PerWorkerBits {
-		if bits > budget {
-			return fmt.Errorf("%w: worker %d received %d bits in round %d, budget %d",
-				ErrCapExceeded, w, bits, rs.Round, budget)
-		}
-	}
-	return nil
+	return rs.CheckCap(c.cfg.ReceiveCap())
 }
 
 // GatherAnswers collects deduplicated, sorted tuples stored under the

@@ -17,14 +17,14 @@
 package multiround
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 	"sort"
-	"sync"
 
 	"repro/internal/cover"
-	"repro/internal/exchange"
+	"repro/internal/dist"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
@@ -224,6 +224,12 @@ type Options struct {
 	// zero value is localjoin.Default (the worst-case-optimal multiway
 	// join).
 	Strategy localjoin.Strategy
+	// Transport selects the worker pool (internal/dist); nil is the
+	// in-process loopback. The pool size must equal p.
+	Transport dist.Transport
+	// Context bounds a distributed execution; nil selects
+	// context.Background().
+	Context context.Context
 }
 
 // Result reports a plan execution.
@@ -247,13 +253,21 @@ type Result struct {
 // communication.
 func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, error) {
 	epsF, _ := plan.Epsilon.Float64()
-	cluster, err := mpc.NewCluster(mpc.Config{
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = dist.NewLoopback(p)
+	}
+	cluster, err := dist.NewCluster(mpc.Config{
 		Workers:     p,
 		Epsilon:     epsF,
 		InputBits:   db.InputBits(),
 		CapConstant: opts.CapConstant,
 		DomainN:     db.N,
-	})
+	}, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -312,14 +326,16 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 					if !ok {
 						return nil, fmt.Errorf("multiround: no relation for atom %s", atom.Name)
 					}
+					// Store under a per-view key: two groups may consume
+					// the same base relation in one round.
 					prefix := w.group.View + "/"
 					part := hypercube.NewGridPartitioner(w.shares, w.hasher, atom)
-					if err := cluster.ScatterPart(prefixed(rel, prefix+atom.Name), part); err != nil {
+					if err := cluster.Scatter(ctx, rel, prefix+atom.Name, part); err != nil {
 						return nil, err
 					}
 				}
 			}
-			if err := cluster.EndRound(); err != nil {
+			if err := cluster.EndRound(ctx); err != nil {
 				if errors.Is(err, mpc.ErrCapExceeded) {
 					capExceeded = true
 				} else {
@@ -328,7 +344,7 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 			}
 			// Local joins: materialize each view.
 			for _, w := range work {
-				view, err := materializeView(cluster, w.group, opts.Strategy)
+				view, err := materializeView(ctx, cluster, w.group, opts.Strategy)
 				if err != nil {
 					return nil, err
 				}
@@ -370,42 +386,28 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 	}, nil
 }
 
-// prefixed returns a shallow renamed relation so tuples land in the
-// worker store under a per-view key (two groups may consume the same
-// base relation in one round).
-func prefixed(r *relation.Relation, name string) *relation.Relation {
-	return &relation.Relation{Name: name, Attrs: r.Attrs, Tuples: r.Tuples}
-}
-
 // materializeView gathers the per-worker join results of one group
 // into a relation over the group query's variables: the workers join
 // concurrently (local computation is free in the model) and their
-// sorted outputs k-way merge through the exchange layer.
-func materializeView(cluster *mpc.Cluster, g Group, strategy localjoin.Strategy) (*relation.Relation, error) {
-	workers := cluster.Workers()
-	rows := make([][]relation.Tuple, len(workers))
-	errs := make([]error, len(workers))
+// sorted outputs k-way merge in the gather.
+func materializeView(ctx context.Context, cluster *dist.Cluster, g Group, strategy localjoin.Strategy) (*relation.Relation, error) {
 	prefix := g.View + "/"
-	var wg sync.WaitGroup
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *mpc.Worker) {
-			defer wg.Done()
-			b := localjoin.Bindings{}
-			for _, atom := range g.Query.Atoms {
-				b[atom.Name] = w.Received(prefix + atom.Name)
-			}
-			rows[i], errs[i] = localjoin.Evaluate(g.Query, b, strategy)
-		}(i, w)
+	bindings := make(map[string]string, len(g.Query.Atoms))
+	for _, atom := range g.Query.Atoms {
+		bindings[atom.Name] = prefix + atom.Name
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// "!out" keeps the result store out of both the identifier space
+	// and the "view/atom" input keys.
+	store := g.View + "!out"
+	if err := cluster.Join(ctx, g.Query, bindings, store, strategy); err != nil {
+		return nil, err
+	}
+	tuples, err := cluster.Gather(ctx, store)
+	if err != nil {
+		return nil, err
 	}
 	out := relation.New(g.View, g.Query.Vars()...)
-	out.Tuples = exchange.MergeDedupTuples(rows, g.Query.NumVars())
+	out.Tuples = tuples
 	return out, nil
 }
 

@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/dist"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
@@ -23,6 +25,15 @@ type ExecOptions struct {
 	// Strategy selects the per-worker local join algorithm; the zero
 	// value is localjoin.Default (the worst-case-optimal join).
 	Strategy localjoin.Strategy
+	// Transport selects the worker pool the execution runs on
+	// (internal/dist): nil is the in-process loopback, a dist.TCP
+	// value runs the rounds against remote mpcworker processes. The
+	// pool size must equal the plan's P. A transport is one execution
+	// session — do not share one across concurrent Execute calls.
+	Transport dist.Transport
+	// Context bounds a distributed execution (cancellation, deadline);
+	// nil selects context.Background().
+	Context context.Context
 }
 
 // Result reports a planner-driven execution.
@@ -63,6 +74,8 @@ func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error)
 			CapConstant: opts.CapConstant,
 			Seed:        opts.Seed,
 			Strategy:    opts.Strategy,
+			Transport:   opts.Transport,
+			Context:     opts.Context,
 		})
 		if err != nil {
 			return nil, err
@@ -88,6 +101,8 @@ func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result
 		CapConstant: opts.CapConstant,
 		Seed:        opts.Seed,
 		Strategy:    opts.Strategy,
+		Transport:   opts.Transport,
+		Context:     opts.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -124,6 +139,8 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 		Seed:        opts.Seed,
 		CapConstant: opts.CapConstant,
 		HeavyFactor: p.heavyFactor,
+		Transport:   opts.Transport,
+		Context:     opts.Context,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,119 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/serve"
+)
+
+// startWorkerPool spins up n in-process TCP worker listeners (the
+// cmd/mpcworker serving path) and returns their addresses.
+func startWorkerPool(t *testing.T, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ctx, ln)
+	}
+	return addrs
+}
+
+// TestWorkerPoolExecution: a server configured with WorkerAddrs
+// executes queries on the remote pool — answers identical to ground
+// truth, the distributed counter ticks, and concurrent queries share
+// the pool safely (per-execution sessions).
+func TestWorkerPoolExecution(t *testing.T) {
+	addrs := startWorkerPool(t, 3)
+	// MaxP below the pool size must be reconciled by the config
+	// defaults, not reject every request.
+	srv, ts := newTestServer(t, serve.Config{WorkerAddrs: addrs, MaxP: 1}, 200)
+	truth := triangleTruth(t, srv)
+
+	out, _ := postQuery(t, ts.URL, serve.QueryRequest{Dataset: "tri", Family: "C3", MaxAnswers: -1})
+	if out.P != 3 {
+		t.Fatalf("p = %d, want pool size 3", out.P)
+	}
+	if out.AnswerCount != len(truth) {
+		t.Fatalf("%d answers, ground truth %d", out.AnswerCount, len(truth))
+	}
+	if got := srv.Metrics().DistributedQueries.Load(); got != 1 {
+		t.Fatalf("DistributedQueries = %d, want 1", got)
+	}
+
+	// Concurrent queries: isolated sessions on the shared processes.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _ := postQuery(t, ts.URL, serve.QueryRequest{Dataset: "tri", Family: "C3"})
+			if out.AnswerCount != len(truth) {
+				t.Errorf("concurrent query: %d answers, want %d", out.AnswerCount, len(truth))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := srv.Metrics().DistributedQueries.Load(); got != 9 {
+		t.Fatalf("DistributedQueries = %d, want 9", got)
+	}
+}
+
+// TestWorkerPoolRejectsMismatchedP: with a fixed pool, a request
+// asking for a different p is a client error, not a silent resize.
+func TestWorkerPoolRejectsMismatchedP(t *testing.T) {
+	addrs := startWorkerPool(t, 2)
+	_, ts := newTestServer(t, serve.Config{WorkerAddrs: addrs}, 60)
+	body := strings.NewReader(`{"dataset":"tri","family":"C3","p":16}`)
+	resp, err := http.Post(ts.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "fixed pool") {
+		t.Fatalf("error %q does not explain the fixed pool", e.Error)
+	}
+}
+
+// TestWorkerPoolUnavailable: a dead pool surfaces as 502, not a hang
+// or a fallback to in-process execution.
+func TestWorkerPoolUnavailable(t *testing.T) {
+	// Reserve an address and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	_, ts := newTestServer(t, serve.Config{WorkerAddrs: []string{dead}}, 60)
+	body := strings.NewReader(`{"dataset":"tri","family":"C3"}`)
+	resp, err := http.Post(ts.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+}

@@ -39,6 +39,10 @@ type Metrics struct {
 	// ShuffleBits is the total number of bits received by workers
 	// across all executed queries, as accounted by the MPC simulator.
 	ShuffleBits atomic.Int64
+	// DistributedQueries counts executions dispatched to the remote
+	// TCP worker pool (Config.WorkerAddrs) rather than the in-process
+	// loopback.
+	DistributedQueries atomic.Int64
 
 	mu           sync.Mutex
 	perRoundBits []int64
@@ -98,6 +102,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("mpcserve_stats_cache_misses_total", "Plan builds that collected dataset statistics.", m.StatsCacheMisses.Load())
 	counter("mpcserve_answers_returned_total", "Answer tuples returned to clients.", m.AnswersReturned.Load())
 	counter("mpcserve_shuffle_bits_total", "Bits received by workers across all queries.", m.ShuffleBits.Load())
+	counter("mpcserve_distributed_queries_total", "Executions dispatched to the remote TCP worker pool.", m.DistributedQueries.Load())
 	fmt.Fprintf(w, "# HELP mpcserve_plan_cache_hit_rate Plan cache hits over lookups.\n# TYPE mpcserve_plan_cache_hit_rate gauge\nmpcserve_plan_cache_hit_rate %.4f\n",
 		m.PlanCacheHitRate())
 	rounds := m.PerRoundBits()

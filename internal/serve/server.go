@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -63,6 +64,13 @@ type Config struct {
 	// MaxAnswers caps answers returned per response when the request
 	// does not set its own cap. ≤ 0 selects 100.
 	MaxAnswers int
+	// WorkerAddrs, when non-empty, executes every query against the
+	// distributed TCP worker pool at these mpcworker addresses
+	// (internal/dist) instead of the in-process loopback. The pool
+	// size replaces DefaultP; requests must leave p unset or set it to
+	// the pool size. Each execution dials its own session, so
+	// concurrent queries stay isolated on shared worker processes.
+	WorkerAddrs []string
 }
 
 // withDefaults fills zero fields.
@@ -81,6 +89,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAnswers <= 0 {
 		c.MaxAnswers = 100
+	}
+	if len(c.WorkerAddrs) > 0 {
+		// With a worker pool, the cluster size is the pool size; MaxP
+		// must admit it or every default-p request would be rejected.
+		c.DefaultP = len(c.WorkerAddrs)
+		if c.MaxP < c.DefaultP {
+			c.MaxP = c.DefaultP
+		}
 	}
 	return c
 }
@@ -238,6 +254,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "p = %d exceeds server limit %d", p, s.cfg.MaxP)
 		return
 	}
+	if len(s.cfg.WorkerAddrs) > 0 && p != len(s.cfg.WorkerAddrs) {
+		writeError(w, http.StatusBadRequest,
+			"p = %d, but this service executes on a fixed pool of %d workers (leave p unset)",
+			p, len(s.cfg.WorkerAddrs))
+		return
+	}
 	var eps *big.Rat
 	if req.Epsilon != "" {
 		eps = new(big.Rat)
@@ -304,7 +326,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = 1
 	}
-	res, err := pl.Execute(view, plan.ExecOptions{Seed: seed})
+	execOpts := plan.ExecOptions{Seed: seed}
+	if len(s.cfg.WorkerAddrs) > 0 {
+		// One dialed session per execution: the per-connection stores on
+		// the shared mpcworker processes isolate concurrent queries.
+		tr, derr := dist.DialTCP(r.Context(), s.cfg.WorkerAddrs)
+		if derr != nil {
+			s.metrics.QueryErrors.Add(1)
+			s.metrics.InFlight.Add(-1)
+			s.gate.Release(cost)
+			writeError(w, http.StatusBadGateway, "worker pool unavailable: %v", derr)
+			return
+		}
+		defer tr.Close()
+		execOpts.Transport = tr
+		execOpts.Context = r.Context()
+		s.metrics.DistributedQueries.Add(1)
+	}
+	res, err := pl.Execute(view, execOpts)
 	elapsed := time.Since(start)
 	s.metrics.InFlight.Add(-1)
 	s.gate.Release(cost)

@@ -24,12 +24,13 @@
 package skew
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
-	"sync"
 
+	"repro/internal/dist"
 	"repro/internal/exchange"
 	"repro/internal/localjoin"
 	"repro/internal/mpc"
@@ -155,6 +156,12 @@ type Options struct {
 	// HeavyFactor scales the heavy-hitter threshold
 	// HeavyFactor·(|R|+|S|)/p; zero means 1.
 	HeavyFactor float64
+	// Transport selects the worker pool (internal/dist); nil is the
+	// in-process loopback. The pool size must equal p.
+	Transport dist.Transport
+	// Context bounds a distributed execution; nil selects
+	// context.Background().
+	Context context.Context
 }
 
 // Result reports a join run.
@@ -243,13 +250,21 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 		}
 	}
 	inputBits := int64(len(r.Tuples)+len(s.Tuples)) * 2 * int64(relation.BitsPerValue(domain))
-	cluster, err := mpc.NewCluster(mpc.Config{
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = dist.NewLoopback(p)
+	}
+	cluster, err := dist.NewCluster(mpc.Config{
 		Workers:     p,
 		Epsilon:     0,
 		InputBits:   inputBits,
 		CapConstant: opts.CapConstant,
 		DomainN:     domain,
-	})
+	}, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -309,13 +324,13 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	}
 	capExceeded := false
 	cluster.BeginRound()
-	if err := cluster.ScatterPart(r, partR); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+	if err := cluster.Scatter(ctx, r, "R", partR); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
 		return nil, err
 	}
-	if err := cluster.ScatterPart(s, partS); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
+	if err := cluster.Scatter(ctx, s, "S", partS); err != nil && !errors.Is(err, mpc.ErrCapExceeded) {
 		return nil, err
 	}
-	if err := cluster.EndRound(); err != nil {
+	if err := cluster.EndRound(ctx); err != nil {
 		if errors.Is(err, mpc.ErrCapExceeded) {
 			capExceeded = true
 		} else {
@@ -323,29 +338,16 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 		}
 	}
 
+	// Local joins at the workers (store names R and S regardless of
+	// the inputs' relation names), then a k-way merged gather.
 	q := JoinQuery()
-	workers := cluster.Workers()
-	rows := make([][]relation.Tuple, len(workers))
-	errs := make([]error, len(workers))
-	var wg sync.WaitGroup
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *mpc.Worker) {
-			defer wg.Done()
-			b := localjoin.Bindings{
-				"R": w.Received("R"),
-				"S": w.Received("S"),
-			}
-			rows[i], errs[i] = localjoin.Evaluate(q, b, mode.localStrategy())
-		}(i, w)
+	if err := cluster.Join(ctx, q, nil, "skew!answers", mode.localStrategy()); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	answers, err := cluster.Gather(ctx, "skew!answers")
+	if err != nil {
+		return nil, err
 	}
-	answers := exchange.MergeDedupTuples(rows, q.NumVars())
 	return &Result{
 		Answers:       answers,
 		Stats:         cluster.Stats(),

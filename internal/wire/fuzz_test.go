@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/relation"
+)
+
+// FuzzDecodeFrame holds the decoder to its safety contract on
+// arbitrary input: it must return an error or a valid frame — never
+// panic — and anything it accepts must survive an encode/decode
+// round trip unchanged (up to buffer materialization). The seed
+// corpus is real encoded frames of every type, both buffer encodings
+// included, so the fuzzer starts from deep in the valid format.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr *Frame) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	packed := exchange.NewBuffer(3)
+	row := make(relation.Tuple, 3)
+	for i := 0; i < 200; i++ {
+		for j := range row {
+			row[j] = rng.IntN(5000)
+		}
+		packed.Append(row)
+	}
+	packed.Seal()
+	flat := exchange.NewBuffer(2)
+	flat.Append(relation.Tuple{1 << 50, 3})
+	flat.Append(relation.Tuple{2, 1 << 40})
+	flat.Seal()
+	wide := exchange.NewBuffer(1)
+	for i := 0; i < 64; i++ {
+		wide.Append(relation.Tuple{i * i})
+	}
+	wide.Seal()
+
+	seed(&Frame{Type: TypeHello, Hello: Hello{Version: Version, Worker: 1, P: 4}})
+	seed(&Frame{Type: TypeData, Data: Data{Round: 1, Dest: 2, Rel: "R", Buf: packed}})
+	seed(&Frame{Type: TypeData, Data: Data{Round: 3, Dest: 0, Rel: "V1_1/S", Buf: flat}})
+	seed(&Frame{Type: TypeData, Data: Data{Round: 0, Dest: 3, Rel: "hc!answers", Buf: wide}})
+	seed(&Frame{Type: TypeBarrier, Round: 2})
+	seed(&Frame{Type: TypeJoin, Join: Join{
+		Query:    "q(x,y,z) = R(x,y), S(y,z)",
+		View:     "out",
+		Strategy: 1,
+		Bindings: [][2]string{{"R", "V/R"}},
+	}})
+	seed(&Frame{Type: TypeGather, View: "out"})
+	seed(&Frame{Type: TypeAck, Round: 2})
+	seed(&Frame{Type: TypeDone, Count: 3})
+	seed(&Frame{Type: TypeError, Msg: "boom"})
+	// Hostile shapes: lying lengths, dirty high bits, truncation.
+	f.Add([]byte{byte(TypeData), 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{byte(TypeData), 0, 0, 0, 30, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, 0, 0, 0, 0, 2})
+	f.Add([]byte{0xEE, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, fr); err != nil {
+			t.Fatalf("accepted frame %s does not re-encode: %v", fr.Type, err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame %s does not decode: %v", fr.Type, err)
+		}
+		if again.Type != fr.Type {
+			t.Fatalf("round trip changed type %s → %s", fr.Type, again.Type)
+		}
+		if fr.Type == TypeData {
+			a := fr.Data.Buf.AppendTuples(nil)
+			b := again.Data.Buf.AppendTuples(nil)
+			if len(a) != len(b) {
+				t.Fatalf("round trip changed tuple count %d → %d", len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("round trip changed tuple %d: %v → %v", i, a[i], b[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,494 @@
+// Package wire defines the length-prefixed frame format spoken
+// between the distributed MPC coordinator and its worker processes
+// (internal/dist, cmd/mpcworker).
+//
+// Every frame is
+//
+//	type   byte   — a Type constant
+//	length uint32 — payload size in bytes, big-endian, ≤ MaxPayload
+//	payload       — type-specific, all integers big-endian
+//
+// The payload that matters is the columnar one: a Data frame carries
+// one sealed exchange.Buffer — the unit the exchange layer ships
+// between workers — as the round id, the destination shard, the store
+// name, and the buffer body in its native encoding: one uint64 word
+// per tuple on the packed path, a row-major int64 sequence on the
+// flat fallback path. Control frames (Hello, Barrier, Join, Gather,
+// Ack, Done, Error) carry the BSP protocol around the data.
+//
+// Decode is defensive: any malformed or truncated frame yields an
+// error, never a panic, and allocation is bounded by the bytes that
+// actually arrive (a length prefix larger than the available input
+// cannot force a large allocation). FuzzDecodeFrame in this package
+// holds the codec to that contract.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/exchange"
+)
+
+// Type enumerates the frame kinds of the protocol.
+type Type uint8
+
+// Frame types. The coordinator sends Hello, Data, Barrier, Join and
+// Gather; a worker replies with Ack, Data, Done and Error.
+const (
+	// TypeHello opens a session: protocol version, worker id, pool
+	// size. The worker replies with an Ack.
+	TypeHello Type = 1 + iota
+	// TypeData carries one sealed columnar run for one destination
+	// shard. Sent coordinator→worker during scatter rounds and
+	// worker→coordinator while answering a Gather.
+	TypeData
+	// TypeBarrier ends a communication round; the worker acks it after
+	// it has ingested every preceding Data frame (frames on one
+	// connection are processed in order).
+	TypeBarrier
+	// TypeJoin instructs the worker to evaluate a conjunctive query
+	// over its stored relations and store the result under a view name.
+	TypeJoin
+	// TypeGather asks the worker to stream the runs it holds under a
+	// view name back as Data frames, terminated by a Done frame.
+	TypeGather
+	// TypeAck acknowledges a Hello, Barrier or Join, echoing a tag
+	// (the round number for barriers).
+	TypeAck
+	// TypeDone terminates a Gather stream and reports the number of
+	// Data frames that preceded it.
+	TypeDone
+	// TypeError reports a worker-side failure; the session is dead
+	// afterwards.
+	TypeError
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeData:
+		return "data"
+	case TypeBarrier:
+		return "barrier"
+	case TypeJoin:
+		return "join"
+	case TypeGather:
+		return "gather"
+	case TypeAck:
+		return "ack"
+	case TypeDone:
+		return "done"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Version is the protocol version carried by Hello frames; a worker
+// rejects a coordinator speaking a different version.
+const Version = 1
+
+// MaxPayload bounds a frame's declared payload size (128 MiB). A
+// larger length prefix is rejected before any payload is read.
+const MaxPayload = 1 << 27
+
+// maxName bounds store/view name and query-text lengths inside
+// payloads (they are length-prefixed with uint16, so this is also the
+// encoding limit).
+const maxName = math.MaxUint16
+
+// Hello is the session-opening payload.
+type Hello struct {
+	// Version is the sender's protocol version (must equal Version).
+	Version uint16
+	// Worker is the id this connection plays in the pool, in [0, P).
+	Worker uint32
+	// P is the worker-pool size.
+	P uint32
+}
+
+// Data is one sealed columnar run in flight.
+type Data struct {
+	// Round is the communication round the run belongs to (0 for
+	// gather replies).
+	Round uint32
+	// Dest is the destination shard (worker id). A worker rejects a
+	// Data frame whose Dest is not its own id — catching routing bugs
+	// at the wire instead of as silently wrong answers.
+	Dest uint32
+	// Rel is the store name the run lands under.
+	Rel string
+	// Buf is the run itself.
+	Buf *exchange.Buffer
+}
+
+// Join is the local-evaluation command.
+type Join struct {
+	// Query is the conjunctive query in query.Parse syntax.
+	Query string
+	// View is the store name the evaluation result lands under.
+	View string
+	// Strategy selects the localjoin algorithm (the numeric value of a
+	// localjoin.Strategy).
+	Strategy uint8
+	// Bindings maps atom names to store names when they differ (the
+	// multiround executor stores inputs under view-prefixed names).
+	// Atoms without an entry read the store of their own name.
+	Bindings [][2]string
+}
+
+// Frame is one decoded protocol frame; the field matching Type is
+// meaningful, the rest are zero.
+type Frame struct {
+	// Type discriminates the payload.
+	Type Type
+	// Hello is set for TypeHello.
+	Hello Hello
+	// Data is set for TypeData.
+	Data Data
+	// Join is set for TypeJoin.
+	Join Join
+	// Round is set for TypeBarrier and TypeAck (the echoed tag).
+	Round uint32
+	// View is set for TypeGather.
+	View string
+	// Count is set for TypeDone: the number of Data frames streamed.
+	Count uint32
+	// Msg is set for TypeError.
+	Msg string
+}
+
+// buffer encoding discriminators inside Data payloads.
+const (
+	encPacked = 0
+	encFlat   = 1
+)
+
+// Encode writes one frame to w in wire format.
+func Encode(w io.Writer, f *Frame) error {
+	var payload bytes.Buffer
+	switch f.Type {
+	case TypeHello:
+		putU16(&payload, f.Hello.Version)
+		putU32(&payload, f.Hello.Worker)
+		putU32(&payload, f.Hello.P)
+	case TypeData:
+		if err := encodeData(&payload, &f.Data); err != nil {
+			return err
+		}
+	case TypeBarrier, TypeAck:
+		putU32(&payload, f.Round)
+	case TypeJoin:
+		if err := putString(&payload, f.Join.Query); err != nil {
+			return err
+		}
+		if err := putString(&payload, f.Join.View); err != nil {
+			return err
+		}
+		payload.WriteByte(f.Join.Strategy)
+		if len(f.Join.Bindings) > maxName {
+			return fmt.Errorf("wire: %d bindings exceed limit", len(f.Join.Bindings))
+		}
+		putU16(&payload, uint16(len(f.Join.Bindings)))
+		for _, b := range f.Join.Bindings {
+			if err := putString(&payload, b[0]); err != nil {
+				return err
+			}
+			if err := putString(&payload, b[1]); err != nil {
+				return err
+			}
+		}
+	case TypeGather:
+		if err := putString(&payload, f.View); err != nil {
+			return err
+		}
+	case TypeDone:
+		putU32(&payload, f.Count)
+	case TypeError:
+		if err := putString(&payload, f.Msg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("wire: encode unknown frame type %d", f.Type)
+	}
+	if payload.Len() > MaxPayload {
+		return fmt.Errorf("wire: %s payload %d bytes exceeds %d", f.Type, payload.Len(), MaxPayload)
+	}
+	var hdr [5]byte
+	hdr[0] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// encodeData serializes round, dest, name and the buffer body.
+func encodeData(w *bytes.Buffer, d *Data) error {
+	putU32(w, d.Round)
+	putU32(w, d.Dest)
+	if err := putString(w, d.Rel); err != nil {
+		return err
+	}
+	arity := d.Buf.Arity()
+	if arity < 1 || arity > maxName {
+		return fmt.Errorf("wire: buffer arity %d out of range", arity)
+	}
+	putU16(w, uint16(arity))
+	if words, ok := d.Buf.Words(); ok {
+		w.WriteByte(encPacked)
+		putU32(w, uint32(len(words)))
+		var scratch [8]byte
+		for _, word := range words {
+			binary.BigEndian.PutUint64(scratch[:], word)
+			w.Write(scratch[:])
+		}
+		return nil
+	}
+	flat := d.Buf.Flat()
+	w.WriteByte(encFlat)
+	putU32(w, uint32(len(flat)/arity))
+	var scratch [8]byte
+	for _, v := range flat {
+		binary.BigEndian.PutUint64(scratch[:], uint64(int64(v)))
+		w.Write(scratch[:])
+	}
+	return nil
+}
+
+// Decode reads one frame from r. It returns io.EOF when r is
+// exhausted before the first header byte and io.ErrUnexpectedEOF on a
+// truncated frame. Allocation is bounded by the bytes actually
+// available in r, not by the declared length.
+func Decode(r io.Reader) (*Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, unexpected(err)
+	}
+	typ := Type(hdr[0])
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("wire: %s payload length %d exceeds %d", typ, n, MaxPayload)
+	}
+	// Copy rather than pre-allocate: a lying length prefix on a
+	// truncated stream only allocates what the stream actually holds.
+	var body bytes.Buffer
+	m, err := io.CopyN(&body, r, int64(n))
+	if err != nil || m != int64(n) {
+		return nil, unexpected(err)
+	}
+	p := &payloadReader{b: body.Bytes()}
+	f := &Frame{Type: typ}
+	switch typ {
+	case TypeHello:
+		f.Hello.Version = p.u16()
+		f.Hello.Worker = p.u32()
+		f.Hello.P = p.u32()
+	case TypeData:
+		decodeData(p, &f.Data)
+	case TypeBarrier, TypeAck:
+		f.Round = p.u32()
+	case TypeJoin:
+		f.Join.Query = p.str()
+		f.Join.View = p.str()
+		f.Join.Strategy = p.u8()
+		nb := int(p.u16())
+		for i := 0; i < nb && p.err == nil; i++ {
+			f.Join.Bindings = append(f.Join.Bindings, [2]string{p.str(), p.str()})
+		}
+	case TypeGather:
+		f.View = p.str()
+	case TypeDone:
+		f.Count = p.u32()
+	case TypeError:
+		f.Msg = p.str()
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", hdr[0])
+	}
+	if p.err != nil {
+		return nil, fmt.Errorf("wire: %s frame: %w", typ, p.err)
+	}
+	if len(p.b) != p.off {
+		return nil, fmt.Errorf("wire: %s frame has %d trailing payload bytes", typ, len(p.b)-p.off)
+	}
+	return f, nil
+}
+
+// decodeData parses a Data payload and reconstructs the buffer
+// through the validating exchange constructors.
+func decodeData(p *payloadReader, d *Data) {
+	d.Round = p.u32()
+	d.Dest = p.u32()
+	d.Rel = p.str()
+	arity := int(p.u16())
+	enc := p.u8()
+	count := int(p.u32())
+	if p.err != nil {
+		return
+	}
+	if arity < 1 {
+		p.fail(fmt.Errorf("arity %d", arity))
+		return
+	}
+	switch enc {
+	case encPacked:
+		if !p.need(count * 8) {
+			return
+		}
+		words := make([]uint64, count)
+		for i := range words {
+			words[i] = p.u64()
+		}
+		buf, err := exchange.NewBufferFromWords(arity, words)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		d.Buf = buf
+	case encFlat:
+		values := count * arity
+		if !p.need(values * 8) {
+			return
+		}
+		flat := make([]int, values)
+		for i := range flat {
+			v := int64(p.u64())
+			if v < 0 || v > math.MaxInt {
+				p.fail(fmt.Errorf("flat value %d out of range", v))
+				return
+			}
+			flat[i] = int(v)
+		}
+		buf, err := exchange.NewBufferFromFlat(arity, flat)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		d.Buf = buf
+	default:
+		p.fail(fmt.Errorf("unknown buffer encoding %d", enc))
+	}
+}
+
+// payloadReader is a bounds-checked cursor over a payload; the first
+// failure sticks.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// fail records the first error.
+func (p *payloadReader) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// need reports whether n more bytes are available, recording an error
+// if not (and on nonsensical sizes).
+func (p *payloadReader) need(n int) bool {
+	if p.err != nil {
+		return false
+	}
+	if n < 0 || n > len(p.b)-p.off {
+		p.fail(fmt.Errorf("truncated payload: need %d bytes, have %d", n, len(p.b)-p.off))
+		return false
+	}
+	return true
+}
+
+func (p *payloadReader) u8() uint8 {
+	if !p.need(1) {
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *payloadReader) u16() uint16 {
+	if !p.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(p.b[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *payloadReader) u32() uint32 {
+	if !p.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *payloadReader) u64() uint64 {
+	if !p.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+// str reads a uint16-length-prefixed string.
+func (p *payloadReader) str() string {
+	n := int(p.u16())
+	if !p.need(n) {
+		return ""
+	}
+	v := string(p.b[p.off : p.off+n])
+	p.off += n
+	return v
+}
+
+// putU16 appends a big-endian uint16.
+func putU16(w *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	w.Write(b[:])
+}
+
+// putU32 appends a big-endian uint32.
+func putU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+// putString appends a uint16-length-prefixed string.
+func putString(w *bytes.Buffer, s string) error {
+	if len(s) > maxName {
+		return fmt.Errorf("wire: string of %d bytes exceeds %d", len(s), maxName)
+	}
+	putU16(w, uint16(len(s)))
+	w.WriteString(s)
+	return nil
+}
+
+// unexpected normalizes a short read into io.ErrUnexpectedEOF so
+// callers can distinguish "stream ended between frames" (io.EOF from
+// Decode's first byte) from "stream died mid-frame".
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	if err == nil {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
