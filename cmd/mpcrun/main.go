@@ -66,21 +66,30 @@ func main() {
 		dataStr   = flag.String("data", "", "comma-separated Rel=file.csv pairs; omit to generate a matching database")
 		planStr   = flag.String("plan", "", "manual plan override: 'engine=one|multi|skew' and/or 'shares=x:4,y:4', semicolon-separated")
 		workers   = flag.String("workers", "", "comma-separated mpcworker addresses; run the rounds distributed over TCP (p becomes the pool size; the run is bounded by a 10-minute deadline)")
+		spares    = flag.String("spares", "", "comma-separated standby mpcworker addresses; a worker that dies mid-run is replaced and the query resumes (requires -workers)")
+		maxRepl   = flag.Int("max-replace", 0, "max worker replacements for the run (0: pool size; requires -workers)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr, *workers); err != nil {
+	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr, *workers, *spares, *maxRepl); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr, workers string) error {
+func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr, workers, spares string, maxRepl int) error {
 	if p < 1 {
 		return fmt.Errorf("-p = %d, need ≥ 1", p)
 	}
 	addrs, err := dist.ParseAddrs(workers)
 	if err != nil {
 		return err
+	}
+	spareAddrs, err := dist.ParseAddrs(spares)
+	if err != nil {
+		return err
+	}
+	if len(addrs) == 0 && (len(spareAddrs) > 0 || maxRepl != 0) {
+		return fmt.Errorf("-spares and -max-replace require -workers")
 	}
 	if len(addrs) > 0 {
 		if mode != "auto" {
@@ -118,7 +127,7 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 	}
 	switch mode {
 	case "auto":
-		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, addrs, truth)
+		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, addrs, spareAddrs, maxRepl, truth)
 	case "one":
 		if planStr != "" {
 			return fmt.Errorf("-plan only applies to -mode auto")
@@ -174,7 +183,7 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 // runAuto is the planner-driven path: collect statistics, build the
 // plan, apply any -plan override, EXPLAIN, execute (in process, or
 // distributed over a TCP worker pool when addrs are given), report.
-func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, addrs []string, truth []relation.Tuple) error {
+func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, addrs, spareAddrs []string, maxRepl int, truth []relation.Tuple) error {
 	var eps *big.Rat
 	if epsStr != "" {
 		var err error
@@ -207,13 +216,24 @@ func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed u
 		defer tr.Close()
 		opts.Transport = tr
 		opts.Context = ctx
+		opts.Recovery = dist.RecoveryOptions{
+			Enabled:         true,
+			MaxReplacements: maxRepl,
+			Spares:          spareAddrs,
+		}
 		fmt.Printf("distributed: %d TCP workers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+		if len(spareAddrs) > 0 {
+			fmt.Printf("spares: %s\n", strings.Join(spareAddrs, ", "))
+		}
 	}
 	res, err := pl.Execute(db, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("executed: %s in %d rounds\n", res.Engine, res.Rounds)
+	if res.Replacements > 0 {
+		fmt.Printf("recovered: %d worker(s) replaced mid-query\n", res.Replacements)
+	}
 	fmt.Printf("answers: %d / %d ground truth\n", len(res.Answers), len(truth))
 	fmt.Printf("max load: %d tuples (predicted %.0f), total %d bits (cap exceeded: %v)\n",
 		res.Stats.MaxLoadTuples(), pl.Cost.LoadTuples, res.Stats.TotalBits(), res.CapExceeded)

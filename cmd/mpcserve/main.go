@@ -14,7 +14,11 @@
 // With -workers, cached plans execute against the distributed TCP
 // worker pool (cmd/mpcworker) instead of the in-process loopback: p
 // becomes the pool size and each query dials its own isolated worker
-// session, so concurrent queries share the pool safely.
+// session, so concurrent queries share the pool safely. With -spares,
+// the pool self-heals: a worker that dies mid-query is replaced by a
+// standby and the query resumes from its last checkpointed round,
+// while a background reconciler (-reconcile) heartbeats the pool and
+// promotes spares for members that stop answering.
 //
 // Endpoints:
 //
@@ -30,12 +34,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/relation"
@@ -56,22 +62,25 @@ func (r *repeatableFlag) Set(v string) error {
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8377", "listen address")
-		p       = flag.Int("p", 64, "default number of servers per query")
-		maxP    = flag.Int("max-p", 1024, "largest accepted per-query p")
-		capC    = flag.Float64("cap", 0, "planner budget constant c in c·N/p^{1−ε} (0: planner default)")
-		workers = flag.Int("max-concurrent", 128, "admission gate: max in-flight query executions")
-		budget  = flag.Int64("load-budget", 0, "admission gate: global predicted-load budget in tuples (0: unbounded)")
-		cache   = flag.Int("cache", 128, "plan cache capacity (compiled plans)")
-		answers = flag.Int("max-answers", 100, "default per-response answer cap")
-		pool    = flag.String("workers", "", "comma-separated mpcworker addresses; execute queries on this distributed TCP pool (p becomes the pool size)")
-		datas   repeatableFlag
-		gens    repeatableFlag
+		addr      = flag.String("addr", ":8377", "listen address")
+		p         = flag.Int("p", 64, "default number of servers per query")
+		maxP      = flag.Int("max-p", 1024, "largest accepted per-query p")
+		capC      = flag.Float64("cap", 0, "planner budget constant c in c·N/p^{1−ε} (0: planner default)")
+		workers   = flag.Int("max-concurrent", 128, "admission gate: max in-flight query executions")
+		budget    = flag.Int64("load-budget", 0, "admission gate: global predicted-load budget in tuples (0: unbounded)")
+		cache     = flag.Int("cache", 128, "plan cache capacity (compiled plans)")
+		answers   = flag.Int("max-answers", 100, "default per-response answer cap")
+		pool      = flag.String("workers", "", "comma-separated mpcworker addresses; execute queries on this distributed TCP pool (p becomes the pool size)")
+		spares    = flag.String("spares", "", "comma-separated standby mpcworker addresses; dead pool members are replaced by spares mid-query and by the background reconciler")
+		maxRepl   = flag.Int("max-replace", 0, "max worker replacements per query execution (0: pool size)")
+		reconcile = flag.Duration("reconcile", 5*time.Second, "worker pool heartbeat interval (0 disables the background reconciler)")
+		datas     repeatableFlag
+		gens      repeatableFlag
 	)
 	flag.Var(&datas, "dataset", "preload CSV dataset 'name:R=file.csv,S=file.csv' (repeatable)")
 	flag.Var(&gens, "gen", "preload generated dataset 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]' (repeatable)")
 	flag.Parse()
-	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, *pool, datas, gens)
+	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, *pool, *spares, *maxRepl, datas, gens)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcserve:", err)
 		os.Exit(1)
@@ -79,6 +88,11 @@ func main() {
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "mpcserve: empty -addr")
 		os.Exit(1)
+	}
+	if reg := srv.Pool(); reg != nil && *reconcile > 0 {
+		// Background membership heartbeats: dead members are swapped
+		// for spares without waiting for a query to trip over them.
+		go reg.Run(context.Background(), *reconcile)
 	}
 	fmt.Printf("mpcserve listening on %s (datasets: %s)\n", *addr, strings.Join(srv.Registry().Names(), ", "))
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
@@ -90,13 +104,20 @@ func main() {
 // build validates the flags and assembles the server with all
 // preloaded datasets. It is main without the listener, so tests can
 // drive it.
-func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, pool string, datas, gens []string) (*serve.Server, error) {
+func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, pool, spares string, maxRepl int, datas, gens []string) (*serve.Server, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("-p = %d, need ≥ 1", p)
 	}
 	poolAddrs, err := dist.ParseAddrs(pool)
 	if err != nil {
 		return nil, err
+	}
+	spareAddrs, err := dist.ParseAddrs(spares)
+	if err != nil {
+		return nil, err
+	}
+	if len(spareAddrs) > 0 && len(poolAddrs) == 0 {
+		return nil, fmt.Errorf("-spares requires -workers")
 	}
 	if len(poolAddrs) > 0 {
 		// The distributed pool fixes the cluster size (withDefaults
@@ -121,6 +142,8 @@ func build(p, maxP int, capC float64, workers int, budget int64, cache, answers 
 		CacheSize:        cache,
 		MaxAnswers:       answers,
 		WorkerAddrs:      poolAddrs,
+		SpareAddrs:       spareAddrs,
+		MaxReplacements:  maxRepl,
 	})
 	for _, spec := range datas {
 		name, db, err := loadCSVDataset(spec)

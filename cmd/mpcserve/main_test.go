@@ -17,28 +17,35 @@ func TestBuildValidation(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"p zero", func() error { _, err := build(0, 1024, 0, 8, 0, 8, 10, "", nil, nil); return err }},
-		{"p negative", func() error { _, err := build(-2, 1024, 0, 8, 0, 8, 10, "", nil, nil); return err }},
-		{"max-p below p", func() error { _, err := build(64, 8, 0, 8, 0, 8, 10, "", nil, nil); return err }},
-		{"no workers", func() error { _, err := build(8, 64, 0, 0, 0, 8, 10, "", nil, nil); return err }},
-		{"no cache", func() error { _, err := build(8, 64, 0, 8, 0, 0, 10, "", nil, nil); return err }},
-		{"bad dataset spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", []string{"noname"}, nil); return err }},
-		{"missing csv file", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", []string{"d:R=/does/not/exist.csv"}, nil)
+		{"p zero", func() error { _, err := build(0, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
+		{"p negative", func() error { _, err := build(-2, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
+		{"max-p below p", func() error { _, err := build(64, 8, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
+		{"no workers", func() error { _, err := build(8, 64, 0, 0, 0, 8, 10, "", "", 0, nil, nil); return err }},
+		{"no cache", func() error { _, err := build(8, 64, 0, 8, 0, 0, 10, "", "", 0, nil, nil); return err }},
+		{"spares without workers", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "localhost:9009", 0, nil, nil)
 			return err
 		}},
-		{"bad gen spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", nil, []string{"tri"}); return err }},
-		{"gen unknown key", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", nil, []string{"tri:warp=1"}); return err }},
+		{"bad dataset spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"noname"}, nil); return err }},
+		{"missing csv file", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"d:R=/does/not/exist.csv"}, nil)
+			return err
+		}},
+		{"bad gen spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri"}); return err }},
+		{"gen unknown key", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:warp=1"})
+			return err
+		}},
 		{"gen zero n", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", nil, []string{"tri:family=C3,n=0"})
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=0"})
 			return err
 		}},
 		{"gen unknown kind", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", nil, []string{"tri:family=C3,n=10,kind=warp"})
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=10,kind=warp"})
 			return err
 		}},
 		{"duplicate dataset name", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", nil,
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil,
 				[]string{"tri:family=C3,n=10", "tri:family=C3,n=20"})
 			return err
 		}},
@@ -59,7 +66,7 @@ func TestBuildPreloadsAndServes(t *testing.T) {
 	if err := os.WriteFile(path, []byte("x,y\n1,2\n2,3\n3,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := build(8, 64, 0, 8, 0, 8, 10, "",
+	srv, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0,
 		[]string{"edges:R=" + path},
 		[]string{"tri:family=C3,n=50,seed=3"})
 	if err != nil {

@@ -27,11 +27,28 @@ import (
 	"repro/internal/relation"
 )
 
-// spawnWorkers starts n mpcworker processes on OS-assigned ports and
-// returns their addresses, parsed from each process's startup line.
-func spawnWorkers(t *testing.T, ctx context.Context, bin string, n int) []string {
+// workerProcs is a set of spawned mpcworker processes whose members
+// can be SIGKILLed individually.
+type workerProcs struct {
+	addrs []string
+	cmds  []*exec.Cmd
+}
+
+// sigkill delivers SIGKILL to worker i and reaps it, so its sockets
+// are closed by the kernel before sigkill returns.
+func (w *workerProcs) sigkill(t *testing.T, i int) {
 	t.Helper()
-	addrs := make([]string, n)
+	if err := w.cmds[i].Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker %d: %v", i, err)
+	}
+	w.cmds[i].Wait()
+}
+
+// spawnWorkerProcs starts n mpcworker processes on OS-assigned ports,
+// parsing each address from the process's startup line.
+func spawnWorkerProcs(t *testing.T, ctx context.Context, bin string, n int) *workerProcs {
+	t.Helper()
+	w := &workerProcs{addrs: make([]string, n), cmds: make([]*exec.Cmd, n)}
 	for i := 0; i < n; i++ {
 		cmd := exec.CommandContext(ctx, bin, "-listen", "127.0.0.1:0")
 		cmd.Stderr = os.Stderr
@@ -56,9 +73,17 @@ func spawnWorkers(t *testing.T, ctx context.Context, bin string, n int) []string
 		if !strings.Contains(addr, ":") {
 			t.Fatalf("worker %d startup line %q has no address", i, line)
 		}
-		addrs[i] = addr
+		w.addrs[i] = addr
+		w.cmds[i] = cmd
 	}
-	return addrs
+	return w
+}
+
+// spawnWorkers starts n mpcworker processes and returns their
+// addresses.
+func spawnWorkers(t *testing.T, ctx context.Context, bin string, n int) []string {
+	t.Helper()
+	return spawnWorkerProcs(t, ctx, bin, n).addrs
 }
 
 // TestDistributedWorkerProcesses is the CI integration job's body.
@@ -122,5 +147,102 @@ func TestDistributedWorkerProcesses(t *testing.T) {
 					remote.Stats.TotalBits(), remote.Stats.MaxLoadBits())
 			}
 		})
+	}
+}
+
+// killAtBarrier wraps the TCP transport and SIGKILLs a real worker
+// process exactly once, at the barrier that closes the given round —
+// a deterministic mid-query crash with no timers. The embedded TCP
+// keeps the wrapper a full Replaceable, so recovery drives replacement
+// through it.
+type killAtBarrier struct {
+	*dist.TCP
+	round int
+	kill  func()
+	fired bool
+}
+
+// Barrier fires the kill before forwarding, so the barrier itself
+// observes the dead worker.
+func (k *killAtBarrier) Barrier(ctx context.Context, round int) error {
+	if round == k.round && !k.fired {
+		k.fired = true
+		k.kill()
+	}
+	return k.TCP.Barrier(ctx, round)
+}
+
+// TestDistributedWorkerKillRecovery is the self-healing e2e: four real
+// mpcworker processes plus one spare process run a multiround Γ^r_ε
+// chain query; one member is SIGKILLed at the barrier of round 2 (so
+// round 1 is complete and checkpointed); the run must promote the
+// spare, replay the lost shard, and still produce ground-truth
+// answers with statistics identical to the in-process run.
+func TestDistributedWorkerKillRecovery(t *testing.T) {
+	bin := os.Getenv("MPCWORKER_BIN")
+	if bin == "" {
+		t.Skip("MPCWORKER_BIN not set; run the in-process suite in internal/dist instead")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const p = 4
+	procs := spawnWorkerProcs(t, ctx, bin, p+1)
+	members, spare := procs.addrs[:p], procs.addrs[p]
+
+	q := query.Chain(4)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(41, 7)), q, 400)
+	truth, err := core.GroundTruth(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p, Epsilon: big.NewRat(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl, err = pl.WithEngine(plan.MultiRound); err != nil {
+		t.Fatal(err)
+	}
+	local, err := pl.Execute(db, plan.ExecOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Rounds < 2 {
+		t.Fatalf("chain plan ran %d rounds; the kill-point needs a multiround execution", local.Rounds)
+	}
+
+	tr, err := dist.DialTCP(ctx, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	killer := &killAtBarrier{TCP: tr, round: 2, kill: func() { procs.sigkill(t, 2) }}
+	remote, err := pl.Execute(db, plan.ExecOptions{
+		Seed:      5,
+		Transport: killer,
+		Context:   ctx,
+		Recovery:  dist.RecoveryOptions{Enabled: true, Spares: []string{spare}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killer.fired {
+		t.Fatal("kill-point never reached")
+	}
+	if remote.Replacements < 1 {
+		t.Fatalf("Replacements = %d after a SIGKILL, want ≥ 1", remote.Replacements)
+	}
+	if len(remote.Answers) != len(truth) {
+		t.Fatalf("recovered run: %d answers, ground truth %d", len(remote.Answers), len(truth))
+	}
+	for i := range truth {
+		if !remote.Answers[i].Equal(truth[i]) {
+			t.Fatalf("answer %d differs from ground truth: %v vs %v", i, remote.Answers[i], truth[i])
+		}
+	}
+	if local.Stats.TotalBits() != remote.Stats.TotalBits() ||
+		local.Stats.MaxLoadBits() != remote.Stats.MaxLoadBits() {
+		t.Fatalf("stats differ after recovery: local (%d, %d) vs distributed (%d, %d)",
+			local.Stats.TotalBits(), local.Stats.MaxLoadBits(),
+			remote.Stats.TotalBits(), remote.Stats.MaxLoadBits())
 	}
 }

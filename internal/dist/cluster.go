@@ -30,6 +30,8 @@ type Cluster struct {
 	stats mpc.Stats
 	round int
 	open  bool
+	// rec is the self-healing state; nil until EnableRecovery.
+	rec *recovery
 }
 
 // NewCluster validates cfg against the transport's pool and returns
@@ -95,16 +97,41 @@ func (c *Cluster) Scatter(ctx context.Context, rel *relation.Relation, as string
 		}
 		rs.Account(d.To, n, d.Buf.Bits(bitsPer))
 	}
-	if err := c.tr.Deliver(ctx, c.round, ds); err != nil {
+	if c.rec != nil {
+		c.rec.record(recOp{kind: opDeliver, round: c.round, ds: ds})
+	}
+	// Deliveries are journaled, so they are not retried after a heal:
+	// replay has re-sent the failed worker's runs and the healthy
+	// workers already ingested theirs.
+	if err := c.attempt(ctx, false, func(ctx context.Context) error {
+		return c.tr.Deliver(ctx, c.round, ds)
+	}); err != nil {
 		return err
 	}
 	if lone {
 		// Lone scatter: the round is self-contained, so synchronize and
 		// enforce the budget immediately.
-		if err := c.tr.Barrier(ctx, c.round); err != nil {
+		if err := c.barrier(ctx); err != nil {
 			return err
 		}
 		return rs.CheckCap(c.cfg.ReceiveCap())
+	}
+	return nil
+}
+
+// barrier synchronizes the pool on the current round and, when
+// recovery is enabled, broadcasts the round's checkpoint manifest.
+func (c *Cluster) barrier(ctx context.Context) error {
+	if c.rec != nil {
+		c.rec.record(recOp{kind: opBarrier, round: c.round})
+	}
+	if err := c.attempt(ctx, true, func(ctx context.Context) error {
+		return c.tr.Barrier(ctx, c.round)
+	}); err != nil {
+		return err
+	}
+	if c.rec != nil {
+		return c.checkpoint(ctx, c.round)
 	}
 	return nil
 }
@@ -118,7 +145,7 @@ func (c *Cluster) EndRound(ctx context.Context) error {
 		return fmt.Errorf("dist: EndRound without BeginRound")
 	}
 	c.open = false
-	if err := c.tr.Barrier(ctx, c.round); err != nil {
+	if err := c.barrier(ctx); err != nil {
 		return err
 	}
 	return c.stats.Rounds[len(c.stats.Rounds)-1].CheckCap(c.cfg.ReceiveCap())
@@ -128,11 +155,20 @@ func (c *Cluster) EndRound(ctx context.Context) error {
 // computation, free in the MPC cost model — and keep the result under
 // view. bindings maps atom names to store names when they differ.
 func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]string, view string, strategy localjoin.Strategy) error {
-	return c.tr.Join(ctx, JoinSpec{
+	spec := JoinSpec{
 		Query:    q.String(),
 		View:     view,
 		Bindings: bindings,
 		Strategy: uint8(strategy),
+	}
+	if c.rec != nil {
+		c.rec.record(recOp{kind: opJoin, spec: spec})
+	}
+	// Joins are journaled like deliveries: healthy workers have already
+	// evaluated theirs, replay re-runs the failed worker's, so a healed
+	// join is not re-broadcast.
+	return c.attempt(ctx, false, func(ctx context.Context) error {
+		return c.tr.Join(ctx, spec)
 	})
 }
 
@@ -140,7 +176,13 @@ func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]
 // worker holds under view — the cluster-wide answer of a query whose
 // per-worker outputs were stored by Join.
 func (c *Cluster) Gather(ctx context.Context, view string) ([]relation.Tuple, error) {
-	runs, err := c.tr.Gather(ctx, view)
+	var runs []*exchange.Buffer
+	// Gather is read-only, so after a heal it simply runs again.
+	err := c.attempt(ctx, true, func(ctx context.Context) error {
+		var err error
+		runs, err = c.tr.Gather(ctx, view)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package dist_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// killablePool is a set of worker listeners whose members can be
+// killed individually and synchronously: kill closes the listener AND
+// every established session connection, so the coordinator observes
+// the death deterministically on its next frame — no timers, no grace
+// periods.
+type killablePool struct {
+	addrs   []string
+	members []*killableMember
+}
+
+type killableMember struct {
+	ln     net.Listener
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	conns  []net.Conn
+	dead   bool
+}
+
+// startKillablePool starts n independently killable worker listeners.
+func startKillablePool(t *testing.T, n int) *killablePool {
+	t.Helper()
+	pool := &killablePool{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		m := &killableMember{ln: ln, cancel: cancel}
+		go m.accept(ctx)
+		pool.addrs = append(pool.addrs, ln.Addr().String())
+		pool.members = append(pool.members, m)
+	}
+	t.Cleanup(func() {
+		for i := range pool.members {
+			pool.kill(i)
+		}
+	})
+	return pool
+}
+
+func (m *killableMember) accept(ctx context.Context) {
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.dead {
+			m.mu.Unlock()
+			c.Close()
+			continue
+		}
+		m.conns = append(m.conns, c)
+		m.mu.Unlock()
+		go dist.ServeConn(ctx, c)
+	}
+}
+
+// kill takes member i down hard: no new sessions, and every live
+// session connection is closed before kill returns.
+func (p *killablePool) kill(i int) {
+	m := p.members[i]
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return
+	}
+	m.dead = true
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	m.cancel()
+	m.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}

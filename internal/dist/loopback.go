@@ -10,6 +10,7 @@ import (
 	"repro/internal/localjoin"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/wire"
 )
 
 // Loopback is the in-process Transport: p worker states in this
@@ -20,6 +21,11 @@ import (
 // differentially tested against.
 type Loopback struct {
 	ws []*workerStore
+	// mu guards the recovery bookkeeping (worker replacement, epoch,
+	// checkpoint); the data path goes through the per-store locks.
+	mu         sync.Mutex
+	epoch      uint32
+	checkpoint *wire.Manifest
 }
 
 // NewLoopback returns an in-process pool of p workers with empty
@@ -94,6 +100,91 @@ func (l *Loopback) Gather(ctx context.Context, view string) ([]*exchange.Buffer,
 
 // Close implements Transport.
 func (l *Loopback) Close() error { return nil }
+
+// ReplaceWorker implements Replaceable: the worker's store is swapped
+// for an empty one, the in-process equivalent of promoting a fresh
+// worker process.
+func (l *Loopback) ReplaceWorker(ctx context.Context, w int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if w < 0 || w >= len(l.ws) {
+		return fmt.Errorf("dist: loopback replace worker %d out of range [0,%d)", w, len(l.ws))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ws[w] = newWorkerStore()
+	return nil
+}
+
+// JoinWorker implements Replaceable: the local evaluation on worker w
+// only.
+func (l *Loopback) JoinWorker(ctx context.Context, w int, spec JoinSpec) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if w < 0 || w >= len(l.ws) {
+		return fmt.Errorf("dist: loopback join worker %d out of range [0,%d)", w, len(l.ws))
+	}
+	q, strategy, err := parseJoinSpec(spec)
+	if err != nil {
+		return err
+	}
+	return l.ws[w].join(q, spec.Bindings, spec.View, strategy)
+}
+
+// Ping implements Replaceable; an in-process worker is always live.
+func (l *Loopback) Ping(ctx context.Context, w int, seq uint32) error {
+	if w < 0 || w >= len(l.ws) {
+		return fmt.Errorf("dist: loopback ping worker %d out of range [0,%d)", w, len(l.ws))
+	}
+	return ctx.Err()
+}
+
+// Announce implements Replaceable by recording the epoch; tests read
+// it back through Epoch.
+func (l *Loopback) Announce(ctx context.Context, epoch uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch < l.epoch {
+		return fmt.Errorf("dist: loopback stale epoch %d announced, pool at %d", epoch, l.epoch)
+	}
+	l.epoch = epoch
+	return nil
+}
+
+// Checkpoint implements Replaceable by recording the manifest; tests
+// read it back through LastCheckpoint.
+func (l *Loopback) Checkpoint(ctx context.Context, m *wire.Manifest) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m.Epoch < l.epoch {
+		return fmt.Errorf("dist: loopback stale checkpoint epoch %d, pool at %d", m.Epoch, l.epoch)
+	}
+	l.checkpoint = m
+	return nil
+}
+
+// Epoch returns the last announced recovery epoch.
+func (l *Loopback) Epoch() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// LastCheckpoint returns the last recorded checkpoint manifest, nil if
+// none was broadcast.
+func (l *Loopback) LastCheckpoint() *wire.Manifest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpoint
+}
 
 // parseJoinSpec validates the pieces of a JoinSpec shared by the
 // loopback transport and the remote worker session.

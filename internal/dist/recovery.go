@@ -1,0 +1,395 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/wire"
+)
+
+// WorkerError attributes a transport failure to one worker of the
+// pool, which is what lets the recovery path replace exactly the
+// workers that failed instead of aborting the execution.
+type WorkerError struct {
+	// Worker is the pool index of the failed worker.
+	Worker int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string { return fmt.Sprintf("dist: worker %d: %v", e.Worker, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// FailedWorkers walks err (including errors.Join trees and wrapped
+// chains) and returns the sorted, deduplicated worker indices of every
+// WorkerError found. An error with no worker attribution yields nil —
+// such failures are not recoverable by replacement.
+func FailedWorkers(err error) []int {
+	seen := map[int]bool{}
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		var we *WorkerError
+		if errors.As(err, &we) {
+			seen[we.Worker] = true
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range x.Unwrap() {
+				walk(e)
+			}
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		}
+	}
+	walk(err)
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecoveryOptions is the self-healing policy of a Cluster. The zero
+// value disables recovery (failures abort the execution exactly as
+// before); setting Enabled turns every worker-attributed transport
+// failure into a replace-and-replay cycle bounded by MaxReplacements.
+type RecoveryOptions struct {
+	// Enabled turns recovery on.
+	Enabled bool
+	// MaxReplacements bounds how many worker replacements one execution
+	// may perform; zero or negative means the pool size.
+	MaxReplacements int
+	// Spares are extra worker addresses a TCP transport may promote
+	// when replacing a failed worker; the failed address is recycled to
+	// the back of the spare list. Ignored by address-less transports.
+	Spares []string
+	// PhaseTimeout bounds each transport phase (deliver, barrier, join,
+	// gather, checkpoint); a stuck worker then surfaces as a failed
+	// phase that recovery can heal instead of a hang. Zero means no
+	// per-phase deadline.
+	PhaseTimeout time.Duration
+}
+
+// maxReplacements resolves the budget against the pool size.
+func (o RecoveryOptions) maxReplacements(p int) int {
+	if o.MaxReplacements > 0 {
+		return o.MaxReplacements
+	}
+	return p
+}
+
+// Replaceable is the control surface a Transport must offer for
+// mid-query recovery: replacing one worker's session and replaying
+// state into it, plus the heartbeat/epoch/checkpoint control frames.
+type Replaceable interface {
+	Transport
+	// ReplaceWorker discards worker w's session and installs a fresh,
+	// empty one (promoting a spare or re-dialing as the transport sees
+	// fit). After it returns, w holds no state.
+	ReplaceWorker(ctx context.Context, w int) error
+	// JoinWorker runs the local-evaluation command on worker w only —
+	// the replay counterpart of Join, which addresses the whole pool.
+	JoinWorker(ctx context.Context, w int, spec JoinSpec) error
+	// Ping round-trips a heartbeat through worker w. Because frames on
+	// a session are processed in order, a returned Ping also proves the
+	// worker ingested everything sent before it.
+	Ping(ctx context.Context, w int, seq uint32) error
+	// Announce broadcasts the coordinator's recovery epoch to the whole
+	// pool; workers reject decreasing epochs as stale coordinators.
+	Announce(ctx context.Context, epoch uint32) error
+	// Checkpoint broadcasts the durable-state manifest for a completed
+	// round to the whole pool.
+	Checkpoint(ctx context.Context, m *wire.Manifest) error
+}
+
+// recOpKind discriminates journal entries.
+type recOpKind uint8
+
+const (
+	opDeliver recOpKind = iota
+	opBarrier
+	opJoin
+)
+
+// recOp is one journaled coordinator action. The journal is what makes
+// a replacement worker reconstructible: every run it should hold and
+// every join it should have evaluated is recorded here, so replay
+// re-sends exactly the lost worker's slice of the execution — healthy
+// workers are never touched and a multiround query resumes at the
+// round it was in, not at round 0.
+type recOp struct {
+	kind  recOpKind
+	round int
+	ds    []exchange.Delivery
+	spec  JoinSpec
+}
+
+// recovery is a Cluster's self-healing state.
+type recovery struct {
+	opts     RecoveryOptions
+	rt       Replaceable
+	epoch    uint32
+	replaced int
+	journal  []recOp
+	// durable accumulates per-(worker, store) run and tuple counts as
+	// scatters happen; it is the source of checkpoint manifests.
+	durable map[manifestKey]*manifestTally
+}
+
+// manifestKey identifies one (worker, store) manifest line.
+type manifestKey struct {
+	worker int
+	store  string
+}
+
+// manifestTally accumulates the runs and tuples behind one line.
+type manifestTally struct {
+	runs   uint32
+	tuples uint64
+}
+
+// EnableRecovery arms the cluster's self-healing: every transport
+// failure attributable to specific workers (a *WorkerError anywhere in
+// the error tree) triggers replace-and-replay instead of aborting. The
+// transport must implement Replaceable; opts.Spares are handed to the
+// transport when it can accept them.
+func (c *Cluster) EnableRecovery(opts RecoveryOptions) error {
+	rt, ok := c.tr.(Replaceable)
+	if !ok {
+		return fmt.Errorf("dist: transport %T does not support recovery", c.tr)
+	}
+	if len(opts.Spares) > 0 {
+		if s, ok := c.tr.(interface{ AddSpares(addrs []string) }); ok {
+			s.AddSpares(opts.Spares)
+		}
+	}
+	c.rec = &recovery{opts: opts, rt: rt, durable: make(map[manifestKey]*manifestTally)}
+	return nil
+}
+
+// Epoch returns the recovery epoch: 0 until the first replacement,
+// then incremented once per heal cycle.
+func (c *Cluster) Epoch() uint32 {
+	if c.rec == nil {
+		return 0
+	}
+	return c.rec.epoch
+}
+
+// Replacements returns how many workers this execution has replaced.
+func (c *Cluster) Replacements() int {
+	if c.rec == nil {
+		return 0
+	}
+	return c.rec.replaced
+}
+
+// phaseCtx derives the per-phase context from the recovery policy.
+func (c *Cluster) phaseCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.rec != nil && c.rec.opts.PhaseTimeout > 0 {
+		return context.WithTimeout(ctx, c.rec.opts.PhaseTimeout)
+	}
+	return ctx, func() {}
+}
+
+// attempt runs one transport phase with healing: a failure attributed
+// to specific workers triggers replace-and-replay for exactly those
+// workers, then the phase is retried when retry is set. Phases whose
+// effects are already journaled (deliver, join) pass retry=false —
+// replay has re-sent the failed worker's slice and the healthy workers
+// already hold theirs, so re-running the phase would duplicate state.
+// Idempotent phases (barrier, gather, checkpoint) retry until they
+// succeed or the replacement budget runs out.
+func (c *Cluster) attempt(ctx context.Context, retry bool, op func(context.Context) error) error {
+	for {
+		pctx, cancel := c.phaseCtx(ctx)
+		err := op(pctx)
+		cancel()
+		if err == nil || c.rec == nil || ctx.Err() != nil {
+			return err
+		}
+		failed := FailedWorkers(err)
+		if len(failed) == 0 {
+			return err
+		}
+		if herr := c.heal(ctx, failed); herr != nil {
+			return herr
+		}
+		if !retry {
+			return nil
+		}
+	}
+}
+
+// heal replaces each failed worker and replays its journaled state:
+// bump the epoch, install a fresh session, announce the epoch to the
+// pool, re-send the worker's deliveries and joins. Failures discovered
+// during healing (another dead worker, a replacement that dies
+// mid-replay) are queued and healed too, all under the replacement
+// budget.
+func (c *Cluster) heal(ctx context.Context, failed []int) error {
+	rec := c.rec
+	queue := append([]int(nil), failed...)
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w < 0 || w >= c.cfg.Workers {
+			continue
+		}
+		if rec.replaced >= rec.opts.maxReplacements(c.cfg.Workers) {
+			return fmt.Errorf("dist: worker %d failed with replacement budget %d exhausted",
+				w, rec.opts.maxReplacements(c.cfg.Workers))
+		}
+		rec.replaced++
+		rec.epoch++
+		if err := rec.rt.ReplaceWorker(ctx, w); err != nil {
+			return fmt.Errorf("dist: replace worker %d: %w", w, err)
+		}
+		if err := rec.rt.Announce(ctx, rec.epoch); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			more := FailedWorkers(err)
+			if len(more) == 0 {
+				return err
+			}
+			queue = queueMissing(queue, more)
+			if contains(more, w) {
+				continue // the replacement itself died; go around again
+			}
+		}
+		if err := c.replay(ctx, w); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			more := FailedWorkers(err)
+			if len(more) == 0 {
+				return err
+			}
+			queue = queueMissing(queue, more)
+		}
+	}
+	return nil
+}
+
+// replay re-sends worker w's slice of the journal into its fresh
+// session: its deliveries (filtered by destination) and every join, in
+// original order. Barriers are unnecessary here — frames on one
+// session are processed in order, and the final Ping round-trip proves
+// the worker ingested everything.
+func (c *Cluster) replay(ctx context.Context, w int) error {
+	rec := c.rec
+	for _, op := range rec.journal {
+		var err error
+		switch op.kind {
+		case opDeliver:
+			var mine []exchange.Delivery
+			for _, d := range op.ds {
+				if d.To == w {
+					mine = append(mine, d)
+				}
+			}
+			if len(mine) > 0 {
+				err = rec.rt.Deliver(ctx, op.round, mine)
+			}
+		case opJoin:
+			err = rec.rt.JoinWorker(ctx, w, op.spec)
+		case opBarrier:
+			// covered by session frame ordering
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return rec.rt.Ping(ctx, w, rec.epoch)
+}
+
+// record appends a journal entry and, for deliveries, folds the runs
+// into the durable-state tallies behind checkpoint manifests.
+func (rec *recovery) record(op recOp) {
+	rec.journal = append(rec.journal, op)
+	if op.kind != opDeliver {
+		return
+	}
+	for _, d := range op.ds {
+		if d.Buf.Len() == 0 {
+			continue
+		}
+		k := manifestKey{worker: d.To, store: d.Rel}
+		t := rec.durable[k]
+		if t == nil {
+			t = &manifestTally{}
+			rec.durable[k] = t
+		}
+		t.runs++
+		t.tuples += uint64(d.Buf.Len())
+	}
+}
+
+// manifest builds the checkpoint manifest for a completed round in
+// canonical (worker, store) order.
+func (rec *recovery) manifest(round int) *wire.Manifest {
+	m := &wire.Manifest{Epoch: rec.epoch, Round: uint32(round)}
+	for k, t := range rec.durable {
+		m.Entries = append(m.Entries, wire.ManifestEntry{
+			Worker: uint32(k.worker),
+			Store:  k.store,
+			Runs:   t.runs,
+			Tuples: t.tuples,
+		})
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		return a.Store < b.Store
+	})
+	return m
+}
+
+// checkpoint broadcasts the round's manifest to the pool, healing on
+// worker-attributed failures like any other phase.
+func (c *Cluster) checkpoint(ctx context.Context, round int) error {
+	m := c.rec.manifest(round)
+	return c.attempt(ctx, true, func(ctx context.Context) error {
+		// Rebuild the epoch on each try: a heal in between bumps it, and
+		// workers reject manifests from before their announced epoch.
+		m.Epoch = c.rec.epoch
+		return c.rec.rt.Checkpoint(ctx, m)
+	})
+}
+
+// queueMissing appends the workers of more not already queued.
+func queueMissing(queue, more []int) []int {
+	for _, w := range more {
+		if !contains(queue, w) {
+			queue = append(queue, w)
+		}
+	}
+	return queue
+}
+
+// contains reports whether ws includes w.
+func contains(ws []int, w int) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

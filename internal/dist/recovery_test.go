@@ -1,0 +1,339 @@
+package dist_test
+
+import (
+	"context"
+	"math/big"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exchange"
+	"repro/internal/hypercube"
+	"repro/internal/mpc"
+	"repro/internal/multiround"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/skew"
+)
+
+// The recovery test net: a table of kill-points × engines ×
+// transports. Every entry injects a deterministic fault schedule
+// (dist.FaultTransport — counter-keyed, no timers) into a full engine
+// execution with recovery enabled, then demands the answers match the
+// single-node ground truth and the round statistics match the
+// fault-free baseline byte for byte. A lost worker must be invisible
+// in every output except the replacement counter.
+
+// countingTransport counts phase calls during the baseline run, so
+// kill-points can be placed relative to each engine's actual shape
+// instead of hard-coded call numbers.
+type countingTransport struct {
+	dist.Transport
+	delivers, barriers, joins, gathers int
+}
+
+func (c *countingTransport) Deliver(ctx context.Context, round int, ds []exchange.Delivery) error {
+	c.delivers++
+	return c.Transport.Deliver(ctx, round, ds)
+}
+
+func (c *countingTransport) Barrier(ctx context.Context, round int) error {
+	c.barriers++
+	return c.Transport.Barrier(ctx, round)
+}
+
+func (c *countingTransport) Join(ctx context.Context, spec dist.JoinSpec) error {
+	c.joins++
+	return c.Transport.Join(ctx, spec)
+}
+
+func (c *countingTransport) Gather(ctx context.Context, view string) ([]*exchange.Buffer, error) {
+	c.gathers++
+	return c.Transport.Gather(ctx, view)
+}
+
+// recEngine is one engine under recovery test: run executes it on the
+// transport (recovery enabled when rec.Enabled) and returns answers,
+// stats and the replacement count.
+type recEngine struct {
+	name  string
+	truth []relation.Tuple
+	run   func(t *testing.T, tr dist.Transport, rec dist.RecoveryOptions) ([]relation.Tuple, *mpc.Stats, int)
+}
+
+// recoveryEngines builds the three engines over fixed deterministic
+// inputs, with ground truth attached.
+func recoveryEngines(t *testing.T, p int) []recEngine {
+	t.Helper()
+
+	// Hypercube: one round, triangle query.
+	triQ := query.Cycle(3)
+	triDB := relation.MatchingDatabase(rand.New(rand.NewPCG(100, 0)), triQ, 200)
+	triTruth, err := core.GroundTruth(triQ, triDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Multiround: chain at ε=0 — a genuine Γ^r_ε multi-step plan, so
+	// kill-points in later rounds exist.
+	chQ := query.Chain(4)
+	chDB := relation.MatchingDatabase(rand.New(rand.NewPCG(101, 0)), chQ, 200)
+	chTruth, err := core.GroundTruth(chQ, chDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chPlan, err := multiround.Build(chQ, big.NewRat(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Skew join: Zipf input under the resilient heavy-hitter routing.
+	r, s := skew.ZipfJoinInput(rand.New(rand.NewPCG(102, 0)), 300, 1.2)
+	sjTruth, err := skew.GroundTruth(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []recEngine{
+		{
+			name:  "hypercube",
+			truth: triTruth,
+			run: func(t *testing.T, tr dist.Transport, rec dist.RecoveryOptions) ([]relation.Tuple, *mpc.Stats, int) {
+				t.Helper()
+				res, err := hypercube.Run(triQ, triDB, p, hypercube.Options{Seed: 23, Transport: tr, Recovery: rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Answers, res.Stats, res.Replacements
+			},
+		},
+		{
+			name:  "multiround",
+			truth: chTruth,
+			run: func(t *testing.T, tr dist.Transport, rec dist.RecoveryOptions) ([]relation.Tuple, *mpc.Stats, int) {
+				t.Helper()
+				res, err := multiround.Execute(chPlan, chDB, p, multiround.Options{Seed: 23, Transport: tr, Recovery: rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Answers, res.Stats, res.Replacements
+			},
+		},
+		{
+			name:  "skew",
+			truth: sjTruth,
+			run: func(t *testing.T, tr dist.Transport, rec dist.RecoveryOptions) ([]relation.Tuple, *mpc.Stats, int) {
+				t.Helper()
+				res, err := skew.RunJoin(r, s, p, skew.Resilient, skew.Options{Seed: 7, Transport: tr, Recovery: rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Answers, res.Stats, res.Replacements
+			},
+		},
+	}
+}
+
+// TestRecoveryKillPoints is the full net. For every engine it first
+// runs fault-free on a counting loopback to fix the baseline (answers
+// already checked against ground truth, stats recorded, phase counts
+// measured), then runs every applicable kill-point on both transports.
+func TestRecoveryKillPoints(t *testing.T) {
+	const p = 4
+	engines := recoveryEngines(t, p)
+	for _, eng := range engines {
+		// Baseline: fault-free, recovery off, loopback.
+		counter := &countingTransport{Transport: dist.NewLoopback(p)}
+		baseAns, baseStats, baseRepl := eng.run(t, counter, dist.RecoveryOptions{})
+		if baseRepl != 0 {
+			t.Fatalf("%s: baseline replaced %d workers", eng.name, baseRepl)
+		}
+		if !sameTuples(baseAns, eng.truth) {
+			t.Fatalf("%s: baseline %d answers, ground truth %d", eng.name, len(baseAns), len(eng.truth))
+		}
+
+		// Kill-points, placed against the measured phase counts.
+		points := []struct {
+			name   string
+			faults []dist.Fault
+			kills  int
+			ok     bool
+		}{
+			{"scatter-kill-before", []dist.Fault{{Worker: 1, Op: dist.OpDeliver, N: 0, Kind: dist.KillBefore}}, 1, true},
+			{"scatter-kill-after", []dist.Fault{{Worker: 2, Op: dist.OpDeliver, N: 0, Kind: dist.KillAfter}}, 1, true},
+			{"last-scatter-kill", []dist.Fault{{Worker: 0, Op: dist.OpDeliver, N: counter.delivers - 1, Kind: dist.KillBefore}}, 1, counter.delivers > 1},
+			{"barrier-kill", []dist.Fault{{Worker: 0, Op: dist.OpBarrier, N: 0, Kind: dist.KillBefore}}, 1, true},
+			{"round-2-barrier-kill", []dist.Fault{{Worker: 2, Op: dist.OpBarrier, N: 1, Kind: dist.KillBefore}}, 1, counter.barriers > 1},
+			{"join-kill", []dist.Fault{{Worker: 1, Op: dist.OpJoin, N: 0, Kind: dist.KillBefore}}, 1, true},
+			{"last-join-kill", []dist.Fault{{Worker: 3, Op: dist.OpJoin, N: counter.joins - 1, Kind: dist.KillBefore}}, 1, counter.joins > 1},
+			{"gather-kill", []dist.Fault{{Worker: 3, Op: dist.OpGather, N: 0, Kind: dist.KillBefore}}, 1, true},
+			{"double-kill", []dist.Fault{
+				{Worker: 1, Op: dist.OpDeliver, N: 0, Kind: dist.KillBefore},
+				{Worker: 2, Op: dist.OpJoin, N: 0, Kind: dist.KillBefore},
+			}, 2, true},
+			{"delay-to-barrier", []dist.Fault{{Worker: 1, Op: dist.OpDeliver, N: 0, Kind: dist.DelayToBarrier}}, 0, true},
+			{"duplicate-delivery", []dist.Fault{{Worker: 2, Op: dist.OpDeliver, N: 0, Kind: dist.DuplicateDelivery}}, 0, true},
+		}
+		for _, pt := range points {
+			if !pt.ok {
+				continue
+			}
+			for _, kind := range []string{"loopback", "tcp"} {
+				pt, kind := pt, kind
+				t.Run(eng.name+"/"+pt.name+"/"+kind, func(t *testing.T) {
+					var inner dist.Transport
+					if kind == "loopback" {
+						inner = dist.NewLoopback(p)
+					} else {
+						inner = dialPool(t, startPool(t, p))
+					}
+					ft := dist.NewFaultTransport(inner, pt.faults...)
+					rec := dist.RecoveryOptions{Enabled: true, MaxReplacements: 8}
+					ans, stats, repl := eng.run(t, ft, rec)
+					if !sameTuples(ans, eng.truth) {
+						t.Errorf("%d answers, ground truth %d", len(ans), len(eng.truth))
+					}
+					if !reflect.DeepEqual(stats.Rounds, baseStats.Rounds) {
+						t.Errorf("round stats differ from fault-free baseline:\n got %+v\nwant %+v",
+							stats.Rounds, baseStats.Rounds)
+					}
+					if got := ft.Kills(); got != pt.kills {
+						t.Errorf("%d kill faults fired, schedule expects %d", got, pt.kills)
+					}
+					if pt.kills > 0 && repl < pt.kills {
+						t.Errorf("%d replacements for %d kills", repl, pt.kills)
+					}
+					if pt.kills == 0 && repl != 0 {
+						t.Errorf("%d replacements for a kill-free schedule", repl)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRecoveryWithoutPolicyStillFails pins the opt-in contract: the
+// same kill that recovery heals aborts the execution when recovery is
+// off, exactly like the pre-recovery runtime.
+func TestRecoveryWithoutPolicyStillFails(t *testing.T) {
+	const p = 4
+	q := query.Cycle(3)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(100, 0)), q, 100)
+	ft := dist.NewFaultTransport(dist.NewLoopback(p),
+		dist.Fault{Worker: 1, Op: dist.OpBarrier, N: 0, Kind: dist.KillBefore})
+	_, err := hypercube.Run(q, db, p, hypercube.Options{Seed: 23, Transport: ft})
+	if err == nil {
+		t.Fatal("kill without recovery succeeded")
+	}
+	if got := dist.FailedWorkers(err); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedWorkers = %v, want [1]", got)
+	}
+}
+
+// TestRecoveryBudgetExhausted: more failures than MaxReplacements
+// aborts with a budget error instead of looping.
+func TestRecoveryBudgetExhausted(t *testing.T) {
+	const p = 4
+	q := query.Cycle(3)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(100, 0)), q, 100)
+	ft := dist.NewFaultTransport(dist.NewLoopback(p),
+		dist.Fault{Worker: 0, Op: dist.OpDeliver, N: 0, Kind: dist.KillBefore},
+		dist.Fault{Worker: 1, Op: dist.OpDeliver, N: 1, Kind: dist.KillBefore},
+		dist.Fault{Worker: 2, Op: dist.OpDeliver, N: 2, Kind: dist.KillBefore},
+	)
+	_, err := hypercube.Run(q, db, p, hypercube.Options{
+		Seed:      23,
+		Transport: ft,
+		Recovery:  dist.RecoveryOptions{Enabled: true, MaxReplacements: 2},
+	})
+	if err == nil {
+		t.Fatal("three kills under a budget of 2 succeeded")
+	}
+}
+
+// TestRecoveryEpochAndCheckpoint: a healed loopback run leaves the
+// expected control-plane trail — a positive epoch and a checkpoint
+// manifest whose entries name the stores the round delivered.
+func TestRecoveryEpochAndCheckpoint(t *testing.T) {
+	const p = 4
+	q := query.Cycle(3)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(100, 0)), q, 100)
+	lb := dist.NewLoopback(p)
+	ft := dist.NewFaultTransport(lb,
+		dist.Fault{Worker: 1, Op: dist.OpDeliver, N: 0, Kind: dist.KillBefore})
+	res, err := hypercube.Run(q, db, p, hypercube.Options{
+		Seed:      23,
+		Transport: ft,
+		Recovery:  dist.RecoveryOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements == 0 {
+		t.Fatal("kill fault healed without a replacement")
+	}
+	if lb.Epoch() == 0 {
+		t.Error("healed run never announced an epoch")
+	}
+	m := lb.LastCheckpoint()
+	if m == nil {
+		t.Fatal("no checkpoint manifest recorded")
+	}
+	if m.Round != 1 {
+		t.Errorf("checkpoint round = %d, want 1", m.Round)
+	}
+	if m.Epoch != lb.Epoch() {
+		t.Errorf("checkpoint epoch %d != announced epoch %d", m.Epoch, lb.Epoch())
+	}
+	stores := map[string]bool{}
+	for _, e := range m.Entries {
+		stores[e.Store] = true
+		if e.Runs == 0 || e.Tuples == 0 {
+			t.Errorf("manifest entry %+v records no durable runs", e)
+		}
+	}
+	for _, a := range q.Atoms {
+		if !stores[a.Name] {
+			t.Errorf("manifest has no entry for scattered relation %s", a.Name)
+		}
+	}
+}
+
+// TestRecoverySparePromotionTCP: a worker whose process is gone (its
+// listener and live sessions closed) is replaced by a spare process
+// mid-query, and the answers still match ground truth.
+func TestRecoverySparePromotionTCP(t *testing.T) {
+	const p = 4
+	pool := startKillablePool(t, p+1) // p members + 1 spare
+	members, spare := pool.addrs[:p], pool.addrs[p]
+
+	tr := dialPool(t, members)
+	q := query.Cycle(3)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(100, 0)), q, 200)
+	truth, err := core.GroundTruth(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill member 2 outright — listener and established sessions — so
+	// the first phase that touches it fails and its address cannot be
+	// re-dialed; only the spare can fill the slot.
+	pool.kill(2)
+
+	res, err := hypercube.Run(q, db, p, hypercube.Options{
+		Seed:      23,
+		Transport: tr,
+		Recovery:  dist.RecoveryOptions{Enabled: true, Spares: []string{spare}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements == 0 {
+		t.Fatal("killed worker process healed without a replacement")
+	}
+	if !sameTuples(res.Answers, truth) {
+		t.Fatalf("%d answers after spare promotion, ground truth %d", len(res.Answers), len(truth))
+	}
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Registry is the coordinator-side membership view of a shared worker
+// pool: p member addresses that executions dial, plus spare addresses
+// that replace members found dead. It reconciles desired state (p
+// live members) with actual state (what a heartbeat probe observes) —
+// a thin controller loop. mpcserve runs one Registry for its pool so
+// a crashed worker is swapped out in the background instead of
+// failing every query from then on.
+type Registry struct {
+	mu         sync.Mutex
+	members    []string
+	spares     []string
+	generation uint64
+}
+
+// NewRegistry returns a registry over the member and spare addresses.
+func NewRegistry(members, spares []string) *Registry {
+	return &Registry{
+		members: append([]string(nil), members...),
+		spares:  append([]string(nil), spares...),
+	}
+}
+
+// Members returns the current member addresses (the pool to dial).
+func (r *Registry) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.members...)
+}
+
+// Spares returns the current spare addresses.
+func (r *Registry) Spares() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.spares...)
+}
+
+// Generation counts membership changes; it ticks once per Reconcile
+// that swapped at least one member.
+func (r *Registry) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.generation
+}
+
+// probe checks one worker for liveness: dial, handshake, heartbeat
+// round trip, close. A worker that completes it can serve a session.
+func probe(ctx context.Context, addr string) bool {
+	t, err := DialTCP(ctx, []string{addr})
+	if err != nil {
+		return false
+	}
+	defer t.Close()
+	return t.Ping(ctx, 0, 1) == nil
+}
+
+// Reconcile probes every member concurrently and swaps each dead
+// member for a live spare; dead member addresses are recycled to the
+// back of the spare list (a restarted process at the old address
+// becomes promotable again). It returns how many members were
+// swapped. Dead members with no live spare left keep their slot — a
+// later Reconcile retries them.
+func (r *Registry) Reconcile(ctx context.Context) int {
+	members := r.Members()
+	alive := make([]bool, len(members))
+	var wg sync.WaitGroup
+	for i, addr := range members {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			alive[i] = probe(ctx, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	swapped := 0
+	for i, ok := range alive {
+		if ok || r.members[i] != members[i] {
+			continue // live, or someone else already swapped the slot
+		}
+		// Try each spare at most once; dead spares rotate to the back
+		// so later slots and later reconciles retry them last.
+		for tries := len(r.spares); tries > 0; tries-- {
+			cand := r.spares[0]
+			r.spares = r.spares[1:]
+			if probe(ctx, cand) {
+				r.spares = append(r.spares, r.members[i])
+				r.members[i] = cand
+				swapped++
+				break
+			}
+			r.spares = append(r.spares, cand)
+		}
+	}
+	if swapped > 0 {
+		r.generation++
+	}
+	return swapped
+}
+
+// Run reconciles every interval until ctx is done — the background
+// heartbeat loop a server mounts next to its query handlers.
+func (r *Registry) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Reconcile(ctx)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// TestRegistryReconcileSwapsDeadMember: killing a member and
+// reconciling promotes the spare into its slot, recycles the dead
+// address to the spare tail, and ticks the generation.
+func TestRegistryReconcileSwapsDeadMember(t *testing.T) {
+	pool := startKillablePool(t, 4) // 3 members + 1 spare
+	members, spare := pool.addrs[:3], pool.addrs[3]
+	reg := dist.NewRegistry(members, []string{spare})
+
+	ctx := context.Background()
+	if n := reg.Reconcile(ctx); n != 0 {
+		t.Fatalf("healthy pool reconciled %d swaps", n)
+	}
+	if reg.Generation() != 0 {
+		t.Fatalf("generation = %d before any swap", reg.Generation())
+	}
+
+	dead := pool.addrs[1]
+	pool.kill(1)
+	if n := reg.Reconcile(ctx); n != 1 {
+		t.Fatalf("Reconcile = %d swaps, want 1", n)
+	}
+	got := reg.Members()
+	if got[1] != spare {
+		t.Fatalf("member 1 = %s, want promoted spare %s", got[1], spare)
+	}
+	if got[0] != members[0] || got[2] != members[2] {
+		t.Fatalf("healthy members moved: %v", got)
+	}
+	if sp := reg.Spares(); len(sp) != 1 || sp[0] != dead {
+		t.Fatalf("spares = %v, want recycled dead address [%s]", sp, dead)
+	}
+	if reg.Generation() != 1 {
+		t.Fatalf("generation = %d after one swap, want 1", reg.Generation())
+	}
+
+	// The recycled address is dead, so a second failure has no live
+	// spare: the slot keeps its address for a later retry and the
+	// generation does not move.
+	pool.kill(0)
+	if n := reg.Reconcile(ctx); n != 0 {
+		t.Fatalf("Reconcile with only a dead spare = %d swaps, want 0", n)
+	}
+	if got := reg.Members(); got[0] != members[0] {
+		t.Fatalf("member 0 = %s, want unchanged %s", got[0], members[0])
+	}
+	if reg.Generation() != 1 {
+		t.Fatalf("generation = %d, want still 1", reg.Generation())
+	}
+}
+
+// TestRegistryDeadSparesBounded: reconciling a dead member against a
+// spare list that is entirely dead terminates (the spare scan is
+// bounded) and leaves membership unchanged.
+func TestRegistryDeadSparesBounded(t *testing.T) {
+	pool := startKillablePool(t, 3)
+	reg := dist.NewRegistry(pool.addrs[:1], pool.addrs[1:])
+	pool.kill(0)
+	pool.kill(1)
+	pool.kill(2)
+
+	done := make(chan int, 1)
+	go func() { done <- reg.Reconcile(context.Background()) }()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("Reconcile = %d swaps with everything dead", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Reconcile did not terminate with an all-dead spare list")
+	}
+	if got := reg.Members(); got[0] != pool.addrs[0] {
+		t.Fatalf("member 0 = %s, want unchanged", got[0])
+	}
+}
+
+// TestRegistryRunLoop: the background loop reconciles on its own —
+// kill a member, wait for the generation to tick, and the promoted
+// membership is immediately dialable.
+func TestRegistryRunLoop(t *testing.T) {
+	pool := startKillablePool(t, 3) // 2 members + 1 spare
+	reg := dist.NewRegistry(pool.addrs[:2], pool.addrs[2:])
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Run(ctx, 10*time.Millisecond)
+
+	pool.kill(0)
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Generation() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("registry loop never repaired the killed member")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr := dialPool(t, reg.Members())
+	if err := tr.Ping(context.Background(), 0, 7); err != nil {
+		t.Fatalf("promoted membership not dialable: %v", err)
+	}
+}

@@ -21,6 +21,23 @@ import (
 // executions dial one TCP transport per execution.
 type TCP struct {
 	conns []*workerConn
+	// mu guards the address bookkeeping below, mutated only by the
+	// (sequential) recovery path.
+	mu sync.Mutex
+	// addrs[i] is the address worker i currently runs at.
+	addrs []string
+	// spares are addresses of idle workers available for promotion when
+	// a member dies; a replaced member's old address is recycled to the
+	// back of this list.
+	spares []string
+}
+
+// TCPOptions configures a pool dial beyond the member addresses.
+type TCPOptions struct {
+	// Spares are extra worker addresses: not part of the pool, but
+	// available both at dial time (a dead member address is substituted
+	// by a live spare) and mid-query (ReplaceWorker promotes one).
+	Spares []string
 }
 
 // workerConn is the coordinator's end of one worker connection. The
@@ -56,47 +73,115 @@ func ParseAddrs(s string) ([]string, error) {
 // the session handshake; the pool size is len(addrs) and worker i is
 // addrs[i]. On any failure every already-opened connection is closed.
 func DialTCP(ctx context.Context, addrs []string) (*TCP, error) {
+	return DialTCPPool(ctx, addrs, TCPOptions{})
+}
+
+// DialTCPPool is DialTCP with a pool policy: when a member address is
+// unreachable and opts.Spares holds live workers, the dial substitutes
+// a spare for the dead member instead of failing, recycling the dead
+// address to the back of the spare list. The pool size is always
+// len(addrs).
+func DialTCPPool(ctx context.Context, addrs []string, opts TCPOptions) (*TCP, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("dist: no worker addresses")
 	}
-	t := &TCP{conns: make([]*workerConn, len(addrs))}
-	var d net.Dialer
-	for i, addr := range addrs {
-		conn, err := d.DialContext(ctx, "tcp", addr)
+	t := &TCP{
+		conns:  make([]*workerConn, len(addrs)),
+		addrs:  append([]string(nil), addrs...),
+		spares: append([]string(nil), opts.Spares...),
+	}
+	for i := range addrs {
+		wc, err := t.dialWorker(ctx, i)
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("dist: dial worker %d at %s: %w", i, addr, err)
-		}
-		if tc, ok := conn.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		wc := &workerConn{
-			id:   i,
-			conn: conn,
-			br:   bufio.NewReaderSize(conn, 1<<16),
-			bw:   bufio.NewWriterSize(conn, 1<<16),
+			return nil, err
 		}
 		t.conns[i] = wc
-		hello := &wire.Frame{Type: wire.TypeHello, Hello: wire.Hello{
-			Version: wire.Version,
-			Worker:  uint32(i),
-			P:       uint32(len(addrs)),
-		}}
-		err = wc.roundTrip(ctx, func() error {
-			if err := wire.Encode(wc.bw, hello); err != nil {
-				return err
-			}
-			if err := wc.bw.Flush(); err != nil {
-				return err
-			}
-			return wc.expectAck(0, false)
-		})
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("dist: handshake with worker %d at %s: %w", i, addr, err)
-		}
 	}
 	return t, nil
+}
+
+// dialWorker connects worker slot i to its current address, falling
+// back to spares (and recycling the dead address) when it is
+// unreachable. The caller holds no lock; slot bookkeeping is guarded
+// by t.mu.
+func (t *TCP) dialWorker(ctx context.Context, i int) (*workerConn, error) {
+	t.mu.Lock()
+	candidates := append([]string{t.addrs[i]}, t.spares...)
+	t.mu.Unlock()
+	var firstErr error
+	for _, addr := range candidates {
+		wc, err := dialHandshake(ctx, i, len(t.conns), addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		t.mu.Lock()
+		if addr != t.addrs[i] {
+			// A spare was promoted: remove it from the spare list and
+			// recycle the dead member address behind the remaining spares.
+			for j, s := range t.spares {
+				if s == addr {
+					t.spares = append(t.spares[:j], t.spares[j+1:]...)
+					break
+				}
+			}
+			t.spares = append(t.spares, t.addrs[i])
+			t.addrs[i] = addr
+		}
+		t.mu.Unlock()
+		return wc, nil
+	}
+	return nil, firstErr
+}
+
+// dialHandshake opens one worker connection and runs the session
+// handshake for slot i of a pool of p.
+func dialHandshake(ctx context.Context, i, p int, addr string) (*workerConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial worker %d at %s: %w", i, addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	wc := &workerConn{
+		id:   i,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	hello := &wire.Frame{Type: wire.TypeHello, Hello: wire.Hello{
+		Version: wire.Version,
+		Worker:  uint32(i),
+		P:       uint32(p),
+	}}
+	err = wc.roundTrip(ctx, func() error {
+		if err := wire.Encode(wc.bw, hello); err != nil {
+			return err
+		}
+		if err := wc.bw.Flush(); err != nil {
+			return err
+		}
+		return wc.expectAck(0, false)
+	})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: handshake with worker %d at %s: %w", i, addr, err)
+	}
+	return wc, nil
+}
+
+// AddSpares appends spare worker addresses available for promotion by
+// ReplaceWorker. Cluster.EnableRecovery calls this with
+// RecoveryOptions.Spares.
+func (t *TCP) AddSpares(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spares = append(t.spares, addrs...)
 }
 
 // Workers implements Transport.
@@ -105,18 +190,26 @@ func (t *TCP) Workers() int { return len(t.conns) }
 // roundTrip runs op while ctx can interrupt the connection: if ctx is
 // cancelled (or its deadline passes) the connection deadline is
 // poisoned, so any blocked read or write inside op fails promptly
-// instead of hanging on a stuck worker. A poisoned connection stays
-// dead — the session is aborted anyway.
+// instead of hanging on a stuck worker. The poison is scoped to the
+// phase, not the connection: the next roundTrip starts by clearing the
+// deadline, so a healthy connection that was collaterally poisoned by
+// an expired per-phase context (recovery's PhaseTimeout) keeps working
+// in later phases. Failures are attributed to the worker as a
+// *WorkerError, which is what the recovery path keys on.
 func (wc *workerConn) roundTrip(ctx context.Context, op func() error) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return &WorkerError{Worker: wc.id, Err: err}
+	}
+	wc.conn.SetDeadline(time.Time{})
 	stop := context.AfterFunc(ctx, func() { wc.conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
 	if err := op(); err != nil {
 		if ctx.Err() != nil {
-			return fmt.Errorf("dist: worker %d: %w", wc.id, ctx.Err())
+			return &WorkerError{Worker: wc.id, Err: ctx.Err()}
 		}
-		return fmt.Errorf("dist: worker %d: %w", wc.id, err)
+		return &WorkerError{Worker: wc.id, Err: err}
 	}
 	return nil
 }
@@ -208,8 +301,8 @@ func (t *TCP) Barrier(ctx context.Context, round int) error {
 	})
 }
 
-// Join implements Transport.
-func (t *TCP) Join(ctx context.Context, spec JoinSpec) error {
+// joinFrame builds the wire frame for a local-evaluation command.
+func joinFrame(spec JoinSpec) *wire.Frame {
 	f := &wire.Frame{Type: wire.TypeJoin, Join: wire.Join{
 		Query:    spec.Query,
 		View:     spec.View,
@@ -218,6 +311,12 @@ func (t *TCP) Join(ctx context.Context, spec JoinSpec) error {
 	for atom, store := range spec.Bindings {
 		f.Join.Bindings = append(f.Join.Bindings, [2]string{atom, store})
 	}
+	return f
+}
+
+// Join implements Transport.
+func (t *TCP) Join(ctx context.Context, spec JoinSpec) error {
+	f := joinFrame(spec)
 	return t.eachConn(func(wc *workerConn) error {
 		return wc.roundTrip(ctx, func() error {
 			if err := wire.Encode(wc.bw, f); err != nil {
@@ -277,6 +376,112 @@ func (t *TCP) Gather(ctx context.Context, view string) ([]*exchange.Buffer, erro
 		runs = append(runs, rs...)
 	}
 	return runs, nil
+}
+
+// ReplaceWorker implements Replaceable: it closes worker w's dead
+// connection and installs a fresh session, re-dialing the worker's
+// address with spare fallback. The new session is empty; the caller
+// (Cluster.heal) replays journaled state into it.
+func (t *TCP) ReplaceWorker(ctx context.Context, w int) error {
+	if w < 0 || w >= len(t.conns) {
+		return fmt.Errorf("dist: replace worker %d out of range [0,%d)", w, len(t.conns))
+	}
+	old := t.conns[w]
+	wc, err := t.dialWorker(ctx, w)
+	if err != nil {
+		return err
+	}
+	t.conns[w] = wc
+	if old != nil && old.conn != nil {
+		old.conn.Close()
+	}
+	return nil
+}
+
+// JoinWorker implements Replaceable: the local-evaluation command for
+// worker w only, used when replaying a replaced worker.
+func (t *TCP) JoinWorker(ctx context.Context, w int, spec JoinSpec) error {
+	if w < 0 || w >= len(t.conns) {
+		return fmt.Errorf("dist: join worker %d out of range [0,%d)", w, len(t.conns))
+	}
+	f := joinFrame(spec)
+	wc := t.conns[w]
+	return wc.roundTrip(ctx, func() error {
+		if err := wire.Encode(wc.bw, f); err != nil {
+			return err
+		}
+		if err := wc.bw.Flush(); err != nil {
+			return err
+		}
+		return wc.expectAck(0, false)
+	})
+}
+
+// Ping implements Replaceable: a heartbeat round trip through worker
+// w. Its returned Pong also proves the worker ingested every frame
+// sent before it on the session.
+func (t *TCP) Ping(ctx context.Context, w int, seq uint32) error {
+	if w < 0 || w >= len(t.conns) {
+		return fmt.Errorf("dist: ping worker %d out of range [0,%d)", w, len(t.conns))
+	}
+	wc := t.conns[w]
+	return wc.roundTrip(ctx, func() error {
+		if err := wire.Encode(wc.bw, &wire.Frame{Type: wire.TypePing, Round: seq}); err != nil {
+			return err
+		}
+		if err := wc.bw.Flush(); err != nil {
+			return err
+		}
+		f, err := wire.Decode(wc.br)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case wire.TypePong:
+			if f.Round != seq {
+				return fmt.Errorf("pong echoes %d, want %d", f.Round, seq)
+			}
+			return nil
+		case wire.TypeError:
+			return fmt.Errorf("worker error: %s", f.Msg)
+		default:
+			return fmt.Errorf("unexpected %s frame, want pong", f.Type)
+		}
+	})
+}
+
+// Announce implements Replaceable: broadcast the recovery epoch, every
+// worker acking it (echoing the epoch) or rejecting it as stale.
+func (t *TCP) Announce(ctx context.Context, epoch uint32) error {
+	return t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			if err := wire.Encode(wc.bw, &wire.Frame{Type: wire.TypeEpoch, Round: epoch}); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			return wc.expectAck(epoch, true)
+		})
+	})
+}
+
+// Checkpoint implements Replaceable: broadcast the round manifest,
+// every worker acking it (echoing the round) after validating its
+// epoch.
+func (t *TCP) Checkpoint(ctx context.Context, m *wire.Manifest) error {
+	f := &wire.Frame{Type: wire.TypeCheckpoint, Checkpoint: m}
+	return t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			if err := wire.Encode(wc.bw, f); err != nil {
+				return err
+			}
+			if err := wc.bw.Flush(); err != nil {
+				return err
+			}
+			return wc.expectAck(m.Round, true)
+		})
+	})
 }
 
 // Close implements Transport: all connections are closed; workers

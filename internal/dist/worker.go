@@ -85,6 +85,12 @@ type session struct {
 	id    uint32
 	store *workerStore
 	bw    *bufio.Writer
+	// epoch is the last recovery epoch the coordinator announced on
+	// this session; announcements may only grow it, and checkpoint
+	// manifests from before it are rejected as stale.
+	epoch uint32
+	// checkpoint is the last accepted checkpoint manifest.
+	checkpoint *wire.Manifest
 }
 
 // reply encodes a frame and flushes it.
@@ -135,6 +141,23 @@ func (s *session) handle(f *wire.Frame) error {
 			return err
 		}
 		return s.reply(&wire.Frame{Type: wire.TypeAck})
+	case wire.TypePing:
+		// A pong proves liveness and — frames being processed in order —
+		// ingestion of everything the coordinator sent before the ping.
+		return s.reply(&wire.Frame{Type: wire.TypePong, Round: f.Round})
+	case wire.TypeEpoch:
+		if f.Round < s.epoch {
+			return fmt.Errorf("stale epoch %d announced, session at %d", f.Round, s.epoch)
+		}
+		s.epoch = f.Round
+		return s.reply(&wire.Frame{Type: wire.TypeAck, Round: f.Round})
+	case wire.TypeCheckpoint:
+		if f.Checkpoint.Epoch < s.epoch {
+			return fmt.Errorf("stale checkpoint epoch %d, session at %d", f.Checkpoint.Epoch, s.epoch)
+		}
+		s.epoch = f.Checkpoint.Epoch
+		s.checkpoint = f.Checkpoint
+		return s.reply(&wire.Frame{Type: wire.TypeAck, Round: f.Checkpoint.Round})
 	case wire.TypeGather:
 		runs := s.store.runs(f.View)
 		for _, run := range runs {

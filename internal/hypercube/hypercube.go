@@ -372,6 +372,10 @@ type Options struct {
 	// Context bounds a distributed execution (cancellation, deadline);
 	// nil selects context.Background().
 	Context context.Context
+	// Recovery is the self-healing policy: with Enabled set, a worker
+	// failure mid-round triggers replacement and replay instead of
+	// aborting. The transport must support it (loopback and TCP do).
+	Recovery dist.RecoveryOptions
 }
 
 // Result reports a HyperCube execution.
@@ -380,6 +384,9 @@ type Result struct {
 	Answers []relation.Tuple
 	// Stats is the engine's communication record.
 	Stats *mpc.Stats
+	// Replacements counts the workers replaced mid-query by the
+	// recovery policy (0 when recovery is off or nothing failed).
+	Replacements int
 	// Shares is the grid geometry used.
 	Shares *Shares
 	// ReceiveCap is the enforced per-worker budget in bits (0 = off).
@@ -474,6 +481,11 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	if err != nil {
 		return nil, err
 	}
+	if opts.Recovery.Enabled {
+		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
+			return nil, err
+		}
+	}
 	hasher := NewHasher(shares, opts.Seed)
 
 	// Round 1: every input server scatters its relation along the grid
@@ -510,12 +522,13 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 		grid = p
 	}
 	return &Result{
-		Answers:     merged,
-		Stats:       cluster.Stats(),
-		Shares:      shares,
-		ReceiveCap:  cluster.Config().ReceiveCap(),
-		CapExceeded: capErr != nil,
-		GridPoints:  grid,
+		Answers:      merged,
+		Stats:        cluster.Stats(),
+		Replacements: cluster.Replacements(),
+		Shares:       shares,
+		ReceiveCap:   cluster.Config().ReceiveCap(),
+		CapExceeded:  capErr != nil,
+		GridPoints:   grid,
 	}, nil
 }
 

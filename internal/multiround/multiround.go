@@ -230,6 +230,11 @@ type Options struct {
 	// Context bounds a distributed execution; nil selects
 	// context.Background().
 	Context context.Context
+	// Recovery is the self-healing policy: with Enabled set, a worker
+	// failure at any round triggers replacement and replay of that
+	// worker's inputs — the query resumes at the round it was in
+	// instead of aborting (or restarting at round 0).
+	Recovery dist.RecoveryOptions
 }
 
 // Result reports a plan execution.
@@ -243,6 +248,9 @@ type Result struct {
 	Stats *mpc.Stats
 	// CapExceeded reports whether any round broke the receive budget.
 	CapExceeded bool
+	// Replacements counts the workers replaced mid-query by the
+	// recovery policy.
+	Replacements int
 }
 
 // Execute runs the plan on db with p servers. Each step is one
@@ -270,6 +278,11 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 	}, tr)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Recovery.Enabled {
+		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
+			return nil, err
+		}
 	}
 	// env maps atom name (base relation or view) to its materialized
 	// relation.
@@ -379,10 +392,11 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 		return nil, err
 	}
 	return &Result{
-		Answers:     answers,
-		Rounds:      cluster.Stats().NumRounds(),
-		Stats:       cluster.Stats(),
-		CapExceeded: capExceeded,
+		Answers:      answers,
+		Rounds:       cluster.Stats().NumRounds(),
+		Stats:        cluster.Stats(),
+		CapExceeded:  capExceeded,
+		Replacements: cluster.Replacements(),
 	}, nil
 }
 

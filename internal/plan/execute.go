@@ -34,6 +34,10 @@ type ExecOptions struct {
 	// Context bounds a distributed execution (cancellation, deadline);
 	// nil selects context.Background().
 	Context context.Context
+	// Recovery is the self-healing policy, threaded through to the
+	// engine's cluster: with Enabled set, a worker failure mid-query
+	// triggers replacement and replay instead of aborting.
+	Recovery dist.RecoveryOptions
 }
 
 // Result reports a planner-driven execution.
@@ -49,6 +53,9 @@ type Result struct {
 	Stats *mpc.Stats
 	// CapExceeded reports whether any worker broke the receive budget.
 	CapExceeded bool
+	// Replacements counts the workers replaced mid-query by the
+	// recovery policy.
+	Replacements int
 	// Shares is the grid geometry (one-round engine only, nil
 	// otherwise).
 	Shares *hypercube.Shares
@@ -76,16 +83,18 @@ func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error)
 			Strategy:    opts.Strategy,
 			Transport:   opts.Transport,
 			Context:     opts.Context,
+			Recovery:    opts.Recovery,
 		})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{
-			Answers:     res.Answers,
-			Engine:      MultiRound,
-			Rounds:      res.Rounds,
-			Stats:       res.Stats,
-			CapExceeded: res.CapExceeded,
+			Answers:      res.Answers,
+			Engine:       MultiRound,
+			Rounds:       res.Rounds,
+			Stats:        res.Stats,
+			CapExceeded:  res.CapExceeded,
+			Replacements: res.Replacements,
 		}, nil
 	case SkewJoin:
 		return p.executeSkewJoin(db, opts)
@@ -103,17 +112,19 @@ func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result
 		Strategy:    opts.Strategy,
 		Transport:   opts.Transport,
 		Context:     opts.Context,
+		Recovery:    opts.Recovery,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Answers:     res.Answers,
-		Engine:      OneRound,
-		Rounds:      res.Stats.NumRounds(),
-		Stats:       res.Stats,
-		CapExceeded: res.CapExceeded,
-		Shares:      res.Shares,
+		Answers:      res.Answers,
+		Engine:       OneRound,
+		Rounds:       res.Stats.NumRounds(),
+		Stats:        res.Stats,
+		CapExceeded:  res.CapExceeded,
+		Replacements: res.Replacements,
+		Shares:       res.Shares,
 	}, nil
 }
 
@@ -141,6 +152,7 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 		HeavyFactor: p.heavyFactor,
 		Transport:   opts.Transport,
 		Context:     opts.Context,
+		Recovery:    opts.Recovery,
 	})
 	if err != nil {
 		return nil, err
@@ -158,11 +170,12 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 	}
 	sort.Slice(answers, func(i, j int) bool { return answers[i].Less(answers[j]) })
 	return &Result{
-		Answers:     answers,
-		Engine:      SkewJoin,
-		Rounds:      res.Stats.NumRounds(),
-		Stats:       res.Stats,
-		CapExceeded: res.CapExceeded,
+		Answers:      answers,
+		Engine:       SkewJoin,
+		Rounds:       res.Stats.NumRounds(),
+		Stats:        res.Stats,
+		CapExceeded:  res.CapExceeded,
+		Replacements: res.Replacements,
 	}, nil
 }
 

@@ -96,6 +96,110 @@ func TestWorkerPoolRejectsMismatchedP(t *testing.T) {
 	}
 }
 
+// killableWorker is one worker listener whose death can be forced
+// synchronously: kill closes the listener and every accepted session
+// connection, the way a SIGKILLed mpcworker process disappears.
+type killableWorker struct {
+	ln     net.Listener
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	conns  []net.Conn
+	dead   bool
+}
+
+// startKillableWorker starts one worker listener and returns it with
+// its address.
+func startKillableWorker(t *testing.T) (*killableWorker, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &killableWorker{ln: ln, cancel: cancel}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			w.mu.Lock()
+			if w.dead {
+				w.mu.Unlock()
+				c.Close()
+				continue
+			}
+			w.conns = append(w.conns, c)
+			w.mu.Unlock()
+			go dist.ServeConn(ctx, c)
+		}
+	}()
+	t.Cleanup(w.kill)
+	return w, ln.Addr().String()
+}
+
+// kill takes the worker down hard.
+func (w *killableWorker) kill() {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.dead = true
+	conns := w.conns
+	w.conns = nil
+	w.mu.Unlock()
+	w.cancel()
+	w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestWorkerPoolHealsAfterMemberDeath is the regression test for the
+// permanent-502 failure mode: before the pool registry, a single dead
+// member failed every subsequent distributed query until an operator
+// restarted the service. Now the dial failure triggers an immediate
+// reconcile that promotes the spare, and the same request succeeds.
+func TestWorkerPoolHealsAfterMemberDeath(t *testing.T) {
+	var workers []*killableWorker
+	var addrs []string
+	for i := 0; i < 4; i++ { // 3 members + 1 spare
+		w, addr := startKillableWorker(t)
+		workers = append(workers, w)
+		addrs = append(addrs, addr)
+	}
+	members, spare := addrs[:3], addrs[3]
+	srv, ts := newTestServer(t, serve.Config{WorkerAddrs: members, SpareAddrs: []string{spare}}, 200)
+	truth := triangleTruth(t, srv)
+
+	out, _ := postQuery(t, ts.URL, serve.QueryRequest{Dataset: "tri", Family: "C3", MaxAnswers: -1})
+	if out.AnswerCount != len(truth) {
+		t.Fatalf("healthy pool: %d answers, ground truth %d", out.AnswerCount, len(truth))
+	}
+
+	// A member dies. The next query must still be answered — dial
+	// fails, the registry reconciles the spare into the slot, and the
+	// retry succeeds — instead of returning 502 forever.
+	workers[1].kill()
+	out, resp := postQuery(t, ts.URL, serve.QueryRequest{Dataset: "tri", Family: "C3", MaxAnswers: -1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after member death: status %d, want 200", resp.StatusCode)
+	}
+	if out.AnswerCount != len(truth) {
+		t.Fatalf("healed pool: %d answers, ground truth %d", out.AnswerCount, len(truth))
+	}
+	if got := srv.Metrics().PoolRepairs.Load(); got < 1 {
+		t.Fatalf("PoolRepairs = %d, want ≥ 1", got)
+	}
+	if gen := srv.Pool().Generation(); gen != 1 {
+		t.Fatalf("pool generation = %d, want 1", gen)
+	}
+	if got := srv.Pool().Members(); got[1] != spare {
+		t.Fatalf("member 1 = %s, want promoted spare %s", got[1], spare)
+	}
+}
+
 // TestWorkerPoolUnavailable: a dead pool surfaces as 502, not a hang
 // or a fallback to in-process execution.
 func TestWorkerPoolUnavailable(t *testing.T) {

@@ -43,6 +43,12 @@ type Metrics struct {
 	// TCP worker pool (Config.WorkerAddrs) rather than the in-process
 	// loopback.
 	DistributedQueries atomic.Int64
+	// WorkerReplacements counts workers replaced mid-query by the
+	// recovery policy across all executions.
+	WorkerReplacements atomic.Int64
+	// PoolRepairs counts pool members swapped for spares by registry
+	// reconciliation (background heartbeats plus dial-failure repair).
+	PoolRepairs atomic.Int64
 
 	mu           sync.Mutex
 	perRoundBits []int64
@@ -103,6 +109,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("mpcserve_answers_returned_total", "Answer tuples returned to clients.", m.AnswersReturned.Load())
 	counter("mpcserve_shuffle_bits_total", "Bits received by workers across all queries.", m.ShuffleBits.Load())
 	counter("mpcserve_distributed_queries_total", "Executions dispatched to the remote TCP worker pool.", m.DistributedQueries.Load())
+	counter("mpcserve_worker_replacements_total", "Workers replaced mid-query by the recovery policy.", m.WorkerReplacements.Load())
+	counter("mpcserve_pool_repairs_total", "Pool members swapped for spares by reconciliation.", m.PoolRepairs.Load())
 	fmt.Fprintf(w, "# HELP mpcserve_plan_cache_hit_rate Plan cache hits over lookups.\n# TYPE mpcserve_plan_cache_hit_rate gauge\nmpcserve_plan_cache_hit_rate %.4f\n",
 		m.PlanCacheHitRate())
 	rounds := m.PerRoundBits()

@@ -29,6 +29,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,6 +72,16 @@ type Config struct {
 	// the pool size. Each execution dials its own session, so
 	// concurrent queries stay isolated on shared worker processes.
 	WorkerAddrs []string
+	// SpareAddrs lists standby mpcworker addresses. A worker that dies
+	// mid-query is replaced by a spare and the query resumes; the
+	// background pool registry also promotes spares for members that
+	// fail heartbeat probes, so the service heals instead of returning
+	// 502 until an operator intervenes. Only meaningful with
+	// WorkerAddrs.
+	SpareAddrs []string
+	// MaxReplacements bounds worker replacements per query execution;
+	// ≤ 0 selects the pool size.
+	MaxReplacements int
 }
 
 // withDefaults fills zero fields.
@@ -109,13 +120,14 @@ type Server struct {
 	cache    *PlanCache
 	gate     *Gate
 	metrics  *Metrics
+	pool     *dist.Registry
 	started  time.Time
 }
 
 // New returns a Server with an empty registry and cold caches.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(),
 		cache:    NewPlanCache(cfg.CacheSize),
@@ -123,6 +135,10 @@ func New(cfg Config) *Server {
 		metrics:  &Metrics{},
 		started:  time.Now(),
 	}
+	if len(cfg.WorkerAddrs) > 0 {
+		s.pool = dist.NewRegistry(cfg.WorkerAddrs, cfg.SpareAddrs)
+	}
+	return s
 }
 
 // Registry returns the dataset registry (for preloading at startup).
@@ -133,6 +149,11 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // PlanCache returns the compiled-plan cache.
 func (s *Server) PlanCache() *PlanCache { return s.cache }
+
+// Pool returns the worker-pool membership registry, or nil when the
+// service executes on the in-process loopback. cmd/mpcserve mounts
+// Pool().Run as its background heartbeat loop.
+func (s *Server) Pool() *dist.Registry { return s.pool }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -201,6 +222,9 @@ type QueryResponse struct {
 	PerRoundBits []int64 `json:"perRoundBits"`
 	// CapExceeded reports a broken receive budget (informational).
 	CapExceeded bool `json:"capExceeded"`
+	// WorkerReplacements counts workers replaced mid-query by the
+	// recovery policy (distributed pool only; 0 on a healthy run).
+	WorkerReplacements int `json:"workerReplacements,omitempty"`
 	// ElapsedMs is the wall-clock execution time in milliseconds.
 	ElapsedMs float64 `json:"elapsedMs"`
 }
@@ -327,10 +351,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		seed = 1
 	}
 	execOpts := plan.ExecOptions{Seed: seed}
-	if len(s.cfg.WorkerAddrs) > 0 {
+	if s.pool != nil {
 		// One dialed session per execution: the per-connection stores on
 		// the shared mpcworker processes isolate concurrent queries.
-		tr, derr := dist.DialTCP(r.Context(), s.cfg.WorkerAddrs)
+		tr, derr := s.dialPool(r.Context())
 		if derr != nil {
 			s.metrics.QueryErrors.Add(1)
 			s.metrics.InFlight.Add(-1)
@@ -341,6 +365,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer tr.Close()
 		execOpts.Transport = tr
 		execOpts.Context = r.Context()
+		execOpts.Recovery = dist.RecoveryOptions{
+			Enabled:         true,
+			MaxReplacements: s.cfg.MaxReplacements,
+			Spares:          s.pool.Spares(),
+		}
 		s.metrics.DistributedQueries.Add(1)
 	}
 	res, err := pl.Execute(view, execOpts)
@@ -354,6 +383,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.QueriesServed.Add(1)
 	s.metrics.RecordExecution(res.Stats)
+	if res.Replacements > 0 {
+		s.metrics.WorkerReplacements.Add(int64(res.Replacements))
+	}
 
 	maxAnswers := req.MaxAnswers
 	if maxAnswers == 0 {
@@ -375,25 +407,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		perRound = append(perRound, rs.TotalBits)
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
-		Dataset:       ds.Name,
-		Query:         q.String(),
-		P:             p,
-		Engine:        res.Engine.String(),
-		Rounds:        res.Rounds,
-		Fingerprint:   key,
-		PlanCached:    planCached,
-		StatsCached:   statsCached,
-		Explain:       pl.Explain(),
-		Vars:          q.Vars(),
-		AnswerCount:   len(res.Answers),
-		Answers:       answers,
-		Truncated:     len(answers) < len(res.Answers),
-		MaxLoadTuples: res.Stats.MaxLoadTuples(),
-		TotalBits:     res.Stats.TotalBits(),
-		PerRoundBits:  perRound,
-		CapExceeded:   res.CapExceeded,
-		ElapsedMs:     float64(elapsed.Microseconds()) / 1000,
+		Dataset:            ds.Name,
+		Query:              q.String(),
+		P:                  p,
+		Engine:             res.Engine.String(),
+		Rounds:             res.Rounds,
+		Fingerprint:        key,
+		PlanCached:         planCached,
+		StatsCached:        statsCached,
+		Explain:            pl.Explain(),
+		Vars:               q.Vars(),
+		AnswerCount:        len(res.Answers),
+		Answers:            answers,
+		Truncated:          len(answers) < len(res.Answers),
+		MaxLoadTuples:      res.Stats.MaxLoadTuples(),
+		TotalBits:          res.Stats.TotalBits(),
+		PerRoundBits:       perRound,
+		CapExceeded:        res.CapExceeded,
+		WorkerReplacements: res.Replacements,
+		ElapsedMs:          float64(elapsed.Microseconds()) / 1000,
 	})
+}
+
+// dialPool dials a session against the pool's current membership. A
+// dial failure usually means a member died since the last heartbeat:
+// reconcile the registry immediately (promoting a spare into the dead
+// slot) and retry once before giving up, so a single crashed worker
+// costs one repaired request instead of failing every query until the
+// background loop catches up.
+func (s *Server) dialPool(ctx context.Context) (*dist.TCP, error) {
+	tr, err := dist.DialTCP(ctx, s.pool.Members())
+	if err == nil {
+		return tr, nil
+	}
+	if n := s.pool.Reconcile(ctx); n > 0 {
+		s.metrics.PoolRepairs.Add(int64(n))
+	}
+	return dist.DialTCP(ctx, s.pool.Members())
 }
 
 // DatasetRequest is the POST /datasets body: a name plus exactly one

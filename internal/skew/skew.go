@@ -162,6 +162,10 @@ type Options struct {
 	// Context bounds a distributed execution; nil selects
 	// context.Background().
 	Context context.Context
+	// Recovery is the self-healing policy: with Enabled set, a worker
+	// failure mid-join triggers replacement and replay instead of
+	// aborting.
+	Recovery dist.RecoveryOptions
 }
 
 // Result reports a join run.
@@ -170,6 +174,9 @@ type Result struct {
 	Answers []relation.Tuple
 	// Stats is the communication record.
 	Stats *mpc.Stats
+	// Replacements counts the workers replaced mid-query by the
+	// recovery policy.
+	Replacements int
 	// MaxLoadTuples is the maximum per-server received tuple count.
 	MaxLoadTuples int64
 	// Heavy lists the detected heavy hitters (Resilient mode only).
@@ -268,6 +275,11 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	if opts.Recovery.Enabled {
+		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
+			return nil, err
+		}
+	}
 
 	var heavy []int
 	blocks := map[int][]int{} // heavy value → server block
@@ -351,6 +363,7 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	return &Result{
 		Answers:       answers,
 		Stats:         cluster.Stats(),
+		Replacements:  cluster.Replacements(),
 		MaxLoadTuples: cluster.Stats().MaxLoadTuples(),
 		Heavy:         heavy,
 		CapExceeded:   capExceeded,

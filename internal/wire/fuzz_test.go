@@ -58,6 +58,18 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed(&Frame{Type: TypeAck, Round: 2})
 	seed(&Frame{Type: TypeDone, Count: 3})
 	seed(&Frame{Type: TypeError, Msg: "boom"})
+	seed(&Frame{Type: TypePing, Round: 41})
+	seed(&Frame{Type: TypePong, Round: 41})
+	seed(&Frame{Type: TypeEpoch, Round: 3})
+	seed(&Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{
+		Epoch: 2, Round: 5,
+		Entries: []ManifestEntry{
+			{Worker: 0, Store: "V1_1/R", Runs: 3, Tuples: 900},
+			{Worker: 0, Store: "V1_1/S", Runs: 1, Tuples: 12},
+			{Worker: 2, Store: "hc!answers", Runs: 7, Tuples: 1 << 33},
+		},
+	}})
+	seed(&Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{Epoch: 0, Round: 0}})
 	// Hostile shapes: lying lengths, dirty high bits, truncation.
 	f.Add([]byte{byte(TypeData), 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{byte(TypeData), 0, 0, 0, 30, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, 0, 0, 0, 0, 2})
@@ -79,6 +91,17 @@ func FuzzDecodeFrame(f *testing.F) {
 		if again.Type != fr.Type {
 			t.Fatalf("round trip changed type %s → %s", fr.Type, again.Type)
 		}
+		if fr.Type == TypeCheckpoint {
+			a, b := fr.Checkpoint, again.Checkpoint
+			if a.Epoch != b.Epoch || a.Round != b.Round || len(a.Entries) != len(b.Entries) {
+				t.Fatalf("round trip changed manifest %+v → %+v", a, b)
+			}
+			for i := range a.Entries {
+				if a.Entries[i] != b.Entries[i] {
+					t.Fatalf("round trip changed manifest entry %d: %+v → %+v", i, a.Entries[i], b.Entries[i])
+				}
+			}
+		}
 		if fr.Type == TypeData {
 			a := fr.Data.Buf.AppendTuples(nil)
 			b := again.Data.Buf.AppendTuples(nil)
@@ -90,6 +113,49 @@ func FuzzDecodeFrame(f *testing.F) {
 					t.Fatalf("round trip changed tuple %d: %v → %v", i, a[i], b[i])
 				}
 			}
+		}
+	})
+}
+
+// FuzzDecodeManifest holds the checkpoint-manifest decoder to the
+// same contract as the frame decoder: arbitrary bytes yield an error
+// or a valid manifest — never a panic, never an allocation larger than
+// the input — and anything accepted is in canonical form, so it
+// re-encodes to the exact input bytes.
+func FuzzDecodeManifest(f *testing.F) {
+	seed := func(m *Manifest) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, &Frame{Type: TypeCheckpoint, Checkpoint: m}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[5:]) // strip the frame header, keep the payload
+	}
+	seed(&Manifest{Epoch: 1, Round: 2, Entries: []ManifestEntry{
+		{Worker: 0, Store: "R", Runs: 1, Tuples: 3},
+		{Worker: 1, Store: "R", Runs: 2, Tuples: 5},
+		{Worker: 1, Store: "S", Runs: 1, Tuples: 8},
+	}})
+	seed(&Manifest{Epoch: 0, Round: 0})
+	// Lying count with no payload behind it; must reject cheaply.
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Duplicate (worker, store): non-canonical, must reject.
+	f.Add([]byte{
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 2,
+		0, 0, 0, 0, 0, 1, 'R', 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 1, 'R', 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, &Frame{Type: TypeCheckpoint, Checkpoint: m}); err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		if got := buf.Bytes()[5:]; !bytes.Equal(got, data) {
+			t.Fatalf("accepted manifest is not canonical: %x re-encodes to %x", data, got)
 		}
 	})
 }

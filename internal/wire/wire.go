@@ -65,6 +65,20 @@ const (
 	// TypeError reports a worker-side failure; the session is dead
 	// afterwards.
 	TypeError
+	// TypePing is a coordinator heartbeat carrying a sequence tag in
+	// Round; a live worker echoes it back as a Pong.
+	TypePing
+	// TypePong answers a Ping, echoing the sequence tag in Round.
+	TypePong
+	// TypeEpoch announces the coordinator's recovery epoch in Round.
+	// Epochs only ever grow: a worker rejects a decreasing epoch as a
+	// stale coordinator and acks an accepted one, echoing the epoch.
+	TypeEpoch
+	// TypeCheckpoint carries a checkpoint Manifest — the coordinator's
+	// record of which per-worker sorted runs are durable after a round
+	// barrier. The worker validates the manifest's epoch against its
+	// session epoch and acks, echoing the manifest round.
+	TypeCheckpoint
 )
 
 // String names the frame type.
@@ -86,6 +100,14 @@ func (t Type) String() string {
 		return "done"
 	case TypeError:
 		return "error"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeEpoch:
+		return "epoch"
+	case TypeCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -144,6 +166,42 @@ type Join struct {
 	Bindings [][2]string
 }
 
+// Manifest is the checkpoint record a coordinator emits after each
+// round barrier when recovery is enabled: for every (worker, store)
+// pair it names how many sealed runs — and how many tuples across
+// them — are durably ingested at that worker as of Round. A recovering
+// coordinator replays exactly this state into a replacement worker.
+//
+// The canonical encoding orders entries strictly ascending by
+// (Worker, Store); DecodeManifest rejects anything else, so a manifest
+// has exactly one byte representation.
+type Manifest struct {
+	// Epoch is the recovery epoch the manifest belongs to.
+	Epoch uint32
+	// Round is the barrier the manifest describes.
+	Round uint32
+	// Entries lists the durable runs, ordered by (Worker, Store).
+	Entries []ManifestEntry
+}
+
+// ManifestEntry is one (worker, store) line of a checkpoint manifest.
+type ManifestEntry struct {
+	// Worker is the worker id holding the runs.
+	Worker uint32
+	// Store is the store name the runs live under.
+	Store string
+	// Runs counts the sealed runs delivered to the store.
+	Runs uint32
+	// Tuples counts the tuples across those runs.
+	Tuples uint64
+}
+
+// manifestEntryMin is the smallest encoded entry (worker u32, empty
+// store u16 prefix, runs u32, tuples u64): the declared entry count is
+// checked against the remaining payload at this granularity before any
+// entry allocation.
+const manifestEntryMin = 4 + 2 + 4 + 8
+
 // Frame is one decoded protocol frame; the field matching Type is
 // meaningful, the rest are zero.
 type Frame struct {
@@ -155,7 +213,9 @@ type Frame struct {
 	Data Data
 	// Join is set for TypeJoin.
 	Join Join
-	// Round is set for TypeBarrier and TypeAck (the echoed tag).
+	// Round is set for TypeBarrier and TypeAck (the echoed tag), for
+	// TypePing and TypePong (the heartbeat sequence), and for TypeEpoch
+	// (the announced epoch).
 	Round uint32
 	// View is set for TypeGather.
 	View string
@@ -163,6 +223,8 @@ type Frame struct {
 	Count uint32
 	// Msg is set for TypeError.
 	Msg string
+	// Checkpoint is set for TypeCheckpoint.
+	Checkpoint *Manifest
 }
 
 // buffer encoding discriminators inside Data payloads.
@@ -183,8 +245,12 @@ func Encode(w io.Writer, f *Frame) error {
 		if err := encodeData(&payload, &f.Data); err != nil {
 			return err
 		}
-	case TypeBarrier, TypeAck:
+	case TypeBarrier, TypeAck, TypePing, TypePong, TypeEpoch:
 		putU32(&payload, f.Round)
+	case TypeCheckpoint:
+		if err := encodeManifest(&payload, f.Checkpoint); err != nil {
+			return err
+		}
 	case TypeJoin:
 		if err := putString(&payload, f.Join.Query); err != nil {
 			return err
@@ -297,8 +363,10 @@ func Decode(r io.Reader) (*Frame, error) {
 		f.Hello.P = p.u32()
 	case TypeData:
 		decodeData(p, &f.Data)
-	case TypeBarrier, TypeAck:
+	case TypeBarrier, TypeAck, TypePing, TypePong, TypeEpoch:
 		f.Round = p.u32()
+	case TypeCheckpoint:
+		f.Checkpoint = decodeManifest(p)
 	case TypeJoin:
 		f.Join.Query = p.str()
 		f.Join.View = p.str()
@@ -323,6 +391,86 @@ func Decode(r io.Reader) (*Frame, error) {
 		return nil, fmt.Errorf("wire: %s frame has %d trailing payload bytes", typ, len(p.b)-p.off)
 	}
 	return f, nil
+}
+
+// encodeManifest serializes a checkpoint manifest, enforcing the
+// canonical strictly-ascending (worker, store) entry order so every
+// manifest has one byte representation.
+func encodeManifest(w *bytes.Buffer, m *Manifest) error {
+	if m == nil {
+		return fmt.Errorf("wire: checkpoint frame without manifest")
+	}
+	putU32(w, m.Epoch)
+	putU32(w, m.Round)
+	putU32(w, uint32(len(m.Entries)))
+	for i, e := range m.Entries {
+		if i > 0 && !manifestLess(m.Entries[i-1], e) {
+			return fmt.Errorf("wire: manifest entries not strictly ascending at %d", i)
+		}
+		putU32(w, e.Worker)
+		if err := putString(w, e.Store); err != nil {
+			return err
+		}
+		putU32(w, e.Runs)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], e.Tuples)
+		w.Write(b[:])
+	}
+	return nil
+}
+
+// decodeManifest parses a manifest payload. The declared entry count
+// is validated against the remaining payload at minimum-entry
+// granularity before any allocation, so a lying count cannot force a
+// large allocation; entries are then required to be strictly ascending
+// by (worker, store).
+func decodeManifest(p *payloadReader) *Manifest {
+	m := &Manifest{Epoch: p.u32(), Round: p.u32()}
+	count := int(p.u32())
+	if p.err != nil {
+		return nil
+	}
+	if count*manifestEntryMin > len(p.b)-p.off {
+		p.fail(fmt.Errorf("manifest count %d exceeds payload", count))
+		return nil
+	}
+	m.Entries = make([]ManifestEntry, 0, count)
+	for i := 0; i < count && p.err == nil; i++ {
+		e := ManifestEntry{Worker: p.u32(), Store: p.str(), Runs: p.u32(), Tuples: p.u64()}
+		if p.err != nil {
+			return nil
+		}
+		if i > 0 && !manifestLess(m.Entries[i-1], e) {
+			p.fail(fmt.Errorf("manifest entries not strictly ascending at %d", i))
+			return nil
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m
+}
+
+// manifestLess orders entries by (worker, store), strictly.
+func manifestLess(a, b ManifestEntry) bool {
+	if a.Worker != b.Worker {
+		return a.Worker < b.Worker
+	}
+	return a.Store < b.Store
+}
+
+// DecodeManifest parses a standalone checkpoint-manifest payload (the
+// body of a TypeCheckpoint frame) with the same validation Decode
+// applies: bounded allocation, full consumption, canonical entry
+// order. It exists so the manifest codec can be fuzzed directly.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	p := &payloadReader{b: b}
+	m := decodeManifest(p)
+	if p.err != nil {
+		return nil, fmt.Errorf("wire: manifest: %w", p.err)
+	}
+	if len(p.b) != p.off {
+		return nil, fmt.Errorf("wire: manifest has %d trailing payload bytes", len(p.b)-p.off)
+	}
+	return m, nil
 }
 
 // decodeData parses a Data payload and reconstructs the buffer

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand/v2"
@@ -57,6 +58,17 @@ func sampleFrames(t *testing.T) []*Frame {
 		{Type: TypeAck, Round: 7},
 		{Type: TypeDone, Count: 4},
 		{Type: TypeError, Msg: "worker 3: no such view"},
+		{Type: TypePing, Round: 19},
+		{Type: TypePong, Round: 19},
+		{Type: TypeEpoch, Round: 2},
+		{Type: TypeCheckpoint, Checkpoint: &Manifest{
+			Epoch: 2, Round: 3,
+			Entries: []ManifestEntry{
+				{Worker: 0, Store: "V1_1/R", Runs: 2, Tuples: 64},
+				{Worker: 1, Store: "V1_1/R", Runs: 1, Tuples: 7},
+				{Worker: 1, Store: "V1_1/S", Runs: 3, Tuples: 1 << 40},
+			},
+		}},
 	}
 }
 
@@ -175,6 +187,91 @@ func TestDecodeMalformed(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestManifestValidation: the manifest codec enforces canonical form
+// on both sides — encode refuses out-of-order entries, decode refuses
+// lying counts, duplicates, disorder, and truncation.
+func TestManifestValidation(t *testing.T) {
+	enc := func(m *Manifest) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, &Frame{Type: TypeCheckpoint, Checkpoint: m}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()[5:]
+	}
+	good := &Manifest{Epoch: 1, Round: 2, Entries: []ManifestEntry{
+		{Worker: 0, Store: "R", Runs: 1, Tuples: 3},
+		{Worker: 1, Store: "R", Runs: 2, Tuples: 9},
+	}}
+	if _, err := DecodeManifest(enc(good)); err != nil {
+		t.Fatalf("canonical manifest rejected: %v", err)
+	}
+
+	var buf bytes.Buffer
+	err := Encode(&buf, &Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{
+		Entries: []ManifestEntry{{Worker: 1, Store: "R"}, {Worker: 0, Store: "R"}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Fatalf("encode of out-of-order entries: %v, want ascending error", err)
+	}
+	if err := Encode(&buf, &Frame{Type: TypeCheckpoint}); err == nil {
+		t.Fatal("encode of checkpoint without manifest succeeded")
+	}
+
+	payload := enc(good)
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"count exceeds payload", mutate(payload, func(b []byte) {
+			b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0xFF
+		}), "exceeds payload"},
+		{"count below payload leaves trailing bytes", mutate(payload, func(b []byte) {
+			b[11] = 1
+		}), "trailing"},
+		{"duplicate entry", enc2(t, &Manifest{Entries: []ManifestEntry{
+			{Worker: 1, Store: "R"}, {Worker: 1, Store: "R"},
+		}}), "ascending"},
+		{"descending entry", enc2(t, &Manifest{Entries: []ManifestEntry{
+			{Worker: 1, Store: "S"}, {Worker: 1, Store: "R"},
+		}}), "ascending"},
+		{"truncated mid-entry", payload[:len(payload)-1], "truncated"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeManifest(c.data)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// enc2 hand-encodes a manifest payload without Encode's ordering
+// check, so decode-side validation can be exercised on shapes the
+// encoder refuses to produce.
+func enc2(t *testing.T, m *Manifest) []byte {
+	t.Helper()
+	var w bytes.Buffer
+	putU32(&w, m.Epoch)
+	putU32(&w, m.Round)
+	putU32(&w, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		putU32(&w, e.Worker)
+		if err := putString(&w, e.Store); err != nil {
+			t.Fatal(err)
+		}
+		putU32(&w, e.Runs)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], e.Tuples)
+		w.Write(b[:])
+	}
+	return w.Bytes()
 }
 
 // mutate copies b, applies f, returns the copy.
