@@ -234,6 +234,34 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 				}
 			}
 		}},
+		{"wire-fastpath-encode-n16384", func(b *testing.B) {
+			frames := []*wire.Frame{wireBenchFrame(seed, 1<<14)}
+			var head []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				head, _, err = wire.AppendFrames(head[:0], frames)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"wire-fastpath-decode-n16384", func(b *testing.B) {
+			head, bufs, err := wire.AppendFrames(nil, []*wire.Frame{wireBenchFrame(seed, 1<<14)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = head
+			var buf bytes.Buffer
+			for _, seg := range bufs {
+				buf.Write(seg)
+			}
+			data := buf.Bytes()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.NewTrustedReader(bytes.NewReader(data)).Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 	for _, s := range suite {
 		ns, normalized, iters := measureNormalized(s.fn)

@@ -68,15 +68,16 @@ func main() {
 		workers   = flag.String("workers", "", "comma-separated mpcworker addresses; run the rounds distributed over TCP (p becomes the pool size; the run is bounded by a 10-minute deadline)")
 		spares    = flag.String("spares", "", "comma-separated standby mpcworker addresses; a worker that dies mid-run is replaced and the query resumes (requires -workers)")
 		maxRepl   = flag.Int("max-replace", 0, "max worker replacements for the run (0: pool size; requires -workers)")
+		pipeline  = flag.Bool("pipeline", false, "overlap compute with communication: defer scatter/barrier/join traffic to the gather fence (answers and stats are unchanged)")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr, *workers, *spares, *maxRepl); err != nil {
+	if err := run(*queryStr, *familyStr, *n, *p, *mode, *epsStr, *seed, *capC, *show, *dataStr, *planStr, *workers, *spares, *maxRepl, *pipeline); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr, workers, spares string, maxRepl int) error {
+func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64, capC float64, show int, dataStr, planStr, workers, spares string, maxRepl int, pipeline bool) error {
 	if p < 1 {
 		return fmt.Errorf("-p = %d, need ≥ 1", p)
 	}
@@ -127,7 +128,7 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 	}
 	switch mode {
 	case "auto":
-		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, addrs, spareAddrs, maxRepl, truth)
+		return runAuto(q, db, p, epsStr, seed, capC, show, planStr, addrs, spareAddrs, maxRepl, pipeline, truth)
 	case "one":
 		if planStr != "" {
 			return fmt.Errorf("-plan only applies to -mode auto")
@@ -183,7 +184,7 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 // runAuto is the planner-driven path: collect statistics, build the
 // plan, apply any -plan override, EXPLAIN, execute (in process, or
 // distributed over a TCP worker pool when addrs are given), report.
-func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, addrs, spareAddrs []string, maxRepl int, truth []relation.Tuple) error {
+func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed uint64, capC float64, show int, planStr string, addrs, spareAddrs []string, maxRepl int, pipeline bool, truth []relation.Tuple) error {
 	var eps *big.Rat
 	if epsStr != "" {
 		var err error
@@ -205,7 +206,7 @@ func runAuto(q *query.Query, db *relation.Database, p int, epsStr string, seed u
 		}
 	}
 	fmt.Print(pl.Explain())
-	opts := plan.ExecOptions{Seed: seed, CapConstant: capC}
+	opts := plan.ExecOptions{Seed: seed, CapConstant: capC, Pipeline: pipeline}
 	if len(addrs) > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 		defer cancel()

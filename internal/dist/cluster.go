@@ -32,6 +32,11 @@ type Cluster struct {
 	open  bool
 	// rec is the self-healing state; nil until EnableRecovery.
 	rec *recovery
+	// pipe defers transport work to Gather fences; see
+	// EnablePipelining in pipeline.go.
+	pipe bool
+	// pending is the deferred round script awaiting the next fence.
+	pending []recOp
 }
 
 // NewCluster validates cfg against the transport's pool and returns
@@ -100,6 +105,20 @@ func (c *Cluster) Scatter(ctx context.Context, rel *relation.Relation, as string
 	if c.rec != nil {
 		c.rec.record(recOp{kind: opDeliver, round: c.round, ds: ds})
 	}
+	if c.pipe {
+		// Pipelined: the delivery (and, for a lone scatter, its barrier)
+		// rides the next fence. The cap check needs no worker traffic —
+		// accounting happened above — so it still fires here.
+		c.enqueue(recOp{kind: opDeliver, round: c.round, ds: ds})
+		if lone {
+			if c.rec != nil {
+				c.rec.record(recOp{kind: opBarrier, round: c.round})
+			}
+			c.enqueue(recOp{kind: opBarrier, round: c.round})
+			return rs.CheckCap(c.cfg.ReceiveCap())
+		}
+		return nil
+	}
 	// Deliveries are journaled, so they are not retried after a heal:
 	// replay has re-sent the failed worker's runs and the healthy
 	// workers already ingested theirs.
@@ -145,6 +164,16 @@ func (c *Cluster) EndRound(ctx context.Context) error {
 		return fmt.Errorf("dist: EndRound without BeginRound")
 	}
 	c.open = false
+	if c.pipe {
+		// The barrier is deferred to the fence; the budget check is
+		// coordinator-local (accounting happened at Scatter), so it
+		// fires now with exactly the sync-path result.
+		if c.rec != nil {
+			c.rec.record(recOp{kind: opBarrier, round: c.round})
+		}
+		c.enqueue(recOp{kind: opBarrier, round: c.round})
+		return c.stats.Rounds[len(c.stats.Rounds)-1].CheckCap(c.cfg.ReceiveCap())
+	}
 	if err := c.barrier(ctx); err != nil {
 		return err
 	}
@@ -164,6 +193,10 @@ func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]
 	if c.rec != nil {
 		c.rec.record(recOp{kind: opJoin, spec: spec})
 	}
+	if c.pipe {
+		c.enqueue(recOp{kind: opJoin, spec: spec})
+		return nil
+	}
 	// Joins are journaled like deliveries: healthy workers have already
 	// evaluated theirs, replay re-runs the failed worker's, so a healed
 	// join is not re-broadcast.
@@ -176,6 +209,9 @@ func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]
 // worker holds under view — the cluster-wide answer of a query whose
 // per-worker outputs were stored by Join.
 func (c *Cluster) Gather(ctx context.Context, view string) ([]relation.Tuple, error) {
+	if c.pipe {
+		return c.gatherPipelined(ctx, view)
+	}
 	var runs []*exchange.Buffer
 	// Gather is read-only, so after a heal it simply runs again.
 	err := c.attempt(ctx, true, func(ctx context.Context) error {

@@ -1,0 +1,208 @@
+package dist_test
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hypercube"
+	"repro/internal/mpc"
+	"repro/internal/multiround"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/skew"
+)
+
+// The pipelined differential net: every engine runs sync and pipelined
+// over both transports, and the pipelined executions must be
+// indistinguishable from the sync ones — identical answers (which both
+// must match the single-node ground truth) and byte-identical round
+// statistics. Pipelining only changes when transport work happens, not
+// what any worker computes or what the coordinator accounts.
+
+// pipeRun executes q over db with the given transport (nil = loopback)
+// and pipelining switch.
+type pipeRun func(t *testing.T, q *query.Query, db *relation.Database, p int, tr dist.Transport, pipe bool) ([]relation.Tuple, *mpc.Stats)
+
+func pipeHypercube(t *testing.T, q *query.Query, db *relation.Database, p int, tr dist.Transport, pipe bool) ([]relation.Tuple, *mpc.Stats) {
+	t.Helper()
+	res, err := hypercube.Run(q, db, p, hypercube.Options{Seed: 23, Transport: tr, Pipeline: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Answers, res.Stats
+}
+
+func pipeMultiround(t *testing.T, q *query.Query, db *relation.Database, p int, tr dist.Transport, pipe bool) ([]relation.Tuple, *mpc.Stats) {
+	t.Helper()
+	pl, err := multiround.Build(q, big.NewRat(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := multiround.Execute(pl, db, p, multiround.Options{Seed: 23, Transport: tr, Pipeline: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Answers, res.Stats
+}
+
+// TestPipelinedDifferential is the engine × input matrix: each case
+// runs sync-loopback (the reference), pipelined-loopback (the fallback
+// script path) and pipelined-TCP (the streamed script path), and all
+// three must agree on answers and round statistics.
+func TestPipelinedDifferential(t *testing.T) {
+	const p = 4
+	addrs := startPool(t, p)
+	families := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"triangle", query.Cycle(3)},
+		{"chain", query.Chain(4)},
+	}
+	engines := []struct {
+		name string
+		run  pipeRun
+	}{
+		{"hypercube", pipeHypercube},
+		{"multiround", pipeMultiround},
+	}
+	inputs := []struct {
+		name string
+		db   func(q *query.Query, salt uint64) *relation.Database
+	}{
+		{"matching", func(q *query.Query, salt uint64) *relation.Database {
+			return relation.MatchingDatabase(rand.New(rand.NewPCG(100, salt)), q, 300)
+		}},
+		{"zipf", func(q *query.Query, salt uint64) *relation.Database {
+			return zipfDatabase(rand.New(rand.NewPCG(200, salt)), q, 200, 1.1)
+		}},
+	}
+	for fi, fam := range families {
+		for _, eng := range engines {
+			for _, in := range inputs {
+				t.Run(fam.name+"/"+eng.name+"/"+in.name, func(t *testing.T) {
+					db := in.db(fam.q, uint64(fi))
+					truth, err := core.GroundTruth(fam.q, db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					syncAns, syncStats := eng.run(t, fam.q, db, p, nil, false)
+					loopAns, loopStats := eng.run(t, fam.q, db, p, nil, true)
+					tcpAns, tcpStats := eng.run(t, fam.q, db, p, dialPool(t, addrs), true)
+					if !sameTuples(syncAns, truth) {
+						t.Fatalf("sync reference: %d answers, ground truth %d", len(syncAns), len(truth))
+					}
+					if !sameTuples(loopAns, truth) {
+						t.Errorf("pipelined loopback: %d answers, ground truth %d", len(loopAns), len(truth))
+					}
+					if !sameTuples(tcpAns, truth) {
+						t.Errorf("pipelined tcp: %d answers, ground truth %d", len(tcpAns), len(truth))
+					}
+					if !reflect.DeepEqual(syncStats.Rounds, loopStats.Rounds) {
+						t.Errorf("round stats differ sync vs pipelined loopback:\nsync %+v\npipe %+v", syncStats.Rounds, loopStats.Rounds)
+					}
+					if !reflect.DeepEqual(syncStats.Rounds, tcpStats.Rounds) {
+						t.Errorf("round stats differ sync vs pipelined tcp:\nsync %+v\npipe %+v", syncStats.Rounds, tcpStats.Rounds)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelinedSkewJoin covers the skew engine's three routing modes
+// pipelined over both transports against the sync loopback reference.
+func TestPipelinedSkewJoin(t *testing.T) {
+	const p = 4
+	addrs := startPool(t, p)
+	r, s := skew.ZipfJoinInput(rand.New(rand.NewPCG(3, 2)), 400, 1.3)
+	truth, err := skew.GroundTruth(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []skew.Mode{skew.Standard, skew.Resilient, skew.ModeWCOJ} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ref, err := skew.RunJoin(r, s, p, mode, skew.Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			loop, err := skew.RunJoin(r, s, p, mode, skew.Options{Seed: 7, Pipeline: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcpRes, err := skew.RunJoin(r, s, p, mode, skew.Options{Seed: 7, Pipeline: true, Transport: dialPool(t, addrs)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTuples(ref.Answers, truth) {
+				t.Fatalf("sync reference: %d answers, ground truth %d", len(ref.Answers), len(truth))
+			}
+			if !sameTuples(loop.Answers, truth) {
+				t.Errorf("pipelined loopback: %d answers, ground truth %d", len(loop.Answers), len(truth))
+			}
+			if !sameTuples(tcpRes.Answers, truth) {
+				t.Errorf("pipelined tcp: %d answers, ground truth %d", len(tcpRes.Answers), len(truth))
+			}
+			if !reflect.DeepEqual(ref.Stats.Rounds, loop.Stats.Rounds) {
+				t.Errorf("round stats differ sync vs pipelined loopback")
+			}
+			if !reflect.DeepEqual(ref.Stats.Rounds, tcpRes.Stats.Rounds) {
+				t.Errorf("round stats differ sync vs pipelined tcp")
+			}
+		})
+	}
+}
+
+// TestPipelinedPlanner threads Pipeline through plan.ExecOptions for
+// every engine the planner can pick and checks sync/pipelined parity.
+func TestPipelinedPlanner(t *testing.T) {
+	const p = 4
+	addrs := startPool(t, p)
+	cases := []struct {
+		name   string
+		q      *query.Query
+		eps    *big.Rat
+		engine *plan.Engine
+	}{
+		{"auto-triangle", query.Cycle(3), nil, nil},
+		{"forced-multi-chain", query.Chain(4), big.NewRat(0, 1), nil},
+		{"forced-skew-join", query.MustParse("q(x,y,z) = R(x,y), S(y,z)"), nil, enginePtr(plan.SkewJoin)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(55, uint64(len(c.name))))
+			db := relation.MatchingDatabase(rng, c.q, 300)
+			pl, err := plan.Build(c.q, relation.CollectStats(db), plan.Options{P: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.engine != nil {
+				if pl, err = pl.WithEngine(*c.engine); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref, err := pl.Execute(db, plan.ExecOptions{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := pl.Execute(db, plan.ExecOptions{Seed: 3, Pipeline: true, Transport: dialPool(t, addrs)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTuples(ref.Answers, pipe.Answers) {
+				t.Errorf("answers differ: sync %d, pipelined %d", len(ref.Answers), len(pipe.Answers))
+			}
+			if !reflect.DeepEqual(ref.Stats.Rounds, pipe.Stats.Rounds) {
+				t.Errorf("round stats differ sync vs pipelined")
+			}
+			if ref.Engine != pipe.Engine {
+				t.Errorf("engines differ: %v vs %v", ref.Engine, pipe.Engine)
+			}
+		})
+	}
+}

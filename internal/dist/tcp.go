@@ -49,6 +49,35 @@ type workerConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	// rd is the trusted fast-path decoder over br: worker replies come
+	// from this repo's own worker processes, past the validating
+	// handshake.
+	rd *wire.Reader
+	// head is the reusable fast-encoder scratch for frame headers and
+	// compressed payloads; word payloads are written zero-copy.
+	head []byte
+}
+
+// writeFrames fast-encodes frames and writes them to the connection as
+// one vectored write (raw word payloads go out as writev segments
+// aliasing the buffers, with no per-word re-encoding), flushing any
+// buffered control bytes first so frame order is preserved. The caller
+// holds wc.mu via roundTrip.
+func (wc *workerConn) writeFrames(frames []*wire.Frame) error {
+	if err := wc.bw.Flush(); err != nil {
+		return err
+	}
+	head, bufs, err := wire.AppendFrames(wc.head[:0], frames)
+	wc.head = head
+	if err != nil {
+		return err
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	nb := net.Buffers(bufs)
+	_, err = nb.WriteTo(wc.conn)
+	return err
 }
 
 // ParseAddrs splits a comma-separated worker address list (the
@@ -154,6 +183,7 @@ func dialHandshake(ctx context.Context, i, p int, addr string) (*workerConn, err
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
 	}
+	wc.rd = wire.NewTrustedReader(wc.br)
 	hello := &wire.Frame{Type: wire.TypeHello, Hello: wire.Hello{
 		Version: wire.Version,
 		Worker:  uint32(i),
@@ -218,7 +248,7 @@ func (wc *workerConn) roundTrip(ctx context.Context, op func() error) error {
 // round echo when checkRound is set); an Error frame becomes the
 // worker's reported error.
 func (wc *workerConn) expectAck(round uint32, checkRound bool) error {
-	f, err := wire.Decode(wc.br)
+	f, err := wc.rd.Next()
 	if err != nil {
 		return err
 	}
@@ -251,9 +281,22 @@ func (t *TCP) eachConn(fn func(wc *workerConn) error) error {
 	return errors.Join(errs...)
 }
 
-// Deliver implements Transport: runs are framed and written to their
-// destination connections, all workers in parallel. Frames are only
-// buffered here; Barrier flushes and synchronizes.
+// dataFrames converts one worker's deliveries to wire frames.
+func dataFrames(frames []*wire.Frame, round int, ds []exchange.Delivery) []*wire.Frame {
+	for _, d := range ds {
+		frames = append(frames, &wire.Frame{Type: wire.TypeData, Data: wire.Data{
+			Round: uint32(round),
+			Dest:  uint32(d.To),
+			Rel:   d.Rel,
+			Buf:   d.Buf,
+		}})
+	}
+	return frames
+}
+
+// Deliver implements Transport: runs are fast-framed and written to
+// their destination connections as one vectored send per worker, all
+// workers in parallel. Barrier synchronizes.
 func (t *TCP) Deliver(ctx context.Context, round int, ds []exchange.Delivery) error {
 	byWorker := make([][]exchange.Delivery, len(t.conns))
 	for _, d := range ds {
@@ -268,18 +311,7 @@ func (t *TCP) Deliver(ctx context.Context, round int, ds []exchange.Delivery) er
 			return nil
 		}
 		return wc.roundTrip(ctx, func() error {
-			for _, d := range mine {
-				f := &wire.Frame{Type: wire.TypeData, Data: wire.Data{
-					Round: uint32(round),
-					Dest:  uint32(d.To),
-					Rel:   d.Rel,
-					Buf:   d.Buf,
-				}}
-				if err := wire.Encode(wc.bw, f); err != nil {
-					return err
-				}
-			}
-			return nil
+			return wc.writeFrames(dataFrames(nil, round, mine))
 		})
 	})
 }
@@ -330,6 +362,36 @@ func (t *TCP) Join(ctx context.Context, spec JoinSpec) error {
 	})
 }
 
+// readGatherStream consumes one worker's gather reply — Data frames
+// terminated by a Done carrying the run count — and returns the runs.
+// The caller holds wc.mu via roundTrip.
+func (wc *workerConn) readGatherStream(view string) ([]*exchange.Buffer, error) {
+	var runs []*exchange.Buffer
+	for {
+		f, err := wc.rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f.Type {
+		case wire.TypeData:
+			if f.Data.Rel != view {
+				return nil, fmt.Errorf("gather of %q answered with run for %q", view, f.Data.Rel)
+			}
+			runs = append(runs, f.Data.Buf)
+		case wire.TypeDone:
+			if int(f.Count) != len(runs) {
+				return nil, fmt.Errorf("gather of %q: %d runs streamed, done frame says %d",
+					view, len(runs), f.Count)
+			}
+			return runs, nil
+		case wire.TypeError:
+			return nil, fmt.Errorf("worker error: %s", f.Msg)
+		default:
+			return nil, fmt.Errorf("unexpected %s frame in gather stream", f.Type)
+		}
+	}
+}
+
 // Gather implements Transport: every worker streams its runs back in
 // parallel; the result keeps worker order (all of worker 0's runs,
 // then worker 1's, …) so gathers are deterministic.
@@ -343,29 +405,92 @@ func (t *TCP) Gather(ctx context.Context, view string) ([]*exchange.Buffer, erro
 			if err := wc.bw.Flush(); err != nil {
 				return err
 			}
-			for {
-				f, err := wire.Decode(wc.br)
-				if err != nil {
-					return err
-				}
-				switch f.Type {
-				case wire.TypeData:
-					if f.Data.Rel != view {
-						return fmt.Errorf("gather of %q answered with run for %q", view, f.Data.Rel)
+			runs, err := wc.readGatherStream(view)
+			if err != nil {
+				return err
+			}
+			perWorker[wc.id] = runs
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var runs []*exchange.Buffer
+	for _, rs := range perWorker {
+		runs = append(runs, rs...)
+	}
+	return runs, nil
+}
+
+// RunScript implements scriptTransport: the pipelined fence. Each
+// worker's whole slice of the deferred round script — data frames,
+// barriers, joins, and the final gather — is written as one burst of
+// vectored sends with no intermediate round trips, then the worker's
+// replies (barrier and join acks, then the gather stream) are read
+// back. Because frames on a session are processed in order, a worker
+// starts its local join the moment its own data has arrived,
+// regardless of how far the coordinator has gotten with the other
+// workers: compute overlaps communication across the pool, and the
+// BSP barrier degrades to a per-worker completion fence.
+func (t *TCP) RunScript(ctx context.Context, ops []recOp, view string) ([]*exchange.Buffer, error) {
+	for _, op := range ops {
+		if op.kind != opDeliver {
+			continue
+		}
+		for _, d := range op.ds {
+			if d.To < 0 || d.To >= len(t.conns) {
+				return nil, fmt.Errorf("dist: delivery to worker %d out of range [0,%d)", d.To, len(t.conns))
+			}
+		}
+	}
+	perWorker := make([][]*exchange.Buffer, len(t.conns))
+	err := t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			var frames []*wire.Frame
+			for _, op := range ops {
+				switch op.kind {
+				case opDeliver:
+					var mine []exchange.Delivery
+					for _, d := range op.ds {
+						if d.To == wc.id {
+							mine = append(mine, d)
+						}
 					}
-					perWorker[wc.id] = append(perWorker[wc.id], f.Data.Buf)
-				case wire.TypeDone:
-					if int(f.Count) != len(perWorker[wc.id]) {
-						return fmt.Errorf("gather of %q: %d runs streamed, done frame says %d",
-							view, len(perWorker[wc.id]), f.Count)
-					}
-					return nil
-				case wire.TypeError:
-					return fmt.Errorf("worker error: %s", f.Msg)
-				default:
-					return fmt.Errorf("unexpected %s frame in gather stream", f.Type)
+					frames = dataFrames(frames, op.round, mine)
+				case opBarrier:
+					frames = append(frames, &wire.Frame{Type: wire.TypeBarrier, Round: uint32(op.round)})
+				case opJoin:
+					frames = append(frames, joinFrame(op.spec))
 				}
 			}
+			frames = append(frames, &wire.Frame{Type: wire.TypeGather, View: view})
+			if err := wc.writeFrames(frames); err != nil {
+				return err
+			}
+			// The worker answers in script order: one ack per barrier and
+			// join, then the gather stream. Acks are tiny, so reading them
+			// only after the full write cannot deadlock; the gather reply
+			// itself starts only after the worker consumed our entire
+			// script.
+			for _, op := range ops {
+				switch op.kind {
+				case opBarrier:
+					if err := wc.expectAck(uint32(op.round), true); err != nil {
+						return err
+					}
+				case opJoin:
+					if err := wc.expectAck(0, false); err != nil {
+						return err
+					}
+				}
+			}
+			runs, err := wc.readGatherStream(view)
+			if err != nil {
+				return err
+			}
+			perWorker[wc.id] = runs
+			return nil
 		})
 	})
 	if err != nil {
@@ -432,7 +557,7 @@ func (t *TCP) Ping(ctx context.Context, w int, seq uint32) error {
 		if err := wc.bw.Flush(); err != nil {
 			return err
 		}
-		f, err := wire.Decode(wc.br)
+		f, err := wc.rd.Next()
 		if err != nil {
 			return err
 		}

@@ -46,8 +46,11 @@ func ServeConn(ctx context.Context, conn net.Conn) error {
 	defer stop()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	s := &session{store: newWorkerStore(), bw: bw}
+	s := &session{store: newWorkerStore(), bw: bw, conn: conn}
 
+	// The handshake frame comes from an unauthenticated dialer, so it
+	// goes through the validating decoder; everything after it is our
+	// own coordinator speaking the fast path.
 	hello, err := wire.Decode(br)
 	if err != nil {
 		return fmt.Errorf("dist: worker handshake: %w", err)
@@ -66,8 +69,9 @@ func ServeConn(ctx context.Context, conn net.Conn) error {
 		return err
 	}
 
+	rd := wire.NewTrustedReader(br)
 	for {
-		f, err := wire.Decode(br)
+		f, err := rd.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // coordinator closed the session
@@ -85,6 +89,11 @@ type session struct {
 	id    uint32
 	store *workerStore
 	bw    *bufio.Writer
+	// conn is the raw connection, used for vectored gather replies
+	// that bypass bw (which is flushed first to preserve order).
+	conn net.Conn
+	// head is the reusable fast-encoder scratch for gather replies.
+	head []byte
 	// epoch is the last recovery epoch the coordinator announced on
 	// this session; announcements may only grow it, and checkpoint
 	// manifests from before it are rejected as stale.
@@ -160,20 +169,26 @@ func (s *session) handle(f *wire.Frame) error {
 		return s.reply(&wire.Frame{Type: wire.TypeAck, Round: f.Checkpoint.Round})
 	case wire.TypeGather:
 		runs := s.store.runs(f.View)
+		frames := make([]*wire.Frame, 0, len(runs)+1)
 		for _, run := range runs {
-			frame := &wire.Frame{Type: wire.TypeData, Data: wire.Data{
+			frames = append(frames, &wire.Frame{Type: wire.TypeData, Data: wire.Data{
 				Dest: s.id,
 				Rel:  f.View,
 				Buf:  run,
-			}}
-			if err := wire.Encode(s.bw, frame); err != nil {
-				return err
-			}
+			}})
 		}
-		if err := wire.Encode(s.bw, &wire.Frame{Type: wire.TypeDone, Count: uint32(len(runs))}); err != nil {
+		frames = append(frames, &wire.Frame{Type: wire.TypeDone, Count: uint32(len(runs))})
+		if err := s.bw.Flush(); err != nil {
 			return err
 		}
-		return s.bw.Flush()
+		head, bufs, err := wire.AppendFrames(s.head[:0], frames)
+		s.head = head
+		if err != nil {
+			return err
+		}
+		nb := net.Buffers(bufs)
+		_, err = nb.WriteTo(s.conn)
+		return err
 	default:
 		return fmt.Errorf("unexpected %s frame", f.Type)
 	}

@@ -1,0 +1,153 @@
+package exchange
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// sortedWords builds n sorted words with geometric-ish gaps, covering
+// runs of equal values (delta 0) and large jumps.
+func sortedWords(n int, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	words := make([]uint64, n)
+	var cur uint64
+	for i := range words {
+		switch rng.IntN(4) {
+		case 0: // repeat
+		case 1:
+			cur += uint64(rng.IntN(16))
+		case 2:
+			cur += uint64(rng.IntN(1 << 20))
+		default:
+			cur += uint64(rng.IntN(1<<30)) << 17
+		}
+		words[i] = cur
+	}
+	return words
+}
+
+func TestDeltaWordsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 4096} {
+		words := sortedWords(n, uint64(n)+3)
+		enc := AppendDeltaWords(nil, words)
+		if got, want := len(enc), DeltaWordsSize(words); got != want {
+			t.Fatalf("n=%d: encoded %d bytes, DeltaWordsSize says %d", n, got, want)
+		}
+		dec, err := DecodeDeltaWords(enc, n)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if n == 0 {
+			if len(dec) != 0 {
+				t.Fatalf("n=0 decoded %d words", len(dec))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(words, dec) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+// TestDeltaWordsExtremes: boundary values survive the codec.
+func TestDeltaWordsExtremes(t *testing.T) {
+	words := []uint64{0, 0, 1, math.MaxUint64 - 1, math.MaxUint64, math.MaxUint64}
+	dec, err := DecodeDeltaWords(AppendDeltaWords(nil, words), len(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(words, dec) {
+		t.Fatalf("got %v, want %v", dec, words)
+	}
+}
+
+func TestDecodeDeltaWordsRejects(t *testing.T) {
+	good := AppendDeltaWords(nil, sortedWords(50, 9))
+	cases := []struct {
+		name  string
+		data  []byte
+		count int
+		want  string
+	}{
+		{"truncated", good[:len(good)-1], 50, "varint"},
+		{"trailing", append(slices.Clone(good), 0), 50, "trailing"},
+		{"count exceeds bytes", good, len(good) + 1, "exceeds"},
+		{"count too low leaves trailing", good, 10, "trailing"},
+		{"negative count", good, -1, "count"},
+		{"nonempty at count zero", good, 0, "trailing"},
+		// MaxUint64 then a delta of 1 wraps.
+		{"overflow", AppendDeltaWords(AppendDeltaWords(nil, []uint64{math.MaxUint64}), []uint64{1}), 2, "overflow"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeDeltaWords(c.data, c.count)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestDecodeDeltaWordsSortedByConstruction: whatever bytes decode
+// successfully yield a non-decreasing sequence.
+func TestDecodeDeltaWordsSortedByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 5))
+	for trial := 0; trial < 200; trial++ {
+		b := make([]byte, rng.IntN(64))
+		for i := range b {
+			b[i] = byte(rng.Uint32())
+		}
+		count := rng.IntN(len(b) + 1)
+		words, err := DecodeDeltaWords(b, count)
+		if err != nil {
+			continue
+		}
+		if !slices.IsSorted(words) {
+			t.Fatalf("trial %d: decoded unsorted words %v", trial, words)
+		}
+	}
+}
+
+// TestNewBufferFromSortedWords: the trusted constructor preserves the
+// given order and seals without validating — and agrees with the
+// validating constructor on well-formed sorted input.
+func TestNewBufferFromSortedWords(t *testing.T) {
+	src := NewBuffer(3)
+	rng := rand.New(rand.NewPCG(13, 2))
+	for i := 0; i < 100; i++ {
+		src.Append(relation.Tuple{rng.IntN(1000), rng.IntN(1000), rng.IntN(1000)})
+	}
+	src.Seal()
+	words, _ := src.Words()
+
+	trusted, err := NewBufferFromSortedWords(3, slices.Clone(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trusted.Sealed() {
+		t.Fatal("trusted buffer not sealed")
+	}
+	checked, err := NewBufferFromWords(3, slices.Clone(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trusted.AppendTuples(nil), checked.AppendTuples(nil)) {
+		t.Fatal("trusted and validating constructors disagree on sorted input")
+	}
+
+	if _, err := NewBufferFromSortedWords(0, nil); err == nil {
+		t.Fatal("arity 0 accepted")
+	}
+	if _, err := NewBufferFromSortedWords(65, nil); err == nil {
+		t.Fatal("unpackable arity accepted")
+	}
+}

@@ -376,6 +376,11 @@ type Options struct {
 	// failure mid-round triggers replacement and replay instead of
 	// aborting. The transport must support it (loopback and TCP do).
 	Recovery dist.RecoveryOptions
+	// Pipeline defers scatter/barrier/join traffic to the gather fence
+	// so workers overlap their local joins with later deliveries (see
+	// dist.Cluster.EnablePipelining). Off by default; answers and round
+	// statistics are identical either way.
+	Pipeline bool
 }
 
 // Result reports a HyperCube execution.
@@ -485,6 +490,9 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Pipeline {
+		cluster.EnablePipelining()
 	}
 	hasher := NewHasher(shares, opts.Seed)
 

@@ -1,0 +1,25 @@
+package localjoin_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/localjoin"
+	"repro/internal/skew"
+)
+
+// BenchmarkHashJoinZipf mirrors the mpcbench join-hash-zipf-n1000
+// suite entry: the binary hash join over Zipf-skewed input whose
+// output is quadratic in the heavy values.
+func BenchmarkHashJoinZipf(b *testing.B) {
+	zr, zs := skew.ZipfJoinInput(rand.New(rand.NewPCG(1, 0x21f)), 1000, 1.1)
+	q := skew.JoinQuery()
+	bindings := localjoin.Bindings{q.Atoms[0].Name: zr.Tuples, q.Atoms[1].Name: zs.Tuples}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := localjoin.Evaluate(q, bindings, localjoin.HashJoin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -160,9 +160,10 @@ func atomOrder(q *query.Query) []int {
 func evalHashJoin(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 	order := atomOrder(q)
 	var acc *relation.Relation
+	joined := false
 	for _, ai := range order {
 		atom := q.Atoms[ai]
-		r, err := atomRelation(atom, b[atom.Name])
+		r, err := atomRelation(atom, b[atom.Name], true)
 		if err != nil {
 			return nil, err
 		}
@@ -170,6 +171,7 @@ func evalHashJoin(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 			acc = r
 		} else {
 			acc = relation.NaturalJoin(acc, r)
+			joined = true
 		}
 		if len(acc.Tuples) == 0 {
 			return nil, nil
@@ -177,12 +179,26 @@ func evalHashJoin(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 	}
 	// Reorder columns to q.Vars().
 	idx := make([]int, q.NumVars())
+	identity := len(idx) == len(acc.Attrs)
 	for i, v := range q.Vars() {
 		j := acc.AttrIndex(v)
 		if j < 0 {
 			return nil, fmt.Errorf("localjoin: internal: variable %s missing from join result", v)
 		}
 		idx[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	if identity {
+		// The join emitted q.Vars() order already; skip the per-tuple
+		// reorder copy. A single-atom acc may alias the caller's
+		// bindings (atomRelation's share fast path), and the caller will
+		// DedupSort the result in place — hand it a fresh header slice.
+		if !joined {
+			return append([]relation.Tuple(nil), acc.Tuples...), nil
+		}
+		return acc.Tuples, nil
 	}
 	out := make([]relation.Tuple, 0, len(acc.Tuples))
 	for _, t := range acc.Tuples {
@@ -197,8 +213,11 @@ func evalHashJoin(q *query.Query, b Bindings) ([]relation.Tuple, error) {
 
 // atomRelation converts an atom's tuples into a Relation whose schema
 // is the atom's distinct variables; tuples with conflicting values for
-// a repeated variable (e.g. S(x,x) with (1,2)) are filtered out.
-func atomRelation(atom query.Atom, tuples []relation.Tuple) (*relation.Relation, error) {
+// a repeated variable (e.g. S(x,x) with (1,2)) are filtered out. With
+// share set and no repeated variables the returned relation aliases
+// tuples instead of copying — callers must then treat it (slice and
+// rows) as read-only.
+func atomRelation(atom query.Atom, tuples []relation.Tuple, share bool) (*relation.Relation, error) {
 	distinct := atom.DistinctVars()
 	r := relation.New(atom.Name, distinct...)
 	pos := make([]int, len(distinct))
@@ -209,6 +228,20 @@ func atomRelation(atom query.Atom, tuples []relation.Tuple) (*relation.Relation,
 				break
 			}
 		}
+	}
+	if share && len(distinct) == len(atom.Vars) {
+		// No repeated variables: every tuple passes unchanged, so share
+		// the binding's storage instead of copying row by row (the join
+		// operators treat their inputs as read-only). Arity is still
+		// checked.
+		for _, t := range tuples {
+			if len(t) != atom.Arity() {
+				return nil, fmt.Errorf("localjoin: tuple arity %d != atom %s arity %d",
+					len(t), atom.Name, atom.Arity())
+			}
+		}
+		r.Tuples = tuples
+		return r, nil
 	}
 	for _, t := range tuples {
 		if len(t) != atom.Arity() {

@@ -106,7 +106,7 @@ func newTrieRel(atom query.Atom, tuples []relation.Tuple, depthOf map[string]int
 		tr.keys = nil
 	}
 	// Fallback: projected tuples with a comparator-based sort.
-	proj, err := atomRelation(atom, tuples)
+	proj, err := atomRelation(atom, tuples, false)
 	if err != nil {
 		return nil, err
 	}

@@ -235,6 +235,11 @@ type Options struct {
 	// worker's inputs — the query resumes at the round it was in
 	// instead of aborting (or restarting at round 0).
 	Recovery dist.RecoveryOptions
+	// Pipeline defers scatter/barrier/join traffic to the gather fence
+	// so workers overlap their local joins with later deliveries (see
+	// dist.Cluster.EnablePipelining). Off by default; answers and round
+	// statistics are identical either way.
+	Pipeline bool
 }
 
 // Result reports a plan execution.
@@ -283,6 +288,9 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Pipeline {
+		cluster.EnablePipelining()
 	}
 	// env maps atom name (base relation or view) to its materialized
 	// relation.

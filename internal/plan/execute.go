@@ -38,6 +38,11 @@ type ExecOptions struct {
 	// engine's cluster: with Enabled set, a worker failure mid-query
 	// triggers replacement and replay instead of aborting.
 	Recovery dist.RecoveryOptions
+	// Pipeline defers scatter/barrier/join traffic to the engine's
+	// gather fences so workers overlap local joins with in-flight
+	// deliveries (dist.Cluster.EnablePipelining). Off by default;
+	// answers and round statistics are identical either way.
+	Pipeline bool
 }
 
 // Result reports a planner-driven execution.
@@ -84,6 +89,7 @@ func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error)
 			Transport:   opts.Transport,
 			Context:     opts.Context,
 			Recovery:    opts.Recovery,
+			Pipeline:    opts.Pipeline,
 		})
 		if err != nil {
 			return nil, err
@@ -113,6 +119,7 @@ func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result
 		Transport:   opts.Transport,
 		Context:     opts.Context,
 		Recovery:    opts.Recovery,
+		Pipeline:    opts.Pipeline,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +160,7 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 		Transport:   opts.Transport,
 		Context:     opts.Context,
 		Recovery:    opts.Recovery,
+		Pipeline:    opts.Pipeline,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package relation
 
-import "sort"
+import (
+	"math/bits"
+	"slices"
+	"sort"
+)
 
 // This file provides allocation-lean tuple keys. The historic
 // Tuple.Key() renders every tuple as a '|'-separated string, which
@@ -139,12 +143,55 @@ func (s *TupleSet) Len() int {
 	return len(s.strs)
 }
 
+// radixSortWords sorts ws ascending with an LSD byte-radix sort:
+// linear passes over machine words instead of a comparison sort, which
+// is what keeps DedupSort's packed path linear on large join outputs.
+// Byte positions that are constant across ws (the common case for
+// packed tuples over a small domain) cost one counting scan and no
+// scatter. Small inputs fall back to the comparison sort, whose
+// constant is lower there.
+func radixSortWords(ws []uint64) {
+	if len(ws) < 256 {
+		slices.Sort(ws)
+		return
+	}
+	buf := make([]uint64, len(ws))
+	src, dst := ws, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [256]int
+		for _, w := range src {
+			counts[(w>>shift)&0xff]++
+		}
+		if counts[(src[0]>>shift)&0xff] == len(src) {
+			continue // byte constant across the slice
+		}
+		sum := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for _, w := range src {
+			i := (w >> shift) & 0xff
+			dst[counts[i]] = w
+			counts[i]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ws[0] {
+		copy(ws, src)
+	}
+}
+
 // DedupSort removes duplicates from ts in place and sorts the result
 // lexicographically. All tuples must have the arity of ts[0] (mixed
 // arities still dedup correctly, via the fallback path).
 func DedupSort(ts []Tuple) []Tuple {
 	if len(ts) == 0 {
 		return ts
+	}
+	if out, ok := dedupSortPacked(ts); ok {
+		return out
 	}
 	set := NewTupleSet(len(ts[0]), len(ts))
 	out := ts[:0]
@@ -155,4 +202,61 @@ func DedupSort(ts []Tuple) []Tuple {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// dedupSortPacked is the single-word fast path of DedupSort: with
+// uniform arity m and values narrow enough that m of them fit one
+// uint64, MSB-first packing is order-preserving, so sorting the packed
+// words sorts the tuples — a radix sort on machine integers instead of
+// a reflective comparator, with dedup reduced to compacting equal
+// neighbours. The field width is the widest value's actual bit count,
+// not ⌊64/m⌋: tight fields keep the keys in the low bytes, which both
+// admits higher arities and cuts the radix passes to the bytes in use.
+// ok is false (and ts untouched) when any tuple breaks the packing
+// preconditions.
+func dedupSortPacked(ts []Tuple) ([]Tuple, bool) {
+	m := len(ts[0])
+	if m < 1 || m > 64 {
+		return nil, false
+	}
+	var maxv int
+	for _, t := range ts {
+		if len(t) != m {
+			return nil, false
+		}
+		for _, v := range t {
+			if v < 0 {
+				return nil, false
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	shift := uint(bits.Len64(uint64(maxv) | 1))
+	if m*int(shift) > 64 {
+		return nil, false
+	}
+	keys := make([]uint64, len(ts))
+	for i, t := range ts {
+		var key uint64
+		for _, v := range t {
+			key = key<<shift | uint64(v)
+		}
+		keys[i] = key
+	}
+	radixSortWords(keys)
+	keys = slices.Compact(keys)
+	mask := PackedMask(shift)
+	out := ts[:len(keys)]
+	arena := make([]int, len(keys)*m)
+	for i, key := range keys {
+		row := arena[i*m : (i+1)*m : (i+1)*m]
+		for j := m - 1; j >= 0; j-- {
+			row[j] = int(key & mask)
+			key >>= shift
+		}
+		out[i] = row
+	}
+	return out, true
 }

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"strings"
 
 	"repro/internal/query"
@@ -57,15 +58,64 @@ func NaturalJoin(r, s *Relation) *Relation {
 
 // hashJoinInto performs the indexed hash join with an arbitrary
 // comparable key type (packed uint64 fast path, string fallback).
+//
+// The build side is a chained index — head maps a key to the first
+// matching tuple position in s, next links the rest — so the map holds
+// one fixed-size entry per distinct key instead of a growing []Tuple
+// per key. Output rows are sliced out of chunked arenas rather than
+// allocated per probe hit; on skewed inputs (heavy keys, quadratic
+// output) both together remove the allocation traffic that used to
+// dominate this path.
 func hashJoinInto[K comparable](out, r, s *Relation, rIdx, sIdx []int, sExtra []int, key func(Tuple, []int) K) {
-	index := make(map[K][]Tuple, len(s.Tuples))
-	for _, ts := range s.Tuples {
-		k := key(ts, sIdx)
-		index[k] = append(index[k], ts)
+	head := make(map[K]int32, len(s.Tuples))
+	next := make([]int32, len(s.Tuples))
+	// Building in reverse index order leaves each chain sorted by s
+	// position, preserving the probe output order of the slice index.
+	for i := len(s.Tuples) - 1; i >= 0; i-- {
+		k := key(s.Tuples[i], sIdx)
+		if j, ok := head[k]; ok {
+			next[i] = j
+		} else {
+			next[i] = -1
+		}
+		head[k] = int32(i)
 	}
+	// Counting pre-pass: chain walks are cheap relative to reallocating
+	// the output while it grows, so size the header slice and the value
+	// arena exactly — one allocation each, no growth copies and no
+	// write-barrier churn from append doubling.
+	total := 0
 	for _, tr := range r.Tuples {
-		for _, ts := range index[key(tr, rIdx)] {
-			out.Tuples = append(out.Tuples, combine(tr, ts, sExtra))
+		j, ok := head[key(tr, rIdx)]
+		if !ok {
+			continue
+		}
+		for ; j >= 0; j = next[j] {
+			total++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	width := len(r.Attrs) + len(sExtra)
+	arena := make([]int, 0, total*width)
+	out.Tuples = slices.Grow(out.Tuples, total)
+	for _, tr := range r.Tuples {
+		j, ok := head[key(tr, rIdx)]
+		if !ok {
+			continue
+		}
+		for ; j >= 0; j = next[j] {
+			n := len(arena)
+			arena = arena[:n+width]
+			row := Tuple(arena[n : n+width : n+width])
+			copy(row, tr)
+			o := len(tr)
+			for _, x := range sExtra {
+				row[o] = s.Tuples[j][x]
+				o++
+			}
+			out.Tuples = append(out.Tuples, row)
 		}
 	}
 }

@@ -166,6 +166,11 @@ type Options struct {
 	// failure mid-join triggers replacement and replay instead of
 	// aborting.
 	Recovery dist.RecoveryOptions
+	// Pipeline defers scatter/barrier/join traffic to the gather fence
+	// so workers overlap their local joins with later deliveries (see
+	// dist.Cluster.EnablePipelining). Off by default; answers and round
+	// statistics are identical either way.
+	Pipeline bool
 }
 
 // Result reports a join run.
@@ -279,6 +284,9 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 		if err := cluster.EnableRecovery(opts.Recovery); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Pipeline {
+		cluster.EnablePipelining()
 	}
 
 	var heavy []int

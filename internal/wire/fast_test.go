@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/relation"
+)
+
+// fastEncode runs frames through AppendFrames and flattens the
+// vectored write list into one byte stream, as a connection would see.
+func fastEncode(t *testing.T, frames []*Frame) []byte {
+	t.Helper()
+	_, bufs, err := AppendFrames(nil, frames)
+	if err != nil {
+		t.Fatalf("AppendFrames: %v", err)
+	}
+	var out bytes.Buffer
+	for _, b := range bufs {
+		out.Write(b)
+	}
+	return out.Bytes()
+}
+
+// zipfBuffer builds a sealed packed buffer whose first column is
+// heavily skewed, the shape delta compression exists for.
+func zipfBuffer(t *testing.T, n int, seed uint64) *exchange.Buffer {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 7))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	b := exchange.NewBuffer(2)
+	for i := 0; i < n; i++ {
+		b.Append(relation.Tuple{int(z.Uint64()), rng.IntN(1 << 10)})
+	}
+	b.Seal()
+	return b
+}
+
+// TestFastRoundTrip: every frame type fast-encodes into bytes that
+// BOTH the trusted Reader and the validating Decode accept, and the
+// two decoders agree exactly — the differential contract of the fast
+// path.
+func TestFastRoundTrip(t *testing.T) {
+	frames := sampleFrames(t)
+	frames = append(frames,
+		&Frame{Type: TypeData, Data: Data{Round: 3, Dest: 1, Rel: "Z", Buf: zipfBuffer(t, 4096, 3)}},
+		&Frame{Type: TypeData, Data: Data{Round: 3, Dest: 2, Rel: "E", Buf: buildBuffer(t, 3, 0, 10, 4)}},
+	)
+	stream := fastEncode(t, frames)
+
+	trusted := NewTrustedReader(bytes.NewReader(stream))
+	validating := bytes.NewReader(stream)
+	for i, want := range frames {
+		ft, err := trusted.Next()
+		if err != nil {
+			t.Fatalf("frame %d (%s): trusted decode: %v", i, want.Type, err)
+		}
+		fv, err := Decode(validating)
+		if err != nil {
+			t.Fatalf("frame %d (%s): validating decode: %v", i, want.Type, err)
+		}
+		assertFramesEqual(t, want, ft, fv)
+	}
+	if _, err := trusted.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("trusted reader past end: %v, want EOF", err)
+	}
+}
+
+// assertFramesEqual checks trusted and validating decodes of one
+// fast-encoded frame against the original.
+func assertFramesEqual(t *testing.T, want, trusted, validating *Frame) {
+	t.Helper()
+	if want.Type != TypeData {
+		if !reflect.DeepEqual(trusted, validating) {
+			t.Fatalf("%s: trusted %+v != validating %+v", want.Type, trusted, validating)
+		}
+		if !reflect.DeepEqual(want, trusted) {
+			t.Fatalf("%s: decoded %+v, want %+v", want.Type, trusted, want)
+		}
+		return
+	}
+	for _, got := range []*Frame{trusted, validating} {
+		if got.Data.Round != want.Data.Round || got.Data.Dest != want.Data.Dest || got.Data.Rel != want.Data.Rel {
+			t.Fatalf("data header mismatch: got %+v want %+v", got.Data, want.Data)
+		}
+	}
+	wt := want.Data.Buf.AppendTuples(nil)
+	tt := trusted.Data.Buf.AppendTuples(nil)
+	vt := validating.Data.Buf.AppendTuples(nil)
+	if !reflect.DeepEqual(tt, vt) {
+		t.Fatalf("trusted decode (%d tuples) != validating decode (%d tuples)", len(tt), len(vt))
+	}
+	if len(wt) > 0 && !reflect.DeepEqual(wt, tt) {
+		t.Fatalf("decoded %d tuples, want %d", len(tt), len(wt))
+	}
+}
+
+// TestFastEncodingChoice: a skewed sorted column ships as encDelta and
+// is materially smaller than raw; incompressible random words stay on
+// the zero-copy raw path.
+func TestFastEncodingChoice(t *testing.T) {
+	encodingOf := func(buf *exchange.Buffer) (byte, int) {
+		_, bufs, err := AppendFrames(nil, []*Frame{{Type: TypeData, Data: Data{Rel: "R", Buf: buf}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		for _, b := range bufs {
+			out.Write(b)
+		}
+		stream := out.Bytes()
+		// enc byte sits after 5 hdr + 4 round + 4 dest + 2 len + 1 "R" + 2 arity.
+		return stream[18], out.Len()
+	}
+
+	skewed := zipfBuffer(t, 4096, 11)
+	enc, size := encodingOf(skewed)
+	if enc != encDelta {
+		t.Fatalf("skewed column encoded as %d, want encDelta", enc)
+	}
+	raw := skewed.Len() * 8
+	if size >= raw*3/4 {
+		t.Fatalf("delta payload %d bytes, want < 3/4 of raw %d", size, raw)
+	}
+
+	random := buildBuffer(t, 3, 4096, 1<<20, 17)
+	if enc, _ := encodingOf(random); enc != encRaw {
+		t.Fatalf("random column encoded as %d, want encRaw", enc)
+	}
+}
+
+// TestFastZeroCopySegments: raw word payloads come back as segments
+// aliasing the buffer's word memory, not copies.
+func TestFastZeroCopySegments(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("zero-copy segments only on little-endian hosts")
+	}
+	buf := buildBuffer(t, 3, 1024, 1<<20, 23)
+	words, _ := buf.Words()
+	_, bufs, err := AppendFrames(nil, []*Frame{{Type: TypeData, Data: Data{Rel: "R", Buf: buf}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, ok := wordsLE(words)
+	if !ok {
+		t.Fatal("wordsLE failed on little-endian host")
+	}
+	found := false
+	for _, b := range bufs {
+		if len(b) == len(seg) && &b[0] == &seg[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no write segment aliases the buffer's word memory")
+	}
+}
+
+// TestFastRejectsUnsealed: the fast encoder refuses unsealed buffers —
+// its encodings assume sorted words.
+func TestFastRejectsUnsealed(t *testing.T) {
+	b := exchange.NewBuffer(2)
+	b.Append(relation.Tuple{9, 1})
+	b.Append(relation.Tuple{1, 2})
+	_, _, err := AppendFrames(nil, []*Frame{{Type: TypeData, Data: Data{Rel: "R", Buf: b}}})
+	if err == nil || !strings.Contains(err.Error(), "unsealed") {
+		t.Fatalf("fast-encode of unsealed buffer: %v, want unsealed error", err)
+	}
+}
+
+// TestValidatingRejectsDirtyRawWords: the untrusted path still rejects
+// raw payloads whose words set bits above the packed width, and raw
+// payloads that are not sorted.
+func TestValidatingRejectsDirtyRawWords(t *testing.T) {
+	buf := buildBuffer(t, 3, 4, 10, 29)
+	stream := fastEncode(t, []*Frame{{Type: TypeData, Data: Data{Rel: "R", Buf: buf}}})
+
+	dirty := mutate(stream, func(b []byte) {
+		b[len(b)-1] |= 0x80 // little-endian: last byte holds bit 63 of the last word
+	})
+	if _, err := Decode(bytes.NewReader(dirty)); err == nil || !strings.Contains(err.Error(), "bits above") {
+		t.Fatalf("dirty raw word: %v, want high-bit rejection", err)
+	}
+
+	unsorted := mutate(stream, func(b []byte) {
+		// Raise the first word to 2^62 (still inside the 63-bit packed
+		// width) so it out-orders the small words after it.
+		first := len(b) - 4*8
+		b[first+7] = 0x40
+	})
+	if _, err := Decode(bytes.NewReader(unsorted)); err == nil || !strings.Contains(err.Error(), "sorted") {
+		t.Fatalf("unsorted raw words: %v, want sorted rejection", err)
+	}
+}
+
+// TestValidatingRejectsDirtyDeltaWords: a delta payload whose first
+// word already exceeds the packed width is rejected untrusted.
+func TestValidatingRejectsDirtyDeltaWords(t *testing.T) {
+	words := make([]uint64, 64)
+	words[0] = 1 << 63 // arity-2 packing uses all 64 bits; use arity 3 (63 bits)
+	for i := 1; i < len(words); i++ {
+		words[i] = words[i-1] + 1
+	}
+	payload := exchange.AppendDeltaWords(nil, words)
+	var body []byte
+	body = appendU32(body, 0) // round
+	body = appendU32(body, 0) // dest
+	body, _ = appendString(body, "R")
+	body = appendU16(body, 3) // arity 3 → 21 bits/value, 63 used
+	body = append(body, encDelta)
+	body = appendU32(body, uint32(len(words)))
+	body = append(body, payload...)
+	stream := []byte{byte(TypeData)}
+	stream = appendU32(stream, uint32(len(body)))
+	stream = append(stream, body...)
+	if _, err := Decode(bytes.NewReader(stream)); err == nil || !strings.Contains(err.Error(), "bits above") {
+		t.Fatalf("dirty delta word: %v, want high-bit rejection", err)
+	}
+}
+
+// BenchmarkWireFastEncode measures the trusted fast encoder on the
+// same frame shape as BenchmarkWireEncode, including assembling the
+// vectored write list (but not the syscall).
+func BenchmarkWireFastEncode(b *testing.B) {
+	f := benchFrame(1 << 16)
+	var probe bytes.Buffer
+	if err := Encode(&probe, f); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(probe.Len()))
+	frames := []*Frame{f}
+	var head []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		head, _, err = AppendFrames(head[:0], frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFastDecode measures the trusted Reader on a raw-encoded
+// frame — the single-copy path the coordinator and workers run.
+func BenchmarkWireFastDecode(b *testing.B) {
+	f := benchFrame(1 << 16)
+	_, bufs, err := AppendFrames(nil, []*Frame{f})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream bytes.Buffer
+	for _, s := range bufs {
+		stream.Write(s)
+	}
+	data := stream.Bytes()
+	b.SetBytes(int64(len(data)))
+	rd := NewTrustedReader(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.r = bytes.NewReader(data)
+		if _, err := rd.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

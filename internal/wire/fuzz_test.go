@@ -70,10 +70,57 @@ func FuzzDecodeFrame(f *testing.F) {
 		},
 	}})
 	seed(&Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{Epoch: 0, Round: 0}})
+	// Fast-path encodings: the same frames as the fast encoder ships
+	// them — raw little-endian words for the random buffer, delta
+	// varints for a skewed one — so the fuzzer mutates deep inside
+	// encRaw and encDelta payloads too.
+	fastSeed := func(fr *Frame) {
+		_, bufs, err := AppendFrames(nil, []*Frame{fr})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, b := range bufs {
+			buf.Write(b)
+		}
+		f.Add(buf.Bytes())
+	}
+	fastSeed(&Frame{Type: TypeData, Data: Data{Round: 1, Dest: 2, Rel: "R", Buf: packed}})
+	fastSeed(&Frame{Type: TypeData, Data: Data{Round: 0, Dest: 3, Rel: "hc!answers", Buf: wide}})
+	skewed := exchange.NewBuffer(2)
+	z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+	for i := 0; i < 512; i++ {
+		skewed.Append(relation.Tuple{int(z.Uint64()), rng.IntN(64)})
+	}
+	skewed.Seal()
+	fastSeed(&Frame{Type: TypeData, Data: Data{Round: 2, Dest: 1, Rel: "Z", Buf: skewed}})
 	// Hostile shapes: lying lengths, dirty high bits, truncation.
 	f.Add([]byte{byte(TypeData), 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{byte(TypeData), 0, 0, 0, 30, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, 0, 0, 0, 0, 2})
 	f.Add([]byte{0xEE, 0, 0, 0, 0})
+	// Hostile fast shapes: unsorted raw words, a delta payload whose
+	// first word sets bits above the packed width, a truncated delta
+	// varint, and a lying delta count.
+	f.Add([]byte{
+		byte(TypeData), 0, 0, 0, 34,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, encRaw, 0, 0, 0, 2,
+		9, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+	})
+	f.Add([]byte{
+		byte(TypeData), 0, 0, 0, 29,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, encDelta, 0, 0, 0, 2,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0, // 1<<63, +0
+	})
+	f.Add([]byte{
+		byte(TypeData), 0, 0, 0, 19,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, encDelta, 0, 0, 0, 2,
+		0x80,
+	})
+	f.Add([]byte{
+		byte(TypeData), 0, 0, 0, 20,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, encDelta, 0xFF, 0xFF, 0xFF, 0xFF,
+		1, 2,
+	})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(bytes.NewReader(data))
@@ -111,6 +158,42 @@ func FuzzDecodeFrame(f *testing.F) {
 			for i := range a {
 				if !a[i].Equal(b[i]) {
 					t.Fatalf("round trip changed tuple %d: %v → %v", i, a[i], b[i])
+				}
+			}
+		}
+		// Differential oracle: every accepted frame must fast-encode
+		// into bytes on which the trusted Reader and the validating
+		// Decode agree exactly.
+		_, bufs, err := AppendFrames(nil, []*Frame{fr})
+		if err != nil {
+			t.Fatalf("accepted frame %s does not fast-encode: %v", fr.Type, err)
+		}
+		var fast bytes.Buffer
+		for _, b := range bufs {
+			fast.Write(b)
+		}
+		stream := fast.Bytes()
+		ft, err := NewTrustedReader(bytes.NewReader(stream)).Next()
+		if err != nil {
+			t.Fatalf("trusted decode of fast %s frame: %v", fr.Type, err)
+		}
+		fv, err := Decode(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatalf("validating decode of fast %s frame: %v", fr.Type, err)
+		}
+		if ft.Type != fv.Type {
+			t.Fatalf("fast decode type disagrees: trusted %s, validating %s", ft.Type, fv.Type)
+		}
+		if fr.Type == TypeData {
+			a := ft.Data.Buf.AppendTuples(nil)
+			b := fv.Data.Buf.AppendTuples(nil)
+			c := fr.Data.Buf.AppendTuples(nil)
+			if len(a) != len(b) || len(a) != len(c) {
+				t.Fatalf("fast decode tuple counts diverge: trusted %d, validating %d, original %d", len(a), len(b), len(c))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) || !a[i].Equal(c[i]) {
+					t.Fatalf("fast decode tuple %d diverges: trusted %v validating %v original %v", i, a[i], b[i], c[i])
 				}
 			}
 		}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"repro/internal/exchange"
 )
@@ -114,8 +115,10 @@ func (t Type) String() string {
 }
 
 // Version is the protocol version carried by Hello frames; a worker
-// rejects a coordinator speaking a different version.
-const Version = 1
+// rejects a coordinator speaking a different version. Version 2 added
+// the fast-path Data encodings (raw little-endian words, delta-varint
+// words) that version-1 decoders would reject.
+const Version = 2
 
 // MaxPayload bounds a frame's declared payload size (128 MiB). A
 // larger length prefix is rejected before any payload is read.
@@ -227,10 +230,17 @@ type Frame struct {
 	Checkpoint *Manifest
 }
 
-// buffer encoding discriminators inside Data payloads.
+// buffer encoding discriminators inside Data payloads. encPacked and
+// encFlat are the canonical big-endian encodings Encode emits; encRaw
+// and encDelta are the fast-path encodings AppendFrames chooses for
+// packed buffers (raw little-endian word memory for vectored sends,
+// delta-varint for skew-compressible columns). Decode validates all
+// four.
 const (
 	encPacked = 0
 	encFlat   = 1
+	encRaw    = 2
+	encDelta  = 3
 )
 
 // Encode writes one frame to w in wire format.
@@ -354,7 +364,14 @@ func Decode(r io.Reader) (*Frame, error) {
 	if err != nil || m != int64(n) {
 		return nil, unexpected(err)
 	}
-	p := &payloadReader{b: body.Bytes()}
+	return decodePayload(typ, body.Bytes())
+}
+
+// decodePayload parses one frame payload with full validation. It is
+// the body shared by Decode (untrusted streams) and the control-frame
+// cases of the trusted Reader.
+func decodePayload(typ Type, body []byte) (*Frame, error) {
+	p := &payloadReader{b: body}
 	f := &Frame{Type: typ}
 	switch typ {
 	case TypeHello:
@@ -382,7 +399,7 @@ func Decode(r io.Reader) (*Frame, error) {
 	case TypeError:
 		f.Msg = p.str()
 	default:
-		return nil, fmt.Errorf("wire: unknown frame type %d", hdr[0])
+		return nil, fmt.Errorf("wire: unknown frame type %d", uint8(typ))
 	}
 	if p.err != nil {
 		return nil, fmt.Errorf("wire: %s frame: %w", typ, p.err)
@@ -519,6 +536,39 @@ func decodeData(p *payloadReader, d *Data) {
 			flat[i] = int(v)
 		}
 		buf, err := exchange.NewBufferFromFlat(arity, flat)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		d.Buf = buf
+	case encRaw:
+		if !p.need(count * 8) {
+			return
+		}
+		words := make([]uint64, count)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(p.b[p.off:])
+			p.off += 8
+		}
+		if !slices.IsSorted(words) {
+			p.fail(fmt.Errorf("raw words not sorted"))
+			return
+		}
+		buf, err := exchange.NewBufferFromWords(arity, words)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		d.Buf = buf
+	case encDelta:
+		rest := p.b[p.off:]
+		words, err := exchange.DecodeDeltaWords(rest, count)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.off = len(p.b)
+		buf, err := exchange.NewBufferFromWords(arity, words)
 		if err != nil {
 			p.fail(err)
 			return
