@@ -209,6 +209,28 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 				}
 			}
 		}},
+		{"delta-maintain-triangle-n512-p16", func(b *testing.B) {
+			// Warm-path maintenance: one append batch plus the
+			// deletion anti-join that undoes it, so the distribution
+			// returns to its base state every iteration.
+			db := relation.IdentityDatabase(tri, 512)
+			m, err := hypercube.NewMaintainer(tri, db, 16, hypercube.Options{Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			add := map[string]relation.Effect{"S1": {Added: []relation.Tuple{{1, 2}}}}
+			del := map[string]relation.Effect{"S1": {Removed: []relation.Tuple{{1, 2}}}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ApplyDelta(add); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.ApplyDelta(del); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"stats-collect-n2000", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				relation.CollectStats(triDB)

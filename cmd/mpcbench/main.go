@@ -17,6 +17,7 @@
 //	mpcbench -experiment shuffle
 //	mpcbench -experiment wire
 //	mpcbench -experiment pipeline
+//	mpcbench -experiment delta
 //	mpcbench -experiment opt-shares
 //	mpcbench -experiment friedgut
 //	mpcbench -all                # everything
@@ -51,7 +52,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure     = flag.Int("figure", 0, "regenerate Figure 1")
-		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | wire | pipeline | opt-shares | friedgut | knowledge | tail")
+		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | wire | pipeline | delta | opt-shares | friedgut | knowledge | tail")
 		all        = flag.Bool("all", false, "run everything")
 		n          = flag.Int("n", 2000, "domain size for data experiments")
 		seed       = flag.Uint64("seed", 2013, "random seed")
@@ -218,6 +219,16 @@ func run(table, figure int, experiment string, all bool, n int, seed uint64, tri
 			pn = 600 // wall-clock cells at p=256 get slow beyond this
 		}
 		if _, err := experiments.Pipeline(w, pn, []int{16, 64, 256}, trials, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || experiment == "delta" {
+		ran = true
+		fmt.Fprintln(w, "── E-DELTA: incremental maintenance vs full re-join ──")
+		// The headline cells: maintenance cost is the replication
+		// factor regardless of n, so the gap widens with the database.
+		if _, err := experiments.Delta(w, []int{10_000, 100_000}, []int{16, 64}, seed); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -22,10 +22,16 @@
 //
 // Endpoints:
 //
-//	POST /query     {"dataset":"tri","family":"C3"}          answers + EXPLAIN + round stats
-//	GET  /datasets                                           registry listing
-//	POST /datasets  {"name":"d2","generator":{"family":"C3","n":1000}}
-//	GET  /healthz                                            liveness + Prometheus metrics
+//	POST /query                  {"dataset":"tri","family":"C3"}          answers + EXPLAIN + round stats
+//	GET  /datasets                                                        registry listing (with versions)
+//	POST /datasets               {"name":"d2","generator":{"family":"C3","n":1000}}
+//	POST /datasets/{name}/delta  {"appends":{"S1":[[1,7]]},"deletes":{}}  streaming ingest: copy-on-write
+//	                             version bump, incremental statistics, continuous-query maintenance
+//	GET  /continuous                                                      continuous-query listing
+//	POST /continuous             {"name":"live","dataset":"tri","family":"C3"}
+//	GET  /continuous/{name}                                               warm materialized answers (no execution)
+//	DELETE /continuous/{name}                                             deregister
+//	GET  /healthz                                                         liveness + Prometheus metrics
 //
 // The -dataset flag (repeatable) preloads CSV relations:
 // 'name:R=file.csv,S=file.csv'. The -gen flag (repeatable) preloads a

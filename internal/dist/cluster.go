@@ -138,6 +138,63 @@ func (c *Cluster) Scatter(ctx context.Context, rel *relation.Relation, as string
 	return nil
 }
 
+// ScatterDelta partitions delta tuples through part — the same
+// partitioner as the base scatter, so each delta tuple reaches
+// exactly the workers that replicate it — and ships them as delta
+// deliveries maintaining store: retractions (del) tombstone, and
+// extensions append, additionally registering under view when it is
+// non-empty. Receipt is accounted against the open round exactly like
+// Scatter; the incremental-maintenance cost bound (replication factor
+// per tuple, not O(N)) is thereby measured, not assumed.
+func (c *Cluster) ScatterDelta(ctx context.Context, tuples []relation.Tuple, arity int, store, view string, del bool, part exchange.Partitioner) error {
+	ds, err := exchange.Partition(store, tuples, arity, c.cfg.Workers, part)
+	if err != nil {
+		return fmt.Errorf("dist: scatter delta: %w", err)
+	}
+	lone := !c.open
+	if lone {
+		c.BeginRound()
+		c.open = false
+	}
+	rs := &c.stats.Rounds[len(c.stats.Rounds)-1]
+	bitsPer := relation.BitsPerValue(c.cfg.DomainN)
+	dds := make([]DeltaDelivery, 0, len(ds))
+	for _, d := range ds {
+		n := int64(d.Buf.Len())
+		if n == 0 {
+			continue
+		}
+		rs.Account(d.To, n, d.Buf.Bits(bitsPer))
+		dds = append(dds, DeltaDelivery{To: d.To, Store: store, View: view, Del: del, Buf: d.Buf})
+	}
+	if c.rec != nil {
+		c.rec.record(recOp{kind: opDelta, round: c.round, dds: dds})
+	}
+	if c.pipe {
+		c.enqueue(recOp{kind: opDelta, round: c.round, dds: dds})
+		if lone {
+			if c.rec != nil {
+				c.rec.record(recOp{kind: opBarrier, round: c.round})
+			}
+			c.enqueue(recOp{kind: opBarrier, round: c.round})
+			return rs.CheckCap(c.cfg.ReceiveCap())
+		}
+		return nil
+	}
+	if err := c.attempt(ctx, false, func(ctx context.Context) error {
+		return c.tr.ApplyDelta(ctx, c.round, dds)
+	}); err != nil {
+		return err
+	}
+	if lone {
+		if err := c.barrier(ctx); err != nil {
+			return err
+		}
+		return rs.CheckCap(c.cfg.ReceiveCap())
+	}
+	return nil
+}
+
 // barrier synchronizes the pool on the current round and, when
 // recovery is enabled, broadcasts the round's checkpoint manifest.
 func (c *Cluster) barrier(ctx context.Context) error {

@@ -49,6 +49,26 @@ type JoinSpec struct {
 	Strategy uint8
 }
 
+// DeltaDelivery ships one sealed delta run to one worker as part of
+// incremental view maintenance: the tuples either retract from (Del)
+// or extend the store named Store. An extending delta additionally
+// registers its run under View when View is non-empty, so a
+// maintenance join can bind one atom to exactly the fresh tuples
+// without rescanning the store.
+type DeltaDelivery struct {
+	// To is the destination worker.
+	To int
+	// Store is the store name the delta maintains.
+	Store string
+	// View, when non-empty and Del is false, is an extra store name the
+	// run is also registered under (the Δ-relation of a delta join).
+	View string
+	// Del marks a retraction: the tuples are tombstoned out of Store.
+	Del bool
+	// Buf is the sealed columnar run of delta tuples.
+	Buf *exchange.Buffer
+}
+
 // Transport carries the BSP primitives of one execution to a pool of
 // workers. Implementations must tolerate concurrent calls from the
 // per-worker goroutines a Cluster fans out, and every method must
@@ -65,6 +85,11 @@ type Transport interface {
 	// Deliver ships sealed runs to their destination workers as part
 	// of the given round.
 	Deliver(ctx context.Context, round int, ds []exchange.Delivery) error
+	// ApplyDelta ships delta runs to their destination workers as part
+	// of the given round: retractions tombstone tuples out of their
+	// store, extensions append (and register the Δ view). Like Deliver
+	// it is unacknowledged; the round's Barrier is the ingestion fence.
+	ApplyDelta(ctx context.Context, round int, ds []DeltaDelivery) error
 	// Barrier blocks until every worker has ingested all runs
 	// delivered for the round.
 	Barrier(ctx context.Context, round int) error

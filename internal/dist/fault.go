@@ -23,6 +23,8 @@ const (
 	OpJoin
 	// OpGather is a Gather call.
 	OpGather
+	// OpDelta is an ApplyDelta call (one per delta scatter).
+	OpDelta
 )
 
 // String names the phase.
@@ -36,6 +38,8 @@ func (o OpType) String() string {
 		return "join"
 	case OpGather:
 		return "gather"
+	case OpDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("OpType(%d)", uint8(o))
 	}
@@ -135,10 +139,12 @@ type opKey struct {
 	op     OpType
 }
 
-// heldDelivery is a delayed delivery with its original round.
+// heldDelivery is a delayed delivery (data or delta) with its
+// original round.
 type heldDelivery struct {
 	round int
 	ds    []exchange.Delivery
+	dds   []DeltaDelivery
 }
 
 // NewFaultTransport wraps inner with the fault schedule. The wrapped
@@ -233,6 +239,60 @@ func (ft *FaultTransport) Deliver(ctx context.Context, round int, ds []exchange.
 	return err
 }
 
+// ApplyDelta implements Transport with the fault schedule applied per
+// destination worker, mirroring Deliver: kill faults lose (or race)
+// the worker's delta slice, DelayToBarrier holds it for the next
+// Barrier, DuplicateDelivery applies it twice — tombstones are
+// idempotent and appended duplicates dedup at the gather merge, so
+// results must not change.
+func (ft *FaultTransport) ApplyDelta(ctx context.Context, round int, ds []DeltaDelivery) error {
+	byWorker := make(map[int][]DeltaDelivery)
+	for _, d := range ds {
+		byWorker[d.To] = append(byWorker[d.To], d)
+	}
+	ft.mu.Lock()
+	var pass []DeltaDelivery
+	var errs []error
+	for w := 0; w < ft.inner.Workers(); w++ {
+		mine := byWorker[w]
+		if ft.dead[w] {
+			if len(mine) > 0 {
+				errs = append(errs, &WorkerError{Worker: w, Err: errFaultDead})
+			}
+			continue
+		}
+		f, ok := ft.step(w, OpDelta)
+		if !ok {
+			pass = append(pass, mine...)
+			continue
+		}
+		switch f.Kind {
+		case KillBefore:
+			// The worker's slice never arrives.
+			errs = append(errs, &WorkerError{Worker: w, Err: errFaultKilled})
+		case KillAfter:
+			// The slice arrives, then the connection dies; the
+			// coordinator cannot tell, so it still sees a failure.
+			pass = append(pass, mine...)
+			errs = append(errs, &WorkerError{Worker: w, Err: errFaultKilled})
+		case DelayToBarrier:
+			ft.held = append(ft.held, heldDelivery{round: round, dds: mine})
+		case DuplicateDelivery:
+			pass = append(pass, mine...)
+			pass = append(pass, mine...)
+		}
+	}
+	ft.mu.Unlock()
+	var err error
+	if len(pass) > 0 {
+		err = ft.inner.ApplyDelta(ctx, round, pass)
+	}
+	if len(errs) > 0 {
+		return errors.Join(append(errs, err)...)
+	}
+	return err
+}
+
 // Barrier implements Transport: held deliveries are injected first —
 // the BSP contract only promises ingestion at the barrier — then the
 // schedule applies per worker.
@@ -255,8 +315,15 @@ func (ft *FaultTransport) Barrier(ctx context.Context, round int) error {
 	}
 	ft.mu.Unlock()
 	for _, h := range held {
-		if err := ft.inner.Deliver(ctx, h.round, h.ds); err != nil {
-			return err
+		if len(h.ds) > 0 {
+			if err := ft.inner.Deliver(ctx, h.round, h.ds); err != nil {
+				return err
+			}
+		}
+		if len(h.dds) > 0 {
+			if err := ft.inner.ApplyDelta(ctx, h.round, h.dds); err != nil {
+				return err
+			}
 		}
 	}
 	err := ft.inner.Barrier(ctx, round)

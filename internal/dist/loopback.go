@@ -56,6 +56,22 @@ func (l *Loopback) Deliver(ctx context.Context, round int, ds []exchange.Deliver
 	return nil
 }
 
+// ApplyDelta implements Transport: delta runs land in the destination
+// stores immediately, retractions as tombstones, extensions as
+// appended runs (also registered under their Δ view).
+func (l *Loopback) ApplyDelta(ctx context.Context, round int, ds []DeltaDelivery) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, d := range ds {
+		if d.To < 0 || d.To >= len(l.ws) {
+			return fmt.Errorf("dist: loopback delta to worker %d out of range [0,%d)", d.To, len(l.ws))
+		}
+		l.ws[d.To].applyDelta(d.Store, d.View, d.Del, d.Buf)
+	}
+	return nil
+}
+
 // Barrier implements Transport; loopback deliveries are synchronous,
 // so it only observes cancellation.
 func (l *Loopback) Barrier(ctx context.Context, round int) error {
@@ -212,6 +228,11 @@ func parseJoinSpec(spec JoinSpec) (*query.Query, localjoin.Strategy, error) {
 type workerStore struct {
 	mu    sync.Mutex
 	store map[string]*exchange.Column
+	// dead holds per-store tombstones: tuples retracted by delta
+	// maintenance. Runs are immutable once sealed, so a retraction
+	// marks the tuple dead instead of rewriting runs; reads filter
+	// through the set, and a later re-append clears the mark.
+	dead map[string]*relation.TupleSet
 }
 
 func newWorkerStore() *workerStore {
@@ -222,6 +243,11 @@ func newWorkerStore() *workerStore {
 func (w *workerStore) add(rel string, run *exchange.Buffer) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.addLocked(rel, run)
+}
+
+// addLocked is add with w.mu held.
+func (w *workerStore) addLocked(rel string, run *exchange.Buffer) {
 	col := w.store[rel]
 	if col == nil {
 		col = &exchange.Column{}
@@ -230,7 +256,50 @@ func (w *workerStore) add(rel string, run *exchange.Buffer) {
 	col.Add(run)
 }
 
-// tuples materializes a fresh view of everything stored under rel.
+// applyDelta ingests one delta run: a retraction tombstones every
+// tuple out of store; an extension clears any tombstones the tuples
+// carry and appends the run under store — and, when view is non-empty,
+// under view as well, making the run readable as a Δ-relation.
+func (w *workerStore) applyDelta(store, view string, del bool, run *exchange.Buffer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if del {
+		set := w.dead[store]
+		if set == nil {
+			set = relation.NewTupleSet(run.Arity(), run.Len())
+			if w.dead == nil {
+				w.dead = make(map[string]*relation.TupleSet)
+			}
+			w.dead[store] = set
+		}
+		for _, t := range run.AppendTuples(nil) {
+			set.Add(t)
+		}
+		return
+	}
+	if set := w.dead[store]; set != nil && set.Len() > 0 {
+		for _, t := range run.AppendTuples(nil) {
+			set.Remove(t)
+		}
+	}
+	w.addLocked(store, run)
+	if view != "" {
+		w.addLocked(view, run)
+	}
+}
+
+// liveDead returns rel's tombstone set when it is non-empty, with
+// w.mu held.
+func (w *workerStore) liveDead(rel string) *relation.TupleSet {
+	set := w.dead[rel]
+	if set == nil || set.Len() == 0 {
+		return nil
+	}
+	return set
+}
+
+// tuples materializes a fresh view of everything stored under rel,
+// tombstoned tuples filtered out.
 func (w *workerStore) tuples(rel string) []relation.Tuple {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -238,10 +307,23 @@ func (w *workerStore) tuples(rel string) []relation.Tuple {
 	if col == nil {
 		return nil
 	}
-	return col.Tuples()
+	set := w.liveDead(rel)
+	if set == nil {
+		return col.Tuples()
+	}
+	all := col.Tuples()
+	live := all[:0]
+	for _, t := range all {
+		if !set.Contains(t) {
+			live = append(live, t)
+		}
+	}
+	return live
 }
 
-// runs returns the sealed runs stored under rel.
+// runs returns the sealed runs stored under rel. When tombstones are
+// live for the store, the runs are rematerialized as one filtered
+// sealed run so gathers never leak retracted tuples.
 func (w *workerStore) runs(rel string) []*exchange.Buffer {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -249,7 +331,27 @@ func (w *workerStore) runs(rel string) []*exchange.Buffer {
 	if col == nil {
 		return nil
 	}
-	return col.Runs()
+	set := w.liveDead(rel)
+	if set == nil {
+		return col.Runs()
+	}
+	src := col.Runs()
+	if len(src) == 0 {
+		return nil
+	}
+	out := exchange.NewBuffer(src[0].Arity())
+	for _, run := range src {
+		for _, t := range run.AppendTuples(nil) {
+			if !set.Contains(t) {
+				out.Append(t)
+			}
+		}
+	}
+	out.Seal()
+	if out.Len() == 0 {
+		return nil
+	}
+	return []*exchange.Buffer{out}
 }
 
 // join evaluates q over the store (atom names mapped through

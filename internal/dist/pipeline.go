@@ -144,6 +144,10 @@ func (c *Cluster) runScriptFallback(ctx context.Context, ops []recOp) error {
 			err = c.attempt(ctx, false, func(ctx context.Context) error {
 				return c.tr.Deliver(ctx, op.round, op.ds)
 			})
+		case opDelta:
+			err = c.attempt(ctx, false, func(ctx context.Context) error {
+				return c.tr.ApplyDelta(ctx, op.round, op.dds)
+			})
 		case opBarrier:
 			err = c.attempt(ctx, true, func(ctx context.Context) error {
 				return c.tr.Barrier(ctx, op.round)

@@ -123,6 +123,7 @@ const (
 	opDeliver recOpKind = iota
 	opBarrier
 	opJoin
+	opDelta
 )
 
 // recOp is one journaled coordinator action. The journal is what makes
@@ -135,6 +136,7 @@ type recOp struct {
 	kind  recOpKind
 	round int
 	ds    []exchange.Delivery
+	dds   []DeltaDelivery
 	spec  JoinSpec
 }
 
@@ -306,6 +308,16 @@ func (c *Cluster) replay(ctx context.Context, w int) error {
 			if len(mine) > 0 {
 				err = rec.rt.Deliver(ctx, op.round, mine)
 			}
+		case opDelta:
+			var mine []DeltaDelivery
+			for _, d := range op.dds {
+				if d.To == w {
+					mine = append(mine, d)
+				}
+			}
+			if len(mine) > 0 {
+				err = rec.rt.ApplyDelta(ctx, op.round, mine)
+			}
 		case opJoin:
 			err = rec.rt.JoinWorker(ctx, w, op.spec)
 		case opBarrier:
@@ -318,26 +330,41 @@ func (c *Cluster) replay(ctx context.Context, w int) error {
 	return rec.rt.Ping(ctx, w, rec.epoch)
 }
 
-// record appends a journal entry and, for deliveries, folds the runs
-// into the durable-state tallies behind checkpoint manifests.
+// record appends a journal entry and, for deliveries and extending
+// deltas, folds the runs into the durable-state tallies behind
+// checkpoint manifests. Retractions add no runs, so they leave the
+// tallies alone — the manifest describes what a replacement must
+// re-receive, and retracted tuples are re-sent as journal replay.
 func (rec *recovery) record(op recOp) {
 	rec.journal = append(rec.journal, op)
-	if op.kind != opDeliver {
-		return
-	}
-	for _, d := range op.ds {
-		if d.Buf.Len() == 0 {
-			continue
+	switch op.kind {
+	case opDeliver:
+		for _, d := range op.ds {
+			if d.Buf.Len() == 0 {
+				continue
+			}
+			rec.tally(d.To, d.Rel, d.Buf.Len())
 		}
-		k := manifestKey{worker: d.To, store: d.Rel}
-		t := rec.durable[k]
-		if t == nil {
-			t = &manifestTally{}
-			rec.durable[k] = t
+	case opDelta:
+		for _, d := range op.dds {
+			if d.Del || d.Buf.Len() == 0 {
+				continue
+			}
+			rec.tally(d.To, d.Store, d.Buf.Len())
 		}
-		t.runs++
-		t.tuples += uint64(d.Buf.Len())
 	}
+}
+
+// tally folds one run of n tuples into the (worker, store) line.
+func (rec *recovery) tally(worker int, store string, n int) {
+	k := manifestKey{worker: worker, store: store}
+	t := rec.durable[k]
+	if t == nil {
+		t = &manifestTally{}
+		rec.durable[k] = t
+	}
+	t.runs++
+	t.tuples += uint64(n)
 }
 
 // manifest builds the checkpoint manifest for a completed round in

@@ -294,6 +294,44 @@ func dataFrames(frames []*wire.Frame, round int, ds []exchange.Delivery) []*wire
 	return frames
 }
 
+// deltaFrames converts one worker's delta deliveries to wire frames.
+func deltaFrames(frames []*wire.Frame, round int, ds []DeltaDelivery) []*wire.Frame {
+	for _, d := range ds {
+		frames = append(frames, &wire.Frame{Type: wire.TypeDelta, Delta: wire.Delta{
+			Round: uint32(round),
+			Dest:  uint32(d.To),
+			Store: d.Store,
+			View:  d.View,
+			Del:   d.Del,
+			Buf:   d.Buf,
+		}})
+	}
+	return frames
+}
+
+// ApplyDelta implements Transport: delta runs are fast-framed and
+// written to their destination connections like Deliver, one vectored
+// send per worker. Delta frames are unacknowledged; Barrier is the
+// ingestion fence.
+func (t *TCP) ApplyDelta(ctx context.Context, round int, ds []DeltaDelivery) error {
+	byWorker := make([][]DeltaDelivery, len(t.conns))
+	for _, d := range ds {
+		if d.To < 0 || d.To >= len(t.conns) {
+			return fmt.Errorf("dist: delta to worker %d out of range [0,%d)", d.To, len(t.conns))
+		}
+		byWorker[d.To] = append(byWorker[d.To], d)
+	}
+	return t.eachConn(func(wc *workerConn) error {
+		mine := byWorker[wc.id]
+		if len(mine) == 0 {
+			return nil
+		}
+		return wc.roundTrip(ctx, func() error {
+			return wc.writeFrames(deltaFrames(nil, round, mine))
+		})
+	})
+}
+
 // Deliver implements Transport: runs are fast-framed and written to
 // their destination connections as one vectored send per worker, all
 // workers in parallel. Barrier synchronizes.
@@ -435,12 +473,14 @@ func (t *TCP) Gather(ctx context.Context, view string) ([]*exchange.Buffer, erro
 // BSP barrier degrades to a per-worker completion fence.
 func (t *TCP) RunScript(ctx context.Context, ops []recOp, view string) ([]*exchange.Buffer, error) {
 	for _, op := range ops {
-		if op.kind != opDeliver {
-			continue
-		}
 		for _, d := range op.ds {
 			if d.To < 0 || d.To >= len(t.conns) {
 				return nil, fmt.Errorf("dist: delivery to worker %d out of range [0,%d)", d.To, len(t.conns))
+			}
+		}
+		for _, d := range op.dds {
+			if d.To < 0 || d.To >= len(t.conns) {
+				return nil, fmt.Errorf("dist: delta to worker %d out of range [0,%d)", d.To, len(t.conns))
 			}
 		}
 	}
@@ -458,6 +498,14 @@ func (t *TCP) RunScript(ctx context.Context, ops []recOp, view string) ([]*excha
 						}
 					}
 					frames = dataFrames(frames, op.round, mine)
+				case opDelta:
+					var mine []DeltaDelivery
+					for _, d := range op.dds {
+						if d.To == wc.id {
+							mine = append(mine, d)
+						}
+					}
+					frames = deltaFrames(frames, op.round, mine)
 				case opBarrier:
 					frames = append(frames, &wire.Frame{Type: wire.TypeBarrier, Round: uint32(op.round)})
 				case opJoin:

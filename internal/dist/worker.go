@@ -126,6 +126,12 @@ func (s *session) handle(f *wire.Frame) error {
 		}
 		s.store.add(f.Data.Rel, f.Data.Buf)
 		return nil
+	case wire.TypeDelta:
+		if f.Delta.Dest != s.id {
+			return fmt.Errorf("delta frame for shard %d delivered to worker %d", f.Delta.Dest, s.id)
+		}
+		s.store.applyDelta(f.Delta.Store, f.Delta.View, f.Delta.Del, f.Delta.Buf)
+		return nil
 	case wire.TypeBarrier:
 		// Frames on the connection are processed in order, so reaching
 		// the barrier means every preceding Data frame is ingested.

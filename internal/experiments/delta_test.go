@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestDeltaExperiment checks the E-DELTA invariants at a small scale:
+// every cell routes at most the replication factor for the one-tuple
+// batch, and maintenance already beats the full re-join.
+func TestDeltaExperiment(t *testing.T) {
+	var buf strings.Builder
+	rows, err := Delta(&buf, []int{200, 1000}, []int{4, 16}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fanout < 1 {
+			t.Errorf("n=%d p=%d: fanout %d", r.N, r.P, r.Fanout)
+		}
+		if r.MaintTuples > int64(r.Fanout) {
+			t.Errorf("n=%d p=%d: routed %d tuples above fanout %d", r.N, r.P, r.MaintTuples, r.Fanout)
+		}
+		if r.MaintBits <= 0 || r.RejoinBits <= 0 {
+			t.Errorf("n=%d p=%d: degenerate costs maint=%d rejoin=%d", r.N, r.P, r.MaintBits, r.RejoinBits)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("n=%d p=%d: maintenance not cheaper than re-join (ratio %.2f)", r.N, r.P, r.Ratio)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E-DELTA") || !strings.Contains(out, "re-join/maint") {
+		t.Errorf("report missing headers:\n%s", out)
+	}
+}
+
+// TestDeltaExperimentRejects covers the argument guards.
+func TestDeltaExperimentRejects(t *testing.T) {
+	if _, err := Delta(io.Discard, []int{0}, []int{4}, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Delta(io.Discard, []int{100}, []int{0}, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+}

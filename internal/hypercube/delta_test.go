@@ -1,0 +1,363 @@
+package hypercube
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// startDeltaPool spins up n in-process TCP worker listeners (the
+// exact code cmd/mpcworker runs) and returns their addresses.
+func startDeltaPool(t *testing.T, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ctx, ln)
+	}
+	return addrs
+}
+
+// dialDeltaPool dials a fresh session against the pool.
+func dialDeltaPool(t *testing.T, addrs []string) *dist.TCP {
+	t.Helper()
+	tr, err := dist.DialTCP(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// randomMaintDelta draws one delta batch over db: deletes sampled
+// from present tuples (distinct positions, so multiplicities always
+// validate) and appends drawn fresh from the domain.
+func randomMaintDelta(rng *rand.Rand, db *relation.Database) relation.Delta {
+	d := relation.Delta{
+		Appends: map[string][]relation.Tuple{},
+		Deletes: map[string][]relation.Tuple{},
+	}
+	for _, name := range db.Names() {
+		r, _ := db.Relation(name)
+		nDel := rng.IntN(3)
+		if nDel > len(r.Tuples) {
+			nDel = len(r.Tuples)
+		}
+		for _, i := range rng.Perm(len(r.Tuples))[:nDel] {
+			d.Deletes[name] = append(d.Deletes[name], r.Tuples[i].Clone())
+		}
+		for i := 0; i < rng.IntN(3); i++ {
+			tup := make(relation.Tuple, r.Arity())
+			for j := range tup {
+				tup[j] = 1 + rng.IntN(db.N)
+			}
+			d.Appends[name] = append(d.Appends[name], tup)
+		}
+	}
+	return d
+}
+
+// answersEqual compares two answer sets element-wise (nil and empty
+// are the same empty answer).
+func answersEqual(a, b []relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// dbEffect computes the set-level difference between two database
+// states per relation — the one-batch delta equivalent to any
+// sequence of batches leading from before to after.
+func dbEffect(before, after *relation.Database) map[string]relation.Effect {
+	out := make(map[string]relation.Effect)
+	for _, name := range before.Names() {
+		b, _ := before.Relation(name)
+		a, _ := after.Relation(name)
+		bset := relation.NewTupleSet(b.Arity(), len(b.Tuples))
+		for _, t := range b.Tuples {
+			bset.Add(t)
+		}
+		aset := relation.NewTupleSet(a.Arity(), len(a.Tuples))
+		for _, t := range a.Tuples {
+			aset.Add(t)
+		}
+		var eff relation.Effect
+		seenAdd := relation.NewTupleSet(a.Arity(), 8)
+		for _, t := range a.Tuples {
+			if !bset.Contains(t) && !seenAdd.Contains(t) {
+				seenAdd.Add(t)
+				eff.Added = append(eff.Added, t)
+			}
+		}
+		seenDel := relation.NewTupleSet(b.Arity(), 8)
+		for _, t := range b.Tuples {
+			if !aset.Contains(t) && !seenDel.Contains(t) {
+				seenDel.Add(t)
+				eff.Removed = append(eff.Removed, t)
+			}
+		}
+		out[name] = eff
+	}
+	return out
+}
+
+// maintScenario is one precomputed delta scenario: the initial
+// database, the per-batch effects, the database state after each
+// batch, and the final state.
+type maintScenario struct {
+	q     *query.Query
+	db0   *relation.Database
+	effs  []map[string]relation.Effect
+	dbs   []*relation.Database // dbs[i] is the state after batch i
+	final *relation.Database
+}
+
+// buildScenario generates batches random delta batches over db0.
+func buildScenario(t *testing.T, rng *rand.Rand, q *query.Query, db0 *relation.Database, batches int) *maintScenario {
+	t.Helper()
+	sc := &maintScenario{q: q, db0: db0}
+	db := db0
+	for b := 0; b < batches; b++ {
+		d := randomMaintDelta(rng, db)
+		next, eff, err := relation.ApplyDelta(db, d)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		sc.effs = append(sc.effs, eff)
+		sc.dbs = append(sc.dbs, next)
+		db = next
+	}
+	sc.final = db
+	return sc
+}
+
+// runMaintainer replays the scenario's batches on one transport and
+// returns the maintainer for inspection. When check is set, answers
+// are compared against ground truth after every batch, not only at
+// the end.
+func runMaintainer(t *testing.T, sc *maintScenario, p int, opts Options, check bool) *Maintainer {
+	t.Helper()
+	m, err := NewMaintainer(sc.q, sc.db0, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	for b, eff := range sc.effs {
+		if _, err := m.ApplyDelta(eff); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if check {
+			want := groundTruth(t, sc.q, sc.dbs[b])
+			if !answersEqual(m.Answers(), want) {
+				t.Fatalf("batch %d: maintained answers diverge from ground truth: %d vs %d tuples",
+					b, len(m.Answers()), len(want))
+			}
+		}
+	}
+	return m
+}
+
+// TestMaintainerMetamorphic is the metamorphic delta-equivalence net:
+// across query families (triangle, star, chain) and data regimes
+// (matching, Zipf-skewed), a maintained view under any sequence of
+// append/delete batches equals ground truth on the final state —
+// byte-identically across loopback and TCP transports, with identical
+// round statistics, sync or pipelined — and collapsing the whole
+// sequence into one batch changes nothing (granularity invariance).
+func TestMaintainerMetamorphic(t *testing.T) {
+	const (
+		n       = 40
+		p       = 4
+		batches = 5
+	)
+	families := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"triangle", query.Triangle()},
+		{"star3", query.Star(3)},
+		{"chain3", query.Chain(3)},
+	}
+	for _, fam := range families {
+		for _, kind := range []string{"matching", "zipf"} {
+			t.Run(fam.name+"/"+kind, func(t *testing.T) {
+				rng := rand.New(rand.NewPCG(0xd017a, uint64(len(fam.name)+len(kind))))
+				var db0 *relation.Database
+				if kind == "matching" {
+					db0 = relation.MatchingDatabase(rng, fam.q, n)
+				} else {
+					db0 = zipfDatabase(rng, fam.q, n, 1.3)
+				}
+				sc := buildScenario(t, rng, fam.q, db0, batches)
+				want := groundTruth(t, fam.q, sc.final)
+
+				// Loopback, checked against ground truth after every batch.
+				lb := runMaintainer(t, sc, p, Options{Seed: 42}, true)
+
+				// TCP must be byte-identical to loopback: answers and the
+				// full per-round communication record.
+				tcp := runMaintainer(t, sc, p,
+					Options{Seed: 42, Transport: dialDeltaPool(t, startDeltaPool(t, p))}, false)
+				if !answersEqual(tcp.Answers(), lb.Answers()) {
+					t.Fatalf("TCP answers diverge from loopback: %d vs %d tuples",
+						len(tcp.Answers()), len(lb.Answers()))
+				}
+				if !reflect.DeepEqual(tcp.Stats().Rounds, lb.Stats().Rounds) {
+					t.Fatalf("TCP round stats diverge from loopback:\n tcp %+v\nloop %+v",
+						tcp.Stats().Rounds, lb.Stats().Rounds)
+				}
+
+				// Pipelined TCP: deferred scripts, same answers and stats.
+				pipe := runMaintainer(t, sc, p,
+					Options{Seed: 42, Pipeline: true, Transport: dialDeltaPool(t, startDeltaPool(t, p))}, false)
+				if !answersEqual(pipe.Answers(), want) {
+					t.Fatalf("pipelined TCP answers diverge from ground truth: %d vs %d tuples",
+						len(pipe.Answers()), len(want))
+				}
+				if !reflect.DeepEqual(pipe.Stats().Rounds, lb.Stats().Rounds) {
+					t.Fatalf("pipelined round stats diverge from sync loopback")
+				}
+
+				// Granularity invariance: the whole sequence as one batch.
+				one := &maintScenario{
+					q: fam.q, db0: sc.db0,
+					effs:  []map[string]relation.Effect{dbEffect(sc.db0, sc.final)},
+					dbs:   []*relation.Database{sc.final},
+					final: sc.final,
+				}
+				big := runMaintainer(t, one, p, Options{Seed: 42}, true)
+				if !answersEqual(big.Answers(), want) {
+					t.Fatalf("single-batch answers diverge from %d-batch answers", batches)
+				}
+			})
+		}
+	}
+}
+
+// TestMaintainerReplicationBound pins the paper-level cost claim of
+// incremental maintenance: a single appended tuple is routed to
+// exactly its replication set — Fanout(atom) grid points — never
+// rescattered as O(N).
+func TestMaintainerReplicationBound(t *testing.T) {
+	q := query.Triangle()
+	const n, p = 32, 8
+	db := relation.IdentityDatabase(q, n)
+	m, err := NewMaintainer(q, db, p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	fanout := m.Fanout("S1")
+	if fanout <= 0 || fanout >= p {
+		t.Fatalf("triangle atom fanout %d, want in (0,%d)", fanout, p)
+	}
+	next, eff, err := relation.ApplyDelta(db, relation.Delta{
+		Appends: map[string][]relation.Tuple{"S1": {{3, 7}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.ApplyDelta(eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoutedTuples != int64(fanout) {
+		t.Errorf("single-tuple delta routed %d tuple receipts, want fanout %d", rep.RoutedTuples, fanout)
+	}
+	if rep.Bits <= 0 {
+		t.Errorf("maintenance bits %d, want > 0", rep.Bits)
+	}
+	assertSameTuples(t, m.Answers(), groundTruth(t, q, next))
+}
+
+// TestMaintainerFaultInjection drives delta maintenance through a
+// deterministic fault schedule at the delta phases: kills before and
+// after the delta delivery and at the maintenance join trigger
+// replace-and-replay with exact replacement counts, and the
+// non-killing faults (delay-to-barrier, duplicate delivery) must not
+// change anything at all.
+func TestMaintainerFaultInjection(t *testing.T) {
+	q := query.Triangle()
+	const n, p = 30, 4
+	cases := []struct {
+		name   string
+		faults []dist.Fault
+		kills  int
+	}{
+		{"kill-before-delta", []dist.Fault{{Worker: 1, Op: dist.OpDelta, N: 0, Kind: dist.KillBefore}}, 1},
+		{"kill-after-delta", []dist.Fault{{Worker: 2, Op: dist.OpDelta, N: 1, Kind: dist.KillAfter}}, 1},
+		{"kill-at-maintenance-join", []dist.Fault{{Worker: 0, Op: dist.OpJoin, N: 1, Kind: dist.KillBefore}}, 1},
+		{"delay-delta-to-barrier", []dist.Fault{{Worker: 3, Op: dist.OpDelta, N: 0, Kind: dist.DelayToBarrier}}, 0},
+		{"duplicate-delta", []dist.Fault{{Worker: 0, Op: dist.OpDelta, N: 0, Kind: dist.DuplicateDelivery}}, 0},
+		{"double-kill", []dist.Fault{
+			{Worker: 1, Op: dist.OpDelta, N: 0, Kind: dist.KillBefore},
+			{Worker: 2, Op: dist.OpJoin, N: 2, Kind: dist.KillAfter},
+		}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(0xfa117, uint64(len(c.name))))
+			db0 := relation.MatchingDatabase(rng, q, n)
+			sc := buildScenario(t, rng, q, db0, 4)
+			ft := dist.NewFaultTransport(dist.NewLoopback(p), c.faults...)
+			m := runMaintainer(t, sc, p, Options{
+				Seed:      9,
+				Transport: ft,
+				Recovery:  dist.RecoveryOptions{Enabled: true},
+			}, false)
+			want := groundTruth(t, q, sc.final)
+			if !answersEqual(m.Answers(), want) {
+				t.Fatalf("answers after faults diverge from ground truth: %d vs %d tuples",
+					len(m.Answers()), len(want))
+			}
+			if got := ft.Kills(); got != c.kills {
+				t.Errorf("fault schedule fired %d kills, want %d", got, c.kills)
+			}
+			if got := m.Replacements(); got != c.kills {
+				t.Errorf("maintainer replaced %d workers, want exactly %d", got, c.kills)
+			}
+		})
+	}
+}
+
+// TestMaintainerRejects covers the defensive surface: deltas naming
+// unknown relations and self-join queries are refused.
+func TestMaintainerRejects(t *testing.T) {
+	q := query.Triangle()
+	db := relation.IdentityDatabase(q, 10)
+	m, err := NewMaintainer(q, db, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.ApplyDelta(map[string]relation.Effect{
+		"Q": {Added: []relation.Tuple{{1, 2}}},
+	}); err == nil {
+		t.Error("delta for unknown relation accepted")
+	}
+
+	self := query.MustNew("self", query.Atom{Name: "R", Vars: []string{"x", "y"}},
+		query.Atom{Name: "S", Vars: []string{"y", "z"}})
+	self.Atoms[1].Name = "R" // bypass query.New's own self-join check
+	if _, err := NewMaintainer(self, db, 4, Options{}); err == nil {
+		t.Error("self-join maintainer accepted")
+	}
+}

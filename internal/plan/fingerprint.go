@@ -25,6 +25,11 @@ type CacheKey struct {
 	// Dataset names the statistics source (the registry name of the
 	// resident dataset; "" for ad-hoc databases).
 	Dataset string
+	// Version is the dataset's delta version: 0 for an immutable or
+	// ad-hoc database, and the monotone per-dataset counter after
+	// delta ingestion. Distinct versions have distinct statistics, so
+	// they must plan (and cache) separately.
+	Version uint64
 	// Opts are the planner options the plan was or will be built with.
 	Opts Options
 }
@@ -34,6 +39,11 @@ type CacheKey struct {
 func (k CacheKey) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "q=%s|ds=%s|p=%d", k.Query, k.Dataset, k.Opts.P)
+	if k.Version != 0 {
+		// Rendered only when set, so version-0 keys keep their historic
+		// canonical form (and fingerprints) byte-for-byte.
+		fmt.Fprintf(&sb, "|v=%d", k.Version)
+	}
 	if k.Opts.Epsilon != nil {
 		fmt.Fprintf(&sb, "|eps=%s", k.Opts.Epsilon.RatString())
 	}

@@ -119,6 +119,27 @@ func (s *TupleSet) Add(t Tuple) bool {
 	return true
 }
 
+// Remove deletes t from the set and reports whether it was present.
+func (s *TupleSet) Remove(t Tuple) bool {
+	if s.ints != nil {
+		if key, ok := s.pack(t); ok {
+			if _, hit := s.ints[key]; hit {
+				delete(s.ints, key)
+				return true
+			}
+			return false
+		}
+		// Unpackable tuples are never members of a packed set.
+		return false
+	}
+	k := t.Key()
+	if _, hit := s.strs[k]; hit {
+		delete(s.strs, k)
+		return true
+	}
+	return false
+}
+
 // Contains reports whether t is in the set.
 func (s *TupleSet) Contains(t Tuple) bool {
 	if s.ints != nil {

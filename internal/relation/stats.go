@@ -155,6 +155,17 @@ func (db *Database) Stats() *Stats {
 	return db.cachedStats
 }
 
+// InstallStats installs a precomputed catalog as the database's memo,
+// so the next Stats call returns it without a collection scan. The
+// incremental-maintenance path uses it to seed a post-delta snapshot's
+// catalog from the delta instead of re-scanning; the caller guarantees
+// s describes the database's current contents.
+func (db *Database) InstallStats(s *Stats) {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	db.cachedStats = s
+}
+
 // Relation returns the summary of the named relation, or nil.
 func (s *Stats) Relation(name string) *RelationStats {
 	if s == nil {

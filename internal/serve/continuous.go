@@ -1,0 +1,454 @@
+package serve
+
+// This file is the continuous-query surface of the service: a
+// registered continuous query keeps a hypercube.Maintainer alive — the
+// grid distribution of its dataset's relations on a resident loopback
+// cluster plus the materialized answer — and every delta batch applied
+// to the dataset maintains it synchronously, under the dataset's
+// mutation lock. Reads (GET /continuous/{name}) are warm: they return
+// the materialized answer without planning, shuffling, or joining
+// anything. Maintainers run on the in-process loopback even when the
+// service executes ad-hoc queries on a distributed pool: residency is
+// the point, and pool sessions are per-connection, so a long-lived
+// distribution would pin a connection per query for its lifetime.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hypercube"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// contQuery is one registered continuous query.
+type contQuery struct {
+	name    string
+	dataset string
+	q       *query.Query
+	p       int
+	created time.Time
+
+	// mu guards the maintainer (single-caller) and the version/error
+	// state below.
+	mu sync.Mutex
+	m  *hypercube.Maintainer
+	// version is the dataset version the materialized answer reflects.
+	version uint64
+	// err records a maintenance failure; the answer then lags the
+	// dataset until the query is re-registered.
+	err error
+}
+
+// cqRegistry is the server's continuous-query catalog.
+type cqRegistry struct {
+	mu        sync.RWMutex
+	byName    map[string]*contQuery
+	byDataset map[string][]*contQuery
+}
+
+// newCQRegistry returns an empty catalog.
+func newCQRegistry() *cqRegistry {
+	return &cqRegistry{
+		byName:    make(map[string]*contQuery),
+		byDataset: make(map[string][]*contQuery),
+	}
+}
+
+// add inserts cq, failing on a duplicate name.
+func (r *cqRegistry) add(cq *contQuery) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byName[cq.name]; exists {
+		return fmt.Errorf("serve: continuous query %s already registered", cq.name)
+	}
+	r.byName[cq.name] = cq
+	r.byDataset[cq.dataset] = append(r.byDataset[cq.dataset], cq)
+	return nil
+}
+
+// remove deletes the named query and returns it, or nil.
+func (r *cqRegistry) remove(name string) *contQuery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cq, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	delete(r.byName, name)
+	list := r.byDataset[cq.dataset]
+	for i, c := range list {
+		if c == cq {
+			r.byDataset[cq.dataset] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return cq
+}
+
+// get returns the named query.
+func (r *cqRegistry) get(name string) (*contQuery, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cq, ok := r.byName[name]
+	return cq, ok
+}
+
+// onDataset returns the queries registered on the dataset, in
+// name order (deterministic maintenance and listing order).
+func (r *cqRegistry) onDataset(dataset string) []*contQuery {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]*contQuery(nil), r.byDataset[dataset]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// names returns every registered name, sorted.
+func (r *cqRegistry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count returns the number of registered queries.
+func (r *cqRegistry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// maintainContinuous folds one applied delta into every continuous
+// query on the dataset. The caller holds ds.mu, so maintenance
+// observes versions in application order and a second delta cannot
+// interleave. Effects are filtered to each query's atoms; a query
+// whose relations the batch did not touch just advances its version.
+func (s *Server) maintainContinuous(ds *Dataset, version uint64, effects map[string]relation.Effect) []MaintainedQuery {
+	var out []MaintainedQuery
+	for _, cq := range s.continuous.onDataset(ds.Name) {
+		out = append(out, cq.maintain(s, version, effects))
+	}
+	return out
+}
+
+// maintain folds one delta's effects into this query's maintainer.
+func (cq *contQuery) maintain(s *Server, version uint64, effects map[string]relation.Effect) MaintainedQuery {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	mq := MaintainedQuery{Name: cq.name}
+	if cq.err != nil {
+		// Already broken: don't advance the version, keep reporting.
+		mq.Error = cq.err.Error()
+		return mq
+	}
+	scoped := make(map[string]relation.Effect, len(effects))
+	for name, eff := range effects {
+		if cq.m.Fanout(name) > 0 && (len(eff.Added) > 0 || len(eff.Removed) > 0) {
+			scoped[name] = eff
+		}
+	}
+	if len(scoped) > 0 {
+		rep, err := cq.m.ApplyDelta(scoped)
+		if err != nil {
+			cq.err = err
+			mq.Error = err.Error()
+			s.metrics.QueryErrors.Add(1)
+			return mq
+		}
+		mq.AnswersAdded = rep.AnswersAdded
+		mq.AnswersRemoved = rep.AnswersRemoved
+		mq.Bits = rep.Bits
+		mq.RoutedTuples = rep.RoutedTuples
+		s.metrics.MaintenanceBits.Add(rep.Bits)
+	}
+	cq.version = version
+	return mq
+}
+
+// staleness returns how many dataset versions the query's answer
+// lags, given the dataset's current version.
+func (cq *contQuery) staleness(dsVersion uint64) uint64 {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if dsVersion <= cq.version {
+		return 0
+	}
+	return dsVersion - cq.version
+}
+
+// ContinuousRequest is the POST /continuous body.
+type ContinuousRequest struct {
+	// Name is the registry key for the new continuous query. Required.
+	Name string `json:"name"`
+	// Dataset names the registered dataset to maintain over. Required.
+	Dataset string `json:"dataset"`
+	// Query is conjunctive query text; exactly one of Query and Family
+	// must be set.
+	Query string `json:"query,omitempty"`
+	// Family is a query family name (C3, L4, …).
+	Family string `json:"family,omitempty"`
+	// P is the number of simulated workers holding the distribution; 0
+	// selects the service default.
+	P int `json:"p,omitempty"`
+	// Seed drives the maintainer's hash functions; 0 selects 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ContinuousInfo describes one continuous query (registration reply
+// and GET /continuous listing entry).
+type ContinuousInfo struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Dataset is the maintained dataset.
+	Dataset string `json:"dataset"`
+	// Query is the canonical query text.
+	Query string `json:"query"`
+	// P is the worker count holding the distribution.
+	P int `json:"p"`
+	// Version is the dataset version the materialized answer reflects.
+	Version uint64 `json:"version"`
+	// DatasetVersion is the dataset's current version; it exceeds
+	// Version only while the query is broken (see Error).
+	DatasetVersion uint64 `json:"datasetVersion"`
+	// AnswerCount is the materialized answer cardinality.
+	AnswerCount int `json:"answerCount"`
+	// TotalBits is the maintainer's lifetime communication: the cold
+	// distribution plus every maintenance batch.
+	TotalBits int64 `json:"totalBits"`
+	// Error reports a maintenance failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// ContinuousAnswers is the GET /continuous/{name} reply: the warm
+// materialized answer, no execution involved.
+type ContinuousAnswers struct {
+	ContinuousInfo
+	// Vars is the output schema (query variable order of Answers).
+	Vars []string `json:"vars"`
+	// Answers holds at most maxAnswers tuples, sorted.
+	Answers [][]int `json:"answers,omitempty"`
+	// Truncated reports Answers holds fewer than AnswerCount tuples.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// info renders the query's summary. Callers must not hold cq.mu.
+func (cq *contQuery) info(dsVersion uint64) ContinuousInfo {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	info := ContinuousInfo{
+		Name:           cq.name,
+		Dataset:        cq.dataset,
+		Query:          cq.q.String(),
+		P:              cq.p,
+		Version:        cq.version,
+		DatasetVersion: dsVersion,
+		AnswerCount:    len(cq.m.Answers()),
+		TotalBits:      cq.m.Stats().TotalBits(),
+	}
+	if cq.err != nil {
+		info.Error = cq.err.Error()
+	}
+	return info
+}
+
+// handleContinuous is GET (list) and POST (register) /continuous.
+func (s *Server) handleContinuous(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := []ContinuousInfo{}
+		for _, name := range s.continuous.names() {
+			cq, ok := s.continuous.get(name)
+			if !ok {
+				continue
+			}
+			out = append(out, cq.info(s.datasetVersion(cq.dataset)))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		s.handleContinuousRegister(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// handleContinuousRegister is POST /continuous: cold-distribute the
+// query's relations on a resident loopback cluster and register the
+// maintainer.
+func (s *Server) handleContinuousRegister(w http.ResponseWriter, r *http.Request) {
+	var req ContinuousRequest
+	if err := decodeJSONBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "name is required")
+		return
+	}
+	q, err := resolveRequestQuery(req.Query, req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := req.P
+	if p == 0 {
+		p = s.cfg.DefaultP
+	}
+	if p < 1 || p > s.cfg.MaxP {
+		writeError(w, http.StatusBadRequest, "p = %d outside [1, %d]", p, s.cfg.MaxP)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required")
+		return
+	}
+	ds, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q (registered: %v)", req.Dataset, s.registry.Names())
+		return
+	}
+	if s.continuous.count() >= s.cfg.MaxContinuous {
+		writeError(w, http.StatusServiceUnavailable,
+			"continuous-query limit %d reached; delete one first", s.cfg.MaxContinuous)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Registration happens under the dataset lock: the cold
+	// distribution sees one version, and no delta can slip between
+	// that snapshot and the subscription.
+	ds.mu.Lock()
+	sn := ds.Snapshot()
+	view, err := sn.Bind(q)
+	if err != nil {
+		ds.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := hypercube.NewMaintainer(q, view, p, hypercube.Options{Seed: seed})
+	if err != nil {
+		ds.mu.Unlock()
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	cq := &contQuery{
+		name:    req.Name,
+		dataset: ds.Name,
+		q:       q,
+		p:       p,
+		created: time.Now(),
+		m:       m,
+		version: sn.Version,
+	}
+	if err := s.continuous.add(cq); err != nil {
+		ds.mu.Unlock()
+		m.Close()
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	ds.mu.Unlock()
+	s.metrics.ContinuousRegistered.Add(1)
+	writeJSON(w, http.StatusCreated, cq.info(sn.Version))
+}
+
+// handleContinuousOne is GET (warm answers) and DELETE /continuous/{name}.
+func (s *Server) handleContinuousOne(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodGet:
+		cq, ok := s.continuous.get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown continuous query %q (registered: %v)", name, s.continuous.names())
+			return
+		}
+		maxAnswers := s.cfg.MaxAnswers
+		cq.mu.Lock()
+		all := cq.m.Answers()
+		resp := ContinuousAnswers{Vars: cq.q.Vars()}
+		resp.ContinuousInfo = ContinuousInfo{
+			Name:           cq.name,
+			Dataset:        cq.dataset,
+			Query:          cq.q.String(),
+			P:              cq.p,
+			Version:        cq.version,
+			DatasetVersion: s.datasetVersion(cq.dataset),
+			AnswerCount:    len(all),
+			TotalBits:      cq.m.Stats().TotalBits(),
+		}
+		if cq.err != nil {
+			resp.Error = cq.err.Error()
+		}
+		answers := make([][]int, 0, min(maxAnswers, len(all)))
+		for i, t := range all {
+			if i >= maxAnswers {
+				break
+			}
+			answers = append(answers, []int(t))
+		}
+		cq.mu.Unlock()
+		resp.Answers = answers
+		resp.Truncated = len(answers) < resp.AnswerCount
+		s.metrics.ContinuousReads.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodDelete:
+		cq := s.continuous.remove(name)
+		if cq == nil {
+			writeError(w, http.StatusNotFound, "unknown continuous query %q", name)
+			return
+		}
+		cq.mu.Lock()
+		cq.m.Close()
+		cq.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE required")
+	}
+}
+
+// datasetVersion returns the named dataset's current version (0 if it
+// vanished, which Registry does not allow).
+func (s *Server) datasetVersion(name string) uint64 {
+	ds, ok := s.registry.Get(name)
+	if !ok {
+		return 0
+	}
+	return ds.Version()
+}
+
+// writeContinuousProm renders the render-time continuous-query gauges:
+// the registered count and the summed staleness (dataset versions the
+// materialized answers lag — 0 unless a maintainer broke, because
+// maintenance is synchronous under the dataset lock).
+func (s *Server) writeContinuousProm(w io.Writer) {
+	var stale uint64
+	names := s.continuous.names()
+	for _, name := range names {
+		cq, ok := s.continuous.get(name)
+		if !ok {
+			continue
+		}
+		stale += cq.staleness(s.datasetVersion(cq.dataset))
+	}
+	fmt.Fprintf(w, "# HELP mpcserve_continuous_queries Registered continuous queries.\n# TYPE mpcserve_continuous_queries gauge\nmpcserve_continuous_queries %d\n", len(names))
+	fmt.Fprintf(w, "# HELP mpcserve_continuous_staleness Summed dataset versions continuous answers lag behind.\n# TYPE mpcserve_continuous_staleness gauge\nmpcserve_continuous_staleness %d\n", stale)
+}
+
+// decodeJSONBody decodes a bounded JSON request body into v.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
+}

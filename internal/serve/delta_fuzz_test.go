@@ -1,0 +1,71 @@
+package serve_test
+
+// Fuzz net for the delta endpoint's untrusted-input surface:
+// ParseDeltaRequest must never panic, and every accepted delta must
+// satisfy the invariants the application layer relies on — non-empty,
+// named relations, non-empty tuples of positive values, one arity per
+// relation per side.
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+)
+
+func FuzzParseDeltaRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"appends":{"R":[[1,2],[3,4]]}}`,
+		`{"deletes":{"R":[[1,2]]},"appends":{"S":[[7,7,7]]}}`,
+		`{"appends":{"R":[]},"deletes":{"S":[[1]]}}`,
+		`{}`,
+		`{"appends":{"":[[1]]}}`,
+		`{"appends":{"R":[[0]]}}`,
+		`{"appends":{"R":[[-5,2]]}}`,
+		`{"appends":{"R":[[1,2],[1,2,3]]}}`,
+		`{"appends":{"R":[[]]}}`,
+		`{"append":{"R":[[1,2]]}}`,
+		`{"appends":{"R":[[1,2]]}}trailing`,
+		`{"appends":{"R":[[92233720368547758079]]}}`,
+		`[1,2,3]`,
+		`{"appends":`,
+		``,
+		"\xff\xfe",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		d, err := serve.ParseDeltaRequest(body)
+		if err != nil {
+			return
+		}
+		if d.Empty() {
+			t.Fatal("parser accepted an empty delta")
+		}
+		check := func(side string, m map[string][]relation.Tuple) {
+			for name, ts := range m {
+				if name == "" {
+					t.Fatalf("%s side kept an empty relation name", side)
+				}
+				arity := -1
+				for _, tup := range ts {
+					if len(tup) == 0 {
+						t.Fatalf("%s delta for %s kept an empty tuple", side, name)
+					}
+					if arity == -1 {
+						arity = len(tup)
+					} else if len(tup) != arity {
+						t.Fatalf("%s delta for %s mixes arities %d and %d", side, name, arity, len(tup))
+					}
+					for _, v := range tup {
+						if v < 1 {
+							t.Fatalf("%s delta for %s kept value %d", side, name, v)
+						}
+					}
+				}
+			}
+		}
+		check("append", d.Appends)
+		check("delete", d.Deletes)
+	})
+}

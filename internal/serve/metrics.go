@@ -49,6 +49,21 @@ type Metrics struct {
 	// PoolRepairs counts pool members swapped for spares by registry
 	// reconciliation (background heartbeats plus dial-failure repair).
 	PoolRepairs atomic.Int64
+	// DeltasTotal counts successfully applied delta batches
+	// (POST /datasets/{name}/delta).
+	DeltasTotal atomic.Int64
+	// DeltaTuples counts the tuple occurrences those batches carried
+	// (appends plus deletes).
+	DeltaTuples atomic.Int64
+	// MaintenanceBits counts the bits shipped to maintain continuous
+	// queries under delta batches (delta routing, per the replication
+	// factor of each tuple).
+	MaintenanceBits atomic.Int64
+	// ContinuousRegistered counts continuous-query registrations.
+	ContinuousRegistered atomic.Int64
+	// ContinuousReads counts warm answer reads
+	// (GET /continuous/{name}).
+	ContinuousReads atomic.Int64
 
 	mu           sync.Mutex
 	perRoundBits []int64
@@ -111,6 +126,11 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("mpcserve_distributed_queries_total", "Executions dispatched to the remote TCP worker pool.", m.DistributedQueries.Load())
 	counter("mpcserve_worker_replacements_total", "Workers replaced mid-query by the recovery policy.", m.WorkerReplacements.Load())
 	counter("mpcserve_pool_repairs_total", "Pool members swapped for spares by reconciliation.", m.PoolRepairs.Load())
+	counter("mpcserve_deltas_total", "Delta batches applied to datasets.", m.DeltasTotal.Load())
+	counter("mpcserve_delta_tuples_total", "Tuple occurrences ingested by delta batches.", m.DeltaTuples.Load())
+	counter("mpcserve_maintenance_bits_total", "Bits shipped maintaining continuous queries under deltas.", m.MaintenanceBits.Load())
+	counter("mpcserve_continuous_registered_total", "Continuous-query registrations.", m.ContinuousRegistered.Load())
+	counter("mpcserve_continuous_reads_total", "Warm continuous-query answer reads.", m.ContinuousReads.Load())
 	fmt.Fprintf(w, "# HELP mpcserve_plan_cache_hit_rate Plan cache hits over lookups.\n# TYPE mpcserve_plan_cache_hit_rate gauge\nmpcserve_plan_cache_hit_rate %.4f\n",
 		m.PlanCacheHitRate())
 	rounds := m.PerRoundBits()

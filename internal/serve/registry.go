@@ -13,45 +13,82 @@ import (
 	"repro/internal/relation"
 )
 
-// Dataset is one resident named database: loaded (or generated) once,
-// its columnar relations and memoized statistics then shared by every
-// query that names it. Datasets are immutable after registration —
-// the property that makes the plan cache sound (a cached plan embeds
-// the statistics it was costed against) and concurrent executions
-// race-free (Plan.Execute treats the database as read-only).
+// Dataset is one resident named database, versioned under delta
+// ingestion. Each version is an immutable Snapshot: queries bind,
+// plan, and execute against one snapshot — the property that keeps the
+// plan cache sound (a cached plan embeds the statistics of exactly one
+// version, and plan.CacheKey carries the version) and concurrent
+// executions race-free (Plan.Execute treats the database as
+// read-only). A delta batch (POST /datasets/{name}/delta) builds the
+// next snapshot without mutating the previous one, so in-flight
+// queries finish against the version they started on.
 type Dataset struct {
 	// Name is the registry key.
 	Name string
-	// DB is the resident database. Treat as read-only.
-	DB *relation.Database
+
+	// mu serializes mutation: delta application and the continuous-
+	// query maintenance that must observe versions in order. Readers
+	// never take it — they load the current snapshot atomically.
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+	// inc incrementally maintains the statistics catalog across the
+	// delta stream (guarded by mu). It is seeded — the dataset's last
+	// ever full statistics scan — on the first delta.
+	inc *relation.IncrementalStats
 
 	statsSeen atomic.Bool
 }
 
-// Stats returns the dataset's statistics catalog and whether it was
-// already memoized (false exactly once, for the collecting call — the
-// serving layer's stats-cache hit/miss signal).
-func (d *Dataset) Stats() (stats *relation.Stats, cached bool) {
-	cached = d.statsSeen.Swap(true)
-	return d.DB.Stats(), cached
+// Snapshot is one immutable version of a dataset. The zero version is
+// the registered database; every applied delta batch produces the
+// next.
+type Snapshot struct {
+	// DB is this version's database. Treat as read-only.
+	DB *relation.Database
+	// Version counts the delta batches applied before this snapshot
+	// (0 for the registered database).
+	Version uint64
+
+	ds *Dataset
 }
 
-// Bind resolves a query against the dataset: every atom must name a
+// Snapshot returns the dataset's current version.
+func (d *Dataset) Snapshot() *Snapshot { return d.snap.Load() }
+
+// DB returns the current version's database. Treat as read-only.
+func (d *Dataset) DB() *relation.Database { return d.snap.Load().DB }
+
+// Version returns the current version number — the count of applied
+// delta batches.
+func (d *Dataset) Version() uint64 { return d.snap.Load().Version }
+
+// Stats returns the snapshot's statistics catalog and whether the
+// dataset's statistics were already memoized (false exactly once, for
+// the collecting call — the serving layer's stats-cache hit/miss
+// signal). Post-delta snapshots are born with an incrementally
+// maintained catalog installed, so only version 0 ever pays a
+// collection scan here.
+func (sn *Snapshot) Stats() (stats *relation.Stats, cached bool) {
+	cached = sn.ds.statsSeen.Swap(true)
+	return sn.DB.Stats(), cached
+}
+
+// Bind resolves a query against the snapshot: every atom must name a
 // resident relation of matching arity. It returns a cheap per-request
 // database view whose relations carry the atom's variables as their
-// schema — the tuple storage is shared with the resident dataset and
-// must not be mutated.
-func (d *Dataset) Bind(q *query.Query) (*relation.Database, error) {
-	view := relation.NewDatabase(d.DB.N)
+// schema — the tuple storage is shared with the snapshot and must not
+// be mutated.
+func (sn *Snapshot) Bind(q *query.Query) (*relation.Database, error) {
+	view := relation.NewDatabase(sn.DB.N)
 	for _, a := range q.Atoms {
-		rel, ok := d.DB.Relation(a.Name)
+		rel, ok := sn.DB.Relation(a.Name)
 		if !ok {
 			return nil, fmt.Errorf("dataset %s has no relation %s (has: %s)",
-				d.Name, a.Name, strings.Join(d.DB.Names(), ", "))
+				sn.ds.Name, a.Name, strings.Join(sn.DB.Names(), ", "))
 		}
 		if rel.Arity() != a.Arity() {
 			return nil, fmt.Errorf("dataset %s: relation %s has arity %d, atom %s needs %d",
-				d.Name, a.Name, rel.Arity(), a, a.Arity())
+				sn.ds.Name, a.Name, rel.Arity(), a, a.Arity())
 		}
 		view.AddRelation(&relation.Relation{
 			Name:   a.Name,
@@ -60,6 +97,40 @@ func (d *Dataset) Bind(q *query.Query) (*relation.Database, error) {
 		})
 	}
 	return view, nil
+}
+
+// ApplyDelta applies one delta batch to the dataset: it validates the
+// delta against the current snapshot, builds the next snapshot with
+// the incrementally maintained statistics catalog pre-installed (no
+// re-scan — the catalog is updated from the delta's touched
+// occurrences alone), and returns the new version plus the set-level
+// effect per changed relation.
+func (d *Dataset) ApplyDelta(delta relation.Delta) (uint64, map[string]relation.Effect, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applyDeltaLocked(delta)
+}
+
+// applyDeltaLocked is ApplyDelta under d.mu — the delta handler holds
+// the lock across application and continuous-query maintenance so no
+// second delta can interleave between them.
+func (d *Dataset) applyDeltaLocked(delta relation.Delta) (uint64, map[string]relation.Effect, error) {
+	cur := d.snap.Load()
+	ndb, effects, err := relation.ApplyDelta(cur.DB, delta)
+	if err != nil {
+		return 0, nil, err
+	}
+	if d.inc == nil {
+		// First delta: seed the incremental catalog from the current
+		// snapshot — the last full scan this dataset ever pays.
+		d.inc = relation.NewIncrementalStats(cur.DB)
+	}
+	d.inc.Apply(delta)
+	ndb.InstallStats(d.inc.Snapshot())
+	d.statsSeen.Store(true)
+	next := &Snapshot{DB: ndb, Version: cur.Version + 1, ds: d}
+	d.snap.Store(next)
+	return next.Version, effects, nil
 }
 
 // Registry is the named-dataset catalog of the service. It is safe
@@ -75,8 +146,9 @@ func NewRegistry() *Registry {
 }
 
 // ErrDuplicateDataset reports an Add under an already-registered
-// name. Registered datasets are immutable, so the name cannot be
-// reused (a silent replace would invalidate cached plans).
+// name. A dataset evolves only through its own delta stream, so the
+// name cannot be rebound (a silent replace would reset the version
+// sequence cached plans and continuous queries are keyed by).
 var ErrDuplicateDataset = errors.New("serve: dataset already registered")
 
 // Add registers db under name. Re-registering an existing name fails
@@ -93,7 +165,8 @@ func (r *Registry) Add(name string, db *relation.Database) (*Dataset, error) {
 	if _, exists := r.sets[name]; exists {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateDataset, name)
 	}
-	d := &Dataset{Name: name, DB: db}
+	d := &Dataset{Name: name}
+	d.snap.Store(&Snapshot{DB: db, ds: d})
 	r.sets[name] = d
 	return d, nil
 }

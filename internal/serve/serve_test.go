@@ -71,7 +71,7 @@ func triangleTruth(t *testing.T, srv *serve.Server) []relation.Tuple {
 	if !ok {
 		t.Fatal("dataset tri not registered")
 	}
-	truth, err := core.GroundTruth(q, ds.DB)
+	truth, err := core.GroundTruth(q, ds.DB())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,11 +21,23 @@
 //   - Metrics counts queries, cache hit rates, and per-round shuffle
 //     bits, rendered in Prometheus text format.
 //
+// Datasets are versioned, not frozen: POST /datasets/{name}/delta
+// ingests a batch of appends and deletes copy-on-write, maintaining
+// the statistics catalog incrementally from the delta's touched
+// occurrences, and POST /continuous registers a continuous query whose
+// hypercube distribution and materialized answer are maintained under
+// every delta — GET /continuous/{name} then reads the warm answer
+// without executing anything.
+//
 // The HTTP surface is JSON: POST /query plans (or cache-hits) and
 // executes a query against a named dataset and returns answers plus
 // the EXPLAIN report and round statistics; GET /datasets lists the
 // registry; POST /datasets registers a dataset from inline CSV or a
-// generator spec; GET /healthz serves liveness plus the metrics.
+// generator spec; POST /datasets/{name}/delta applies a delta batch
+// and maintains continuous queries; GET/POST /continuous lists and
+// registers continuous queries, GET/DELETE /continuous/{name} reads
+// warm answers and deregisters; GET /healthz serves liveness plus the
+// metrics.
 package serve
 
 import (
@@ -82,6 +94,9 @@ type Config struct {
 	// MaxReplacements bounds worker replacements per query execution;
 	// ≤ 0 selects the pool size.
 	MaxReplacements int
+	// MaxContinuous bounds the registered continuous queries (each one
+	// keeps a maintained grid distribution resident). ≤ 0 selects 16.
+	MaxContinuous int
 }
 
 // withDefaults fills zero fields.
@@ -101,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAnswers <= 0 {
 		c.MaxAnswers = 100
 	}
+	if c.MaxContinuous <= 0 {
+		c.MaxContinuous = 16
+	}
 	if len(c.WorkerAddrs) > 0 {
 		// With a worker pool, the cluster size is the pool size; MaxP
 		// must admit it or every default-p request would be rejected.
@@ -115,25 +133,27 @@ func (c Config) withDefaults() Config {
 // Server is the shared state of the query service. Create one with
 // New, register datasets, and mount Handler on an http.Server.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	cache    *PlanCache
-	gate     *Gate
-	metrics  *Metrics
-	pool     *dist.Registry
-	started  time.Time
+	cfg        Config
+	registry   *Registry
+	cache      *PlanCache
+	gate       *Gate
+	metrics    *Metrics
+	pool       *dist.Registry
+	continuous *cqRegistry
+	started    time.Time
 }
 
 // New returns a Server with an empty registry and cold caches.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistry(),
-		cache:    NewPlanCache(cfg.CacheSize),
-		gate:     NewGate(cfg.MaxConcurrent, cfg.LoadBudgetTuples),
-		metrics:  &Metrics{},
-		started:  time.Now(),
+		cfg:        cfg,
+		registry:   NewRegistry(),
+		cache:      NewPlanCache(cfg.CacheSize),
+		gate:       NewGate(cfg.MaxConcurrent, cfg.LoadBudgetTuples),
+		metrics:    &Metrics{},
+		continuous: newCQRegistry(),
+		started:    time.Now(),
 	}
 	if len(cfg.WorkerAddrs) > 0 {
 		s.pool = dist.NewRegistry(cfg.WorkerAddrs, cfg.SpareAddrs)
@@ -160,6 +180,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/datasets/{name}/delta", s.handleDatasetDelta)
+	mux.HandleFunc("/continuous", s.handleContinuous)
+	mux.HandleFunc("/continuous/{name}", s.handleContinuousOne)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -305,22 +328,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown dataset %q (registered: %v)", req.Dataset, s.registry.Names())
 		return
 	}
-	view, err := ds.Bind(q)
+	// One snapshot serves the whole request: the bind, the cache key's
+	// version, and the statistics all describe the same dataset state,
+	// even while deltas land concurrently.
+	sn := ds.Snapshot()
+	view, err := sn.Bind(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	// Plan: cache-first under the (query, dataset, p, ε) fingerprint.
+	// Plan: cache-first under the (query, dataset, version, p, ε)
+	// fingerprint — a delta bumps the version, so stale-statistics
+	// plans age out of the cache by key instead of by invalidation.
 	opts := plan.Options{P: p, Epsilon: eps, CapFactor: s.cfg.CapFactor}
-	key := plan.CacheKey{Query: q, Dataset: ds.Name, Opts: opts}.Fingerprint()
+	key := plan.CacheKey{Query: q, Dataset: ds.Name, Version: sn.Version, Opts: opts}.Fingerprint()
 	pl, planCached := s.cache.Get(key)
 	statsCached := ds.statsSeen.Load()
 	if planCached {
 		s.metrics.PlanCacheHits.Add(1)
 	} else {
 		s.metrics.PlanCacheMisses.Add(1)
-		stats, hit := ds.Stats()
+		stats, hit := sn.Stats()
 		if hit {
 			s.metrics.StatsCacheHits.Add(1)
 		} else {
@@ -463,6 +492,8 @@ type DatasetInfo struct {
 	Name string `json:"name"`
 	// DomainN is the domain size [n].
 	DomainN int `json:"domainN"`
+	// Version is the dataset's delta version (applied batch count).
+	Version uint64 `json:"version"`
 	// Relations lists the resident relations.
 	Relations []RelationInfo `json:"relations"`
 	// StatsCollected reports whether statistics are memoized.
@@ -531,15 +562,17 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// describe renders a dataset summary.
+// describe renders a dataset summary of its current snapshot.
 func (s *Server) describe(ds *Dataset) DatasetInfo {
+	sn := ds.Snapshot()
 	info := DatasetInfo{
 		Name:           ds.Name,
-		DomainN:        ds.DB.N,
+		DomainN:        sn.DB.N,
+		Version:        sn.Version,
 		StatsCollected: ds.statsSeen.Load(),
 	}
-	for _, name := range ds.DB.Names() {
-		rel, _ := ds.DB.Relation(name)
+	for _, name := range sn.DB.Names() {
+		rel, _ := sn.DB.Relation(name)
 		info.Relations = append(info.Relations, RelationInfo{
 			Name:   name,
 			Arity:  rel.Arity(),
@@ -560,6 +593,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# mpcserve up %.0fs, datasets %d, cached plans %d/%d\n",
 		time.Since(s.started).Seconds(), len(s.registry.Names()), s.cache.Len(), s.cache.Capacity())
 	s.metrics.WriteProm(w)
+	s.writeContinuousProm(w)
 }
 
 // resolveRequestQuery parses the query/family pair of a request.

@@ -139,6 +139,11 @@ func appendFrame(dst []byte, f *Frame) ([]byte, []byte, error) {
 		if err != nil {
 			return dst, nil, err
 		}
+	case TypeDelta:
+		dst, seg, err = appendDelta(dst, &f.Delta)
+		if err != nil {
+			return dst, nil, err
+		}
 	case TypeHello:
 		dst = appendU16(dst, f.Hello.Version)
 		dst = appendU32(dst, f.Hello.Worker)
@@ -222,24 +227,50 @@ func appendManifest(dst []byte, m *Manifest) ([]byte, error) {
 // smaller delta payload is inlined; flat-path buffers keep the
 // canonical big-endian flat encoding.
 func appendData(dst []byte, d *Data) ([]byte, []byte, error) {
-	if !d.Buf.Sealed() {
-		// Both fast encodings assume sorted words (raw is validated as
-		// sorted on receive, delta cannot represent disorder), and the
-		// dist layer only ever ships sealed runs.
-		return dst, nil, fmt.Errorf("wire: fast-encode of unsealed buffer")
-	}
 	dst = appendU32(dst, d.Round)
 	dst = appendU32(dst, d.Dest)
 	var err error
 	if dst, err = appendString(dst, d.Rel); err != nil {
 		return dst, nil, err
 	}
-	arity := d.Buf.Arity()
+	return appendBufferBody(dst, d.Buf)
+}
+
+// appendDelta appends a Delta payload; the buffer body shares the
+// Data encodings and encoding choice.
+func appendDelta(dst []byte, d *Delta) ([]byte, []byte, error) {
+	dst = appendU32(dst, d.Round)
+	dst = appendU32(dst, d.Dest)
+	var err error
+	if dst, err = appendString(dst, d.Store); err != nil {
+		return dst, nil, err
+	}
+	if dst, err = appendString(dst, d.View); err != nil {
+		return dst, nil, err
+	}
+	if d.Del {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return appendBufferBody(dst, d.Buf)
+}
+
+// appendBufferBody appends one sealed buffer body, choosing the
+// encoding as documented on appendData.
+func appendBufferBody(dst []byte, buf *exchange.Buffer) ([]byte, []byte, error) {
+	if !buf.Sealed() {
+		// Both fast encodings assume sorted words (raw is validated as
+		// sorted on receive, delta cannot represent disorder), and the
+		// dist layer only ever ships sealed runs.
+		return dst, nil, fmt.Errorf("wire: fast-encode of unsealed buffer")
+	}
+	arity := buf.Arity()
 	if arity < 1 || arity > maxName {
 		return dst, nil, fmt.Errorf("wire: buffer arity %d out of range", arity)
 	}
 	dst = appendU16(dst, uint16(arity))
-	if words, ok := d.Buf.Words(); ok {
+	if words, ok := buf.Words(); ok {
 		if len(words) >= deltaMinWords {
 			if size := exchange.DeltaWordsSize(words); float64(size) <= deltaMaxRatio*float64(len(words)*8) {
 				dst = append(dst, encDelta)
@@ -258,7 +289,7 @@ func appendData(dst []byte, d *Data) ([]byte, []byte, error) {
 		}
 		return dst, nil, nil
 	}
-	flat := d.Buf.Flat()
+	flat := buf.Flat()
 	dst = append(dst, encFlat)
 	dst = appendU32(dst, uint32(len(flat)/arity))
 	for _, v := range flat {
@@ -313,14 +344,22 @@ func (rd *Reader) Next() (*Frame, error) {
 	if _, err := io.ReadFull(rd.r, body); err != nil {
 		return nil, unexpected(err)
 	}
-	if typ != TypeData {
+	switch typ {
+	case TypeData:
+		f := &Frame{Type: typ}
+		if err := decodeDataTrusted(body, &f.Data); err != nil {
+			return nil, fmt.Errorf("wire: %s frame: %w", typ, err)
+		}
+		return f, nil
+	case TypeDelta:
+		f := &Frame{Type: typ}
+		if err := decodeDeltaTrusted(body, &f.Delta); err != nil {
+			return nil, fmt.Errorf("wire: %s frame: %w", typ, err)
+		}
+		return f, nil
+	default:
 		return decodePayload(typ, body)
 	}
-	f := &Frame{Type: typ}
-	if err := decodeDataTrusted(body, &f.Data); err != nil {
-		return nil, fmt.Errorf("wire: %s frame: %w", typ, err)
-	}
-	return f, nil
 }
 
 // decodeDataTrusted parses a Data payload on the trusted path: raw
@@ -333,19 +372,52 @@ func decodeDataTrusted(body []byte, d *Data) error {
 	d.Round = p.u32()
 	d.Dest = p.u32()
 	d.Rel = p.str()
+	buf, err := decodeBufferBodyTrusted(p)
+	if err != nil {
+		return err
+	}
+	d.Buf = buf
+	return nil
+}
+
+// decodeDeltaTrusted parses a Delta payload on the trusted path; the
+// buffer body shares decodeDataTrusted's fast decodings.
+func decodeDeltaTrusted(body []byte, d *Delta) error {
+	p := &payloadReader{b: body}
+	d.Round = p.u32()
+	d.Dest = p.u32()
+	d.Store = p.str()
+	d.View = p.str()
+	op := p.u8()
+	if p.err == nil && op > 1 {
+		return fmt.Errorf("delta op %d", op)
+	}
+	d.Del = op == 1
+	buf, err := decodeBufferBodyTrusted(p)
+	if err != nil {
+		return err
+	}
+	d.Buf = buf
+	return nil
+}
+
+// decodeBufferBodyTrusted parses one buffer body on the trusted path
+// and requires full payload consumption.
+func decodeBufferBodyTrusted(p *payloadReader) (*exchange.Buffer, error) {
 	arity := int(p.u16())
 	enc := p.u8()
 	count := int(p.u32())
 	if p.err != nil {
-		return p.err
+		return nil, p.err
 	}
 	if arity < 1 {
-		return fmt.Errorf("arity %d", arity)
+		return nil, fmt.Errorf("arity %d", arity)
 	}
+	var out *exchange.Buffer
 	switch enc {
 	case encRaw:
 		if !p.need(count * 8) {
-			return p.err
+			return nil, p.err
 		}
 		raw := p.b[p.off : p.off+count*8]
 		p.off += count * 8
@@ -361,23 +433,23 @@ func decodeDataTrusted(body []byte, d *Data) error {
 		}
 		buf, err := exchange.NewBufferFromSortedWords(arity, words)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		d.Buf = buf
+		out = buf
 	case encDelta:
 		words, err := exchange.DecodeDeltaWords(p.b[p.off:], count)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		p.off = len(p.b)
 		buf, err := exchange.NewBufferFromSortedWords(arity, words)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		d.Buf = buf
+		out = buf
 	case encPacked:
 		if !p.need(count * 8) {
-			return p.err
+			return nil, p.err
 		}
 		words := make([]uint64, count)
 		for i := range words {
@@ -385,13 +457,13 @@ func decodeDataTrusted(body []byte, d *Data) error {
 		}
 		buf, err := exchange.NewBufferFromSortedWords(arity, words)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		d.Buf = buf
+		out = buf
 	case encFlat:
 		values := count * arity
 		if !p.need(values * 8) {
-			return p.err
+			return nil, p.err
 		}
 		flat := make([]int, values)
 		for i := range flat {
@@ -399,17 +471,17 @@ func decodeDataTrusted(body []byte, d *Data) error {
 		}
 		buf, err := exchange.NewBufferFromFlat(arity, flat)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		d.Buf = buf
+		out = buf
 	default:
-		return fmt.Errorf("unknown buffer encoding %d", enc)
+		return nil, fmt.Errorf("unknown buffer encoding %d", enc)
 	}
 	if p.err != nil {
-		return p.err
+		return nil, p.err
 	}
 	if len(p.b) != p.off {
-		return fmt.Errorf("%d trailing payload bytes", len(p.b)-p.off)
+		return nil, fmt.Errorf("%d trailing payload bytes", len(p.b)-p.off)
 	}
-	return nil
+	return out, nil
 }

@@ -70,6 +70,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		},
 	}})
 	seed(&Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{Epoch: 0, Round: 0}})
+	seed(&Frame{Type: TypeDelta, Delta: Delta{Round: 4, Dest: 1, Store: "R", View: "delta!R!7", Buf: packed}})
+	seed(&Frame{Type: TypeDelta, Delta: Delta{Round: 4, Dest: 2, Store: "S", Del: true, Buf: flat}})
 	// Fast-path encodings: the same frames as the fast encoder ships
 	// them — raw little-endian words for the random buffer, delta
 	// varints for a skewed one — so the fuzzer mutates deep inside
@@ -94,6 +96,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	skewed.Seal()
 	fastSeed(&Frame{Type: TypeData, Data: Data{Round: 2, Dest: 1, Rel: "Z", Buf: skewed}})
+	fastSeed(&Frame{Type: TypeDelta, Delta: Delta{Round: 5, Dest: 0, Store: "R", View: "delta!R!1", Buf: packed}})
+	fastSeed(&Frame{Type: TypeDelta, Delta: Delta{Round: 5, Dest: 1, Store: "Z", Del: true, Buf: skewed}})
 	// Hostile shapes: lying lengths, dirty high bits, truncation.
 	f.Add([]byte{byte(TypeData), 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{byte(TypeData), 0, 0, 0, 30, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, 0, 0, 0, 0, 2})
@@ -120,6 +124,24 @@ func FuzzDecodeFrame(f *testing.F) {
 		byte(TypeData), 0, 0, 0, 20,
 		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 3, encDelta, 0xFF, 0xFF, 0xFF, 0xFF,
 		1, 2,
+	})
+	// Hostile delta frames: a dirty op byte (only 0 and 1 are legal), a
+	// lying tuple count with almost no payload behind it, and a
+	// truncated delta-varint body — all must reject without
+	// over-allocating.
+	f.Add([]byte{
+		byte(TypeDelta), 0, 0, 0, 21,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 0, 2, 0, 1, encPacked, 0, 0, 0, 0,
+	})
+	f.Add([]byte{
+		byte(TypeDelta), 0, 0, 0, 23,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 0, 0, 0, 1, encPacked, 0xFF, 0xFF, 0xFF, 0xFF,
+		1, 2,
+	})
+	f.Add([]byte{
+		byte(TypeDelta), 0, 0, 0, 22,
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'R', 0, 0, 0, 0, 1, encDelta, 0, 0, 0, 2,
+		0x80,
 	})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -161,6 +183,21 @@ func FuzzDecodeFrame(f *testing.F) {
 				}
 			}
 		}
+		if fr.Type == TypeDelta {
+			if fr.Delta.Store != again.Delta.Store || fr.Delta.View != again.Delta.View || fr.Delta.Del != again.Delta.Del {
+				t.Fatalf("round trip changed delta header %+v → %+v", fr.Delta, again.Delta)
+			}
+			a := fr.Delta.Buf.AppendTuples(nil)
+			b := again.Delta.Buf.AppendTuples(nil)
+			if len(a) != len(b) {
+				t.Fatalf("round trip changed delta tuple count %d → %d", len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("round trip changed delta tuple %d: %v → %v", i, a[i], b[i])
+				}
+			}
+		}
 		// Differential oracle: every accepted frame must fast-encode
 		// into bytes on which the trusted Reader and the validating
 		// Decode agree exactly.
@@ -194,6 +231,23 @@ func FuzzDecodeFrame(f *testing.F) {
 			for i := range a {
 				if !a[i].Equal(b[i]) || !a[i].Equal(c[i]) {
 					t.Fatalf("fast decode tuple %d diverges: trusted %v validating %v original %v", i, a[i], b[i], c[i])
+				}
+			}
+		}
+		if fr.Type == TypeDelta {
+			if ft.Delta.Store != fr.Delta.Store || ft.Delta.View != fr.Delta.View || ft.Delta.Del != fr.Delta.Del ||
+				fv.Delta.Store != fr.Delta.Store || fv.Delta.View != fr.Delta.View || fv.Delta.Del != fr.Delta.Del {
+				t.Fatalf("fast decode delta header diverges: trusted %+v validating %+v original %+v", ft.Delta, fv.Delta, fr.Delta)
+			}
+			a := ft.Delta.Buf.AppendTuples(nil)
+			b := fv.Delta.Buf.AppendTuples(nil)
+			c := fr.Delta.Buf.AppendTuples(nil)
+			if len(a) != len(b) || len(a) != len(c) {
+				t.Fatalf("fast decode delta tuple counts diverge: trusted %d, validating %d, original %d", len(a), len(b), len(c))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) || !a[i].Equal(c[i]) {
+					t.Fatalf("fast decode delta tuple %d diverges: trusted %v validating %v original %v", i, a[i], b[i], c[i])
 				}
 			}
 		}

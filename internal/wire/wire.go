@@ -80,6 +80,14 @@ const (
 	// barrier. The worker validates the manifest's epoch against its
 	// session epoch and acks, echoing the manifest round.
 	TypeCheckpoint
+	// TypeDelta carries one sealed delta run for incremental view
+	// maintenance: the tuples of a maintenance batch routed to one
+	// worker. A delete delta tombstones the run's tuples in the named
+	// store; an append delta registers the run under the store and,
+	// when a view name is present, under that view as well (the
+	// Δ-relation the maintenance join reads). Like Data, Delta frames
+	// are unacknowledged — the round barrier is the ingestion fence.
+	TypeDelta
 )
 
 // String names the frame type.
@@ -109,6 +117,8 @@ func (t Type) String() string {
 		return "epoch"
 	case TypeCheckpoint:
 		return "checkpoint"
+	case TypeDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -117,8 +127,9 @@ func (t Type) String() string {
 // Version is the protocol version carried by Hello frames; a worker
 // rejects a coordinator speaking a different version. Version 2 added
 // the fast-path Data encodings (raw little-endian words, delta-varint
-// words) that version-1 decoders would reject.
-const Version = 2
+// words) that version-1 decoders would reject; version 3 added the
+// Delta frame of incremental view maintenance.
+const Version = 3
 
 // MaxPayload bounds a frame's declared payload size (128 MiB). A
 // larger length prefix is rejected before any payload is read.
@@ -150,6 +161,26 @@ type Data struct {
 	Dest uint32
 	// Rel is the store name the run lands under.
 	Rel string
+	// Buf is the run itself.
+	Buf *exchange.Buffer
+}
+
+// Delta is one sealed maintenance run in flight. Its buffer body uses
+// the same encodings as Data.
+type Delta struct {
+	// Round is the communication round the delta belongs to.
+	Round uint32
+	// Dest is the destination shard (worker id); workers reject
+	// mis-routed deltas like mis-routed Data.
+	Dest uint32
+	// Store is the resident store the delta applies to.
+	Store string
+	// View is the Δ-relation view name an append delta also registers
+	// its run under; empty for delete deltas (and for appends that no
+	// maintenance join will read).
+	View string
+	// Del discriminates delete (tombstone) from append deltas.
+	Del bool
 	// Buf is the run itself.
 	Buf *exchange.Buffer
 }
@@ -214,6 +245,8 @@ type Frame struct {
 	Hello Hello
 	// Data is set for TypeData.
 	Data Data
+	// Delta is set for TypeDelta.
+	Delta Delta
 	// Join is set for TypeJoin.
 	Join Join
 	// Round is set for TypeBarrier and TypeAck (the echoed tag), for
@@ -253,6 +286,10 @@ func Encode(w io.Writer, f *Frame) error {
 		putU32(&payload, f.Hello.P)
 	case TypeData:
 		if err := encodeData(&payload, &f.Data); err != nil {
+			return err
+		}
+	case TypeDelta:
+		if err := encodeDelta(&payload, &f.Delta); err != nil {
 			return err
 		}
 	case TypeBarrier, TypeAck, TypePing, TypePong, TypeEpoch:
@@ -314,12 +351,39 @@ func encodeData(w *bytes.Buffer, d *Data) error {
 	if err := putString(w, d.Rel); err != nil {
 		return err
 	}
-	arity := d.Buf.Arity()
+	return encodeBufferBody(w, d.Buf)
+}
+
+// encodeDelta serializes round, dest, store, view, the op byte and the
+// buffer body.
+func encodeDelta(w *bytes.Buffer, d *Delta) error {
+	putU32(w, d.Round)
+	putU32(w, d.Dest)
+	if err := putString(w, d.Store); err != nil {
+		return err
+	}
+	if err := putString(w, d.View); err != nil {
+		return err
+	}
+	if d.Del {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+	return encodeBufferBody(w, d.Buf)
+}
+
+// encodeBufferBody serializes one buffer in the canonical encodings:
+// arity u16, encoding byte, tuple count u32, then big-endian words
+// (packed path) or big-endian row-major values (flat path). It is the
+// body shared by Data and Delta payloads.
+func encodeBufferBody(w *bytes.Buffer, buf *exchange.Buffer) error {
+	arity := buf.Arity()
 	if arity < 1 || arity > maxName {
 		return fmt.Errorf("wire: buffer arity %d out of range", arity)
 	}
 	putU16(w, uint16(arity))
-	if words, ok := d.Buf.Words(); ok {
+	if words, ok := buf.Words(); ok {
 		w.WriteByte(encPacked)
 		putU32(w, uint32(len(words)))
 		var scratch [8]byte
@@ -329,7 +393,7 @@ func encodeData(w *bytes.Buffer, d *Data) error {
 		}
 		return nil
 	}
-	flat := d.Buf.Flat()
+	flat := buf.Flat()
 	w.WriteByte(encFlat)
 	putU32(w, uint32(len(flat)/arity))
 	var scratch [8]byte
@@ -380,6 +444,8 @@ func decodePayload(typ Type, body []byte) (*Frame, error) {
 		f.Hello.P = p.u32()
 	case TypeData:
 		decodeData(p, &f.Data)
+	case TypeDelta:
+		decodeDelta(p, &f.Delta)
 	case TypeBarrier, TypeAck, TypePing, TypePong, TypeEpoch:
 		f.Round = p.u32()
 	case TypeCheckpoint:
@@ -496,20 +562,43 @@ func decodeData(p *payloadReader, d *Data) {
 	d.Round = p.u32()
 	d.Dest = p.u32()
 	d.Rel = p.str()
+	d.Buf = decodeBufferBody(p)
+}
+
+// decodeDelta parses a Delta payload with the same validation.
+func decodeDelta(p *payloadReader, d *Delta) {
+	d.Round = p.u32()
+	d.Dest = p.u32()
+	d.Store = p.str()
+	d.View = p.str()
+	op := p.u8()
+	if p.err == nil && op > 1 {
+		p.fail(fmt.Errorf("delta op %d", op))
+		return
+	}
+	d.Del = op == 1
+	d.Buf = decodeBufferBody(p)
+}
+
+// decodeBufferBody parses one buffer body (arity, encoding, count,
+// values) with full validation — the shape shared by Data and Delta
+// payloads. A lying count cannot force a large allocation: every
+// encoding bounds its allocation by the bytes actually present.
+func decodeBufferBody(p *payloadReader) *exchange.Buffer {
 	arity := int(p.u16())
 	enc := p.u8()
 	count := int(p.u32())
 	if p.err != nil {
-		return
+		return nil
 	}
 	if arity < 1 {
 		p.fail(fmt.Errorf("arity %d", arity))
-		return
+		return nil
 	}
 	switch enc {
 	case encPacked:
 		if !p.need(count * 8) {
-			return
+			return nil
 		}
 		words := make([]uint64, count)
 		for i := range words {
@@ -518,32 +607,32 @@ func decodeData(p *payloadReader, d *Data) {
 		buf, err := exchange.NewBufferFromWords(arity, words)
 		if err != nil {
 			p.fail(err)
-			return
+			return nil
 		}
-		d.Buf = buf
+		return buf
 	case encFlat:
 		values := count * arity
 		if !p.need(values * 8) {
-			return
+			return nil
 		}
 		flat := make([]int, values)
 		for i := range flat {
 			v := int64(p.u64())
 			if v < 0 || v > math.MaxInt {
 				p.fail(fmt.Errorf("flat value %d out of range", v))
-				return
+				return nil
 			}
 			flat[i] = int(v)
 		}
 		buf, err := exchange.NewBufferFromFlat(arity, flat)
 		if err != nil {
 			p.fail(err)
-			return
+			return nil
 		}
-		d.Buf = buf
+		return buf
 	case encRaw:
 		if !p.need(count * 8) {
-			return
+			return nil
 		}
 		words := make([]uint64, count)
 		for i := range words {
@@ -552,30 +641,31 @@ func decodeData(p *payloadReader, d *Data) {
 		}
 		if !slices.IsSorted(words) {
 			p.fail(fmt.Errorf("raw words not sorted"))
-			return
+			return nil
 		}
 		buf, err := exchange.NewBufferFromWords(arity, words)
 		if err != nil {
 			p.fail(err)
-			return
+			return nil
 		}
-		d.Buf = buf
+		return buf
 	case encDelta:
 		rest := p.b[p.off:]
 		words, err := exchange.DecodeDeltaWords(rest, count)
 		if err != nil {
 			p.fail(err)
-			return
+			return nil
 		}
 		p.off = len(p.b)
 		buf, err := exchange.NewBufferFromWords(arity, words)
 		if err != nil {
 			p.fail(err)
-			return
+			return nil
 		}
-		d.Buf = buf
+		return buf
 	default:
 		p.fail(fmt.Errorf("unknown buffer encoding %d", enc))
+		return nil
 	}
 }
 
