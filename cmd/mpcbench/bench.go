@@ -39,6 +39,12 @@ type BenchRecord struct {
 	Normalized float64 `json:"normalized"`
 	// Iterations is the b.N the testing harness settled on.
 	Iterations int `json:"iterations"`
+	// TuplesPerSec is set on throughput records (one op routes a fixed,
+	// seed-determined tuple count): the experiment-facing view of the
+	// same measurement. The gate compares Normalized, which is
+	// proportional to 1/TuplesPerSec, so a throughput regression is a
+	// normalized-time regression.
+	TuplesPerSec float64 `json:"tuplesPerSec,omitempty"`
 }
 
 // BenchReport is the machine-readable BENCH.json the CI pipeline
@@ -141,10 +147,54 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 	zr, zs := skew.ZipfJoinInput(rand.New(rand.NewPCG(seed, 0x21f)), 1000, 1.1)
 	joinQ := skew.JoinQuery()
 
+	// E-SHUF's suite record times the experiment's exact measured
+	// region — BeginRound + grid scatter + EndRound through the
+	// columnar exchange, cluster construction excluded — so the
+	// regression gate covers the tuples/s number the experiment
+	// reports. The routed-tuple count per op is deterministic for a
+	// fixed seed; dividing it by the per-op time yields tuples/s.
+	eshufShares, err := hypercube.SharesForQuery(tri, 64, hypercube.GreedyRounding)
+	if err != nil {
+		return nil, err
+	}
+	eshufTuples, err := eshufRoutedTuples(tri, triDB, eshufShares, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// throughput maps a record name to its routed-tuple count per op;
+	// listed records also report TuplesPerSec.
+	throughput := map[string]int64{
+		"eshuf-scatter-triangle-n2000-p64": eshufTuples,
+	}
+
 	suite := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
+		{"eshuf-scatter-triangle-n2000-p64", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cluster, err := mpc.NewCluster(mpc.Config{
+					Workers: 64, Epsilon: 1, InputBits: triDB.InputBits(), DomainN: triDB.N,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hasher := hypercube.NewHasher(eshufShares, seed)
+				b.StartTimer()
+				cluster.BeginRound()
+				for _, a := range tri.Atoms {
+					rel, _ := triDB.Relation(a.Name)
+					if err := cluster.ScatterPart(rel, hypercube.NewGridPartitioner(eshufShares, hasher, a)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := cluster.EndRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"shuffle-triangle-n2000-p64", func(b *testing.B) {
 			shares, err := hypercube.SharesForQuery(tri, 64, hypercube.GreedyRounding)
 			if err != nil {
@@ -296,11 +346,45 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 			Normalized: normalized,
 			Iterations: iters,
 		}
+		if tuples := throughput[s.name]; tuples > 0 && ns > 0 {
+			rec.TuplesPerSec = float64(tuples) / (ns * 1e-9)
+		}
 		report.Benchmarks = append(report.Benchmarks, rec)
-		fmt.Fprintf(w, "%-36s %12.0f ns/op  normalized %8.3f  (%d iterations)\n",
+		fmt.Fprintf(w, "%-36s %12.0f ns/op  normalized %8.3f  (%d iterations)",
 			rec.Name, rec.NsPerOp, rec.Normalized, rec.Iterations)
+		if rec.TuplesPerSec > 0 {
+			fmt.Fprintf(w, "  %.3g tuples/s", rec.TuplesPerSec)
+		}
+		fmt.Fprintln(w)
 	}
 	return report, nil
+}
+
+// eshufRoutedTuples runs the E-SHUF scatter once and returns how many
+// tuples one benchmark op routes — deterministic for a fixed seed, so
+// tuples/s derived from it is reproducible.
+func eshufRoutedTuples(q *query.Query, db *relation.Database, shares *hypercube.Shares, seed uint64) (int64, error) {
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Workers: 64, Epsilon: 1, InputBits: db.InputBits(), DomainN: db.N,
+	})
+	if err != nil {
+		return 0, err
+	}
+	hasher := hypercube.NewHasher(shares, seed)
+	cluster.BeginRound()
+	for _, a := range q.Atoms {
+		rel, ok := db.Relation(a.Name)
+		if !ok {
+			return 0, fmt.Errorf("eshuf: missing relation %s", a.Name)
+		}
+		if err := cluster.ScatterPart(rel, hypercube.NewGridPartitioner(shares, hasher, a)); err != nil {
+			return 0, err
+		}
+	}
+	if err := cluster.EndRound(); err != nil {
+		return 0, err
+	}
+	return cluster.Stats().Rounds[0].TotalTuples, nil
 }
 
 // wireBenchFrame builds the packed 3-ary data frame the wire suite

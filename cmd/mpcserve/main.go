@@ -32,11 +32,26 @@
 //	GET  /continuous/{name}                                               warm materialized answers (no execution)
 //	DELETE /continuous/{name}                                             deregister
 //	GET  /healthz                                                         liveness + Prometheus metrics
+//	GET  /metrics                                                         alias of /healthz
+//	GET  /trace                                                           recent execution summaries
+//	GET  /trace/{queryID}                                                 full per-round, per-worker span tree
+//	GET  /ops                                                             operator JSON (tenants, gate, caches, queries)
+//	GET  /ui                                                              live operator console (HTML)
 //
 // The -dataset flag (repeatable) preloads CSV relations:
 // 'name:R=file.csv,S=file.csv'. The -gen flag (repeatable) preloads a
 // synthetic dataset: 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]'
 // (use query=… instead of family=… for ad-hoc shapes).
+//
+// The -tenant flag (repeatable) switches the service to multi-tenant
+// mode: 'name:key=K[,qps=2][,burst=4][,load=200000][,bytes=16777216]'.
+// Data-plane endpoints then require 'Authorization: Bearer K' (or
+// X-API-Key), each tenant is rate-limited by a qps/burst token
+// bucket, its concurrent queries are bounded by the summed
+// plan-predicted load in tuples, and its registered datasets by
+// estimated resident bytes; quota breaches return 429 with a
+// structured retry-after. The operator surface (/healthz, /metrics,
+// /trace, /ops, /ui) stays unauthenticated.
 package main
 
 import (
@@ -82,11 +97,13 @@ func main() {
 		reconcile = flag.Duration("reconcile", 5*time.Second, "worker pool heartbeat interval (0 disables the background reconciler)")
 		datas     repeatableFlag
 		gens      repeatableFlag
+		tenants   repeatableFlag
 	)
 	flag.Var(&datas, "dataset", "preload CSV dataset 'name:R=file.csv,S=file.csv' (repeatable)")
 	flag.Var(&gens, "gen", "preload generated dataset 'name:family=C3,n=10000[,seed=7][,kind=zipf][,skew=1.3]' (repeatable)")
+	flag.Var(&tenants, "tenant", "declare a tenant 'name:key=K[,qps=2][,burst=4][,load=200000][,bytes=16777216]' (repeatable; enables API-key auth and per-tenant quotas)")
 	flag.Parse()
-	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, *pool, *spares, *maxRepl, datas, gens)
+	srv, err := build(*p, *maxP, *capC, *workers, *budget, *cache, *answers, *pool, *spares, *maxRepl, datas, gens, tenants)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcserve:", err)
 		os.Exit(1)
@@ -110,9 +127,20 @@ func main() {
 // build validates the flags and assembles the server with all
 // preloaded datasets. It is main without the listener, so tests can
 // drive it.
-func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, pool, spares string, maxRepl int, datas, gens []string) (*serve.Server, error) {
+func build(p, maxP int, capC float64, workers int, budget int64, cache, answers int, pool, spares string, maxRepl int, datas, gens, tenants []string) (*serve.Server, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("-p = %d, need ≥ 1", p)
+	}
+	tenantCfgs := make([]serve.TenantConfig, 0, len(tenants))
+	for _, spec := range tenants {
+		cfg, err := parseTenant(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-tenant %q: %w", spec, err)
+		}
+		tenantCfgs = append(tenantCfgs, cfg)
+	}
+	if _, err := serve.NewTenants(tenantCfgs); len(tenantCfgs) > 0 && err != nil {
+		return nil, err
 	}
 	poolAddrs, err := dist.ParseAddrs(pool)
 	if err != nil {
@@ -150,6 +178,7 @@ func build(p, maxP int, capC float64, workers int, budget int64, cache, answers 
 		WorkerAddrs:      poolAddrs,
 		SpareAddrs:       spareAddrs,
 		MaxReplacements:  maxRepl,
+		Tenants:          tenantCfgs,
 	})
 	for _, spec := range datas {
 		name, db, err := loadCSVDataset(spec)
@@ -238,6 +267,46 @@ func generateDataset(spec string) (string, *relation.Database, error) {
 		return "", nil, err
 	}
 	return name, db, nil
+}
+
+// parseTenant parses one -tenant spec:
+// 'name:key=K[,qps=2][,burst=4][,load=200000][,bytes=16777216]'.
+func parseTenant(spec string) (serve.TenantConfig, error) {
+	var cfg serve.TenantConfig
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || rest == "" {
+		return cfg, fmt.Errorf("want 'name:key=K[,qps=][,burst=][,load=][,bytes=]'")
+	}
+	cfg.Name = name
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad tenant entry %q (want key=value)", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "key":
+			cfg.Key = val
+		case "qps":
+			cfg.QPS, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			cfg.Burst, err = strconv.Atoi(val)
+		case "load":
+			cfg.MaxInFlightLoad, err = strconv.ParseInt(val, 10, 64)
+		case "bytes":
+			cfg.MaxResidentBytes, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return cfg, fmt.Errorf("unknown tenant key %q (want key, qps, burst, load or bytes)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad tenant value %q: %v", pair, err)
+		}
+	}
+	if cfg.Key == "" {
+		return cfg, fmt.Errorf("tenant %s needs key=", cfg.Name)
+	}
+	return cfg, nil
 }
 
 // splitTopLevel splits a generator spec on commas into key=value

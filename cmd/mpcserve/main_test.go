@@ -17,36 +17,56 @@ func TestBuildValidation(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"p zero", func() error { _, err := build(0, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
-		{"p negative", func() error { _, err := build(-2, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
-		{"max-p below p", func() error { _, err := build(64, 8, 0, 8, 0, 8, 10, "", "", 0, nil, nil); return err }},
-		{"no workers", func() error { _, err := build(8, 64, 0, 0, 0, 8, 10, "", "", 0, nil, nil); return err }},
-		{"no cache", func() error { _, err := build(8, 64, 0, 8, 0, 0, 10, "", "", 0, nil, nil); return err }},
+		{"p zero", func() error { _, err := build(0, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil, nil); return err }},
+		{"p negative", func() error { _, err := build(-2, 1024, 0, 8, 0, 8, 10, "", "", 0, nil, nil, nil); return err }},
+		{"max-p below p", func() error { _, err := build(64, 8, 0, 8, 0, 8, 10, "", "", 0, nil, nil, nil); return err }},
+		{"no workers", func() error { _, err := build(8, 64, 0, 0, 0, 8, 10, "", "", 0, nil, nil, nil); return err }},
+		{"no cache", func() error { _, err := build(8, 64, 0, 8, 0, 0, 10, "", "", 0, nil, nil, nil); return err }},
 		{"spares without workers", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "localhost:9009", 0, nil, nil)
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "localhost:9009", 0, nil, nil, nil)
 			return err
 		}},
-		{"bad dataset spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"noname"}, nil); return err }},
+		{"bad dataset spec", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"noname"}, nil, nil)
+			return err
+		}},
 		{"missing csv file", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"d:R=/does/not/exist.csv"}, nil)
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, []string{"d:R=/does/not/exist.csv"}, nil, nil)
 			return err
 		}},
-		{"bad gen spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri"}); return err }},
+		{"bad gen spec", func() error { _, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri"}, nil); return err }},
 		{"gen unknown key", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:warp=1"})
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:warp=1"}, nil)
 			return err
 		}},
 		{"gen zero n", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=0"})
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=0"}, nil)
 			return err
 		}},
 		{"gen unknown kind", func() error {
-			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=10,kind=warp"})
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, []string{"tri:family=C3,n=10,kind=warp"}, nil)
 			return err
 		}},
 		{"duplicate dataset name", func() error {
 			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil,
-				[]string{"tri:family=C3,n=10", "tri:family=C3,n=20"})
+				[]string{"tri:family=C3,n=10", "tri:family=C3,n=20"}, nil)
+			return err
+		}},
+		{"tenant no key", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, nil, []string{"acme:qps=2"})
+			return err
+		}},
+		{"tenant bad value", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, nil, []string{"acme:key=k,qps=fast"})
+			return err
+		}},
+		{"tenant unknown key", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, nil, []string{"acme:key=k,warp=1"})
+			return err
+		}},
+		{"tenant duplicate key", func() error {
+			_, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil, nil,
+				[]string{"acme:key=k", "biz:key=k"})
 			return err
 		}},
 	}
@@ -68,7 +88,7 @@ func TestBuildPreloadsAndServes(t *testing.T) {
 	}
 	srv, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0,
 		[]string{"edges:R=" + path},
-		[]string{"tri:family=C3,n=50,seed=3"})
+		[]string{"tri:family=C3,n=50,seed=3"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +115,65 @@ func TestBuildPreloadsAndServes(t *testing.T) {
 	}
 	if out.AnswerCount != 50 || out.Engine == "" {
 		t.Fatalf("want 50 answers and an engine, got: %+v", out)
+	}
+}
+
+func TestBuildMultiTenant(t *testing.T) {
+	srv, err := build(8, 64, 0, 8, 0, 8, 10, "", "", 0, nil,
+		[]string{"tri:family=C3,n=50,seed=3"},
+		[]string{"acme:key=ka,qps=2,burst=3,load=100000,bytes=1048576", "biz:key=kb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, ok := srv.Tenants().Get("acme")
+	if !ok {
+		t.Fatal("tenant acme not registered")
+	}
+	if cfg := ten.Config(); cfg.QPS != 2 || cfg.Burst != 3 || cfg.MaxInFlightLoad != 100000 || cfg.MaxResidentBytes != 1048576 {
+		t.Fatalf("acme config = %+v", cfg)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(serve.QueryRequest{Dataset: "tri", Family: "L2"})
+
+	// No key: 401. Valid key: 200 with the tenant echoed.
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated POST /query: status %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer kb")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated POST /query: status %d, want 200", resp.StatusCode)
+	}
+	var out serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != "biz" || out.QueryID == "" {
+		t.Fatalf("response tenant %q, queryID %q", out.Tenant, out.QueryID)
+	}
+
+	// The operator surface stays open.
+	for _, path := range []string{"/healthz", "/metrics", "/ops", "/ui", "/trace"} {
+		r2, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, r2.StatusCode)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // Cluster drives MPC(ε) bulk-synchronous rounds against a worker pool
@@ -37,6 +38,13 @@ type Cluster struct {
 	pipe bool
 	// pending is the deferred round script awaiting the next fence.
 	pending []recOp
+	// trace is the per-query span recorder; nil until EnableTracing.
+	trace *trace.Trace
+	// roundSpan is the open round's span id (0 between rounds).
+	roundSpan uint64
+	// traceSent is the last round whose span context was announced to
+	// the workers.
+	traceSent int
 }
 
 // NewCluster validates cfg against the transport's pool and returns
@@ -73,6 +81,7 @@ func (c *Cluster) BeginRound() {
 		PerWorkerBits:   make([]int64, c.cfg.Workers),
 		PerWorkerTuples: make([]int64, c.cfg.Workers),
 	})
+	c.traceBeginRound()
 }
 
 // Scatter partitions rel through part into per-destination sealed
@@ -101,6 +110,12 @@ func (c *Cluster) Scatter(ctx context.Context, rel *relation.Relation, as string
 			continue
 		}
 		rs.Account(d.To, n, d.Buf.Bits(bitsPer))
+	}
+	if lone {
+		defer c.traceCloseRound(rs)
+	}
+	if err := c.traceAnnounce(ctx); err != nil {
+		return err
 	}
 	if c.rec != nil {
 		c.rec.record(recOp{kind: opDeliver, round: c.round, ds: ds})
@@ -167,6 +182,12 @@ func (c *Cluster) ScatterDelta(ctx context.Context, tuples []relation.Tuple, ari
 		rs.Account(d.To, n, d.Buf.Bits(bitsPer))
 		dds = append(dds, DeltaDelivery{To: d.To, Store: store, View: view, Del: del, Buf: d.Buf})
 	}
+	if lone {
+		defer c.traceCloseRound(rs)
+	}
+	if err := c.traceAnnounce(ctx); err != nil {
+		return err
+	}
 	if c.rec != nil {
 		c.rec.record(recOp{kind: opDelta, round: c.round, dds: dds})
 	}
@@ -221,6 +242,7 @@ func (c *Cluster) EndRound(ctx context.Context) error {
 		return fmt.Errorf("dist: EndRound without BeginRound")
 	}
 	c.open = false
+	defer c.traceCloseRound(&c.stats.Rounds[len(c.stats.Rounds)-1])
 	if c.pipe {
 		// The barrier is deferred to the fence; the budget check is
 		// coordinator-local (accounting happened at Scatter), so it
@@ -241,6 +263,8 @@ func (c *Cluster) EndRound(ctx context.Context) error {
 // computation, free in the MPC cost model — and keep the result under
 // view. bindings maps atom names to store names when they differ.
 func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]string, view string, strategy localjoin.Strategy) error {
+	span := c.tracePhase("join")
+	defer c.tracePhaseEnd(span)
 	spec := JoinSpec{
 		Query:    q.String(),
 		View:     view,
@@ -266,6 +290,8 @@ func (c *Cluster) Join(ctx context.Context, q *query.Query, bindings map[string]
 // worker holds under view — the cluster-wide answer of a query whose
 // per-worker outputs were stored by Join.
 func (c *Cluster) Gather(ctx context.Context, view string) ([]relation.Tuple, error) {
+	span := c.tracePhase("gather")
+	defer c.tracePhaseEnd(span)
 	if c.pipe {
 		return c.gatherPipelined(ctx, view)
 	}

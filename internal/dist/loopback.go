@@ -26,6 +26,8 @@ type Loopback struct {
 	mu         sync.Mutex
 	epoch      uint32
 	checkpoint *wire.Manifest
+	traceHdr   wire.TraceHeader
+	traced     bool
 }
 
 // NewLoopback returns an in-process pool of p workers with empty
@@ -185,6 +187,28 @@ func (l *Loopback) Checkpoint(ctx context.Context, m *wire.Manifest) error {
 	}
 	l.checkpoint = m
 	return nil
+}
+
+// SendTrace implements traceTransport by recording the header — the
+// in-process analogue of announcing it to every worker; tests read it
+// back through LastTrace.
+func (l *Loopback) SendTrace(ctx context.Context, h wire.TraceHeader) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.traceHdr = h
+	l.traced = true
+	return nil
+}
+
+// LastTrace returns the last announced trace header and whether any
+// was announced.
+func (l *Loopback) LastTrace() (wire.TraceHeader, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.traceHdr, l.traced
 }
 
 // Epoch returns the last announced recovery epoch.

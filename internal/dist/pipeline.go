@@ -159,6 +159,12 @@ func (c *Cluster) runScriptFallback(ctx context.Context, ops []recOp) error {
 			err = c.attempt(ctx, false, func(ctx context.Context) error {
 				return c.tr.Join(ctx, op.spec)
 			})
+		case opTrace:
+			if tt, ok := c.tr.(traceTransport); ok {
+				err = c.attempt(ctx, false, func(ctx context.Context) error {
+					return tt.SendTrace(ctx, op.hdr)
+				})
+			}
 		default:
 			err = fmt.Errorf("dist: unknown deferred op kind %d", op.kind)
 		}

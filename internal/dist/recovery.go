@@ -124,6 +124,9 @@ const (
 	opBarrier
 	opJoin
 	opDelta
+	// opTrace is a deferred trace-header announcement; pipelined-only
+	// (the sync path sends headers directly) and never journaled.
+	opTrace
 )
 
 // recOp is one journaled coordinator action. The journal is what makes
@@ -138,6 +141,7 @@ type recOp struct {
 	ds    []exchange.Delivery
 	dds   []DeltaDelivery
 	spec  JoinSpec
+	hdr   wire.TraceHeader
 }
 
 // recovery is a Cluster's self-healing state.
@@ -258,6 +262,7 @@ func (c *Cluster) heal(ctx context.Context, failed []int) error {
 		}
 		rec.replaced++
 		rec.epoch++
+		c.traceEvent("replace-worker", w, fmt.Sprintf("epoch %d: session replaced, journal replayed", rec.epoch))
 		if err := rec.rt.ReplaceWorker(ctx, w); err != nil {
 			return fmt.Errorf("dist: replace worker %d: %w", w, err)
 		}

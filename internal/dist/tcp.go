@@ -510,6 +510,8 @@ func (t *TCP) RunScript(ctx context.Context, ops []recOp, view string) ([]*excha
 					frames = append(frames, &wire.Frame{Type: wire.TypeBarrier, Round: uint32(op.round)})
 				case opJoin:
 					frames = append(frames, joinFrame(op.spec))
+				case opTrace:
+					frames = append(frames, &wire.Frame{Type: wire.TypeTrace, Trace: op.hdr})
 				}
 			}
 			frames = append(frames, &wire.Frame{Type: wire.TypeGather, View: view})
@@ -549,6 +551,18 @@ func (t *TCP) RunScript(ctx context.Context, ops []recOp, view string) ([]*excha
 		runs = append(runs, rs...)
 	}
 	return runs, nil
+}
+
+// SendTrace implements traceTransport: the round's span context is
+// written to every connection unacknowledged, like Data frames; the
+// round barrier is the fence that proves ingestion.
+func (t *TCP) SendTrace(ctx context.Context, h wire.TraceHeader) error {
+	f := &wire.Frame{Type: wire.TypeTrace, Trace: h}
+	return t.eachConn(func(wc *workerConn) error {
+		return wc.roundTrip(ctx, func() error {
+			return wc.writeFrames([]*wire.Frame{f})
+		})
+	})
 }
 
 // ReplaceWorker implements Replaceable: it closes worker w's dead

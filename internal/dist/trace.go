@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"context"
+
+	"repro/internal/mpc"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// traceTransport is optionally implemented by transports that can
+// propagate the per-round span context to workers as Trace frames.
+// Transports without it still execute traced queries — the coordinator
+// records every span from its own accounting — they just don't announce
+// the context to the worker side.
+type traceTransport interface {
+	// SendTrace announces the span context of the current round to every
+	// worker. Trace frames are unacknowledged; the round barrier fences
+	// them like Data.
+	SendTrace(ctx context.Context, h wire.TraceHeader) error
+}
+
+// EnableTracing attaches a per-query trace to the cluster: every round
+// records one "round" span plus one "worker" child span per worker
+// carrying the actual received load (tuples and bits) that the
+// planner's predicted L bounds, joins and gathers record phase spans,
+// and recovery replacements record events. The span context is
+// propagated coordinator→worker once per round on transports that
+// implement traceTransport. Call it before the first round; a nil
+// trace disables tracing.
+//
+// Span ids are assigned in coordinator call order, so identical
+// executions over different transports produce identical span trees —
+// the same by-construction argument as the cluster's statistics.
+func (c *Cluster) EnableTracing(t *trace.Trace) {
+	c.trace = t
+	if t != nil && t.P == 0 {
+		t.P = c.cfg.Workers
+	}
+}
+
+// traceBeginRound opens the round span; BeginRound calls it.
+func (c *Cluster) traceBeginRound() {
+	if c.trace == nil {
+		return
+	}
+	c.roundSpan = c.trace.StartSpan(0, "round", c.round, -1)
+}
+
+// traceAnnounce ships the current round's span context to the workers,
+// once per round: directly on traceTransport transports, as a deferred
+// script op when pipelining (so the header precedes the round's data
+// frames in each worker's stream).
+func (c *Cluster) traceAnnounce(ctx context.Context) error {
+	if c.trace == nil || c.traceSent == c.round {
+		return nil
+	}
+	c.traceSent = c.round
+	h := wire.TraceHeader{
+		TraceID: c.trace.TraceID,
+		Span:    c.roundSpan,
+		Round:   uint32(c.round),
+		QueryID: c.trace.QueryID,
+	}
+	if c.pipe {
+		c.enqueue(recOp{kind: opTrace, hdr: h})
+		return nil
+	}
+	tt, ok := c.tr.(traceTransport)
+	if !ok {
+		return nil
+	}
+	// Not journaled: a replacement worker gets fresh data frames from
+	// replay, and the header is observability, not state.
+	return c.attempt(ctx, false, func(ctx context.Context) error {
+		return tt.SendTrace(ctx, h)
+	})
+}
+
+// traceCloseRound emits one "worker" span per worker carrying the
+// round's actual received load from the coordinator-side accounting,
+// then closes the round span. Zero-load workers get a span too: the
+// trace answers "what did every worker receive this round", and a zero
+// is an answer.
+func (c *Cluster) traceCloseRound(rs *mpc.RoundStats) {
+	if c.trace == nil || c.roundSpan == 0 {
+		return
+	}
+	for w := 0; w < c.cfg.Workers; w++ {
+		id := c.trace.StartSpan(c.roundSpan, "worker", rs.Round, w)
+		c.trace.SetSpanLoad(id, rs.PerWorkerTuples[w], rs.PerWorkerBits[w])
+		c.trace.EndSpan(id)
+	}
+	c.trace.EndSpan(c.roundSpan)
+	c.roundSpan = 0
+}
+
+// tracePhase opens a coordinator-side phase span ("join", "gather")
+// and returns its id, 0 when tracing is off.
+func (c *Cluster) tracePhase(name string) uint64 {
+	if c.trace == nil {
+		return 0
+	}
+	return c.trace.StartSpan(0, name, c.round, -1)
+}
+
+// tracePhaseEnd closes a phase span opened by tracePhase.
+func (c *Cluster) tracePhaseEnd(id uint64) {
+	if c.trace == nil || id == 0 {
+		return
+	}
+	c.trace.EndSpan(id)
+}
+
+// traceEvent records a recovery event on the trace.
+func (c *Cluster) traceEvent(name string, worker int, note string) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Event(0, name, worker, note)
+}

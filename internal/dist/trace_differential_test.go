@@ -1,0 +1,124 @@
+package dist_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/trace"
+)
+
+// spanTree renders a trace's structural skeleton — ids, parents,
+// names, rounds, workers, and actual-load fields, everything except
+// timestamps — one line per span. Two executions of the same plan must
+// produce identical skeletons regardless of transport: span ids are
+// assigned in coordinator call order and loads come from the
+// coordinator-side accounting, so this is the tracing analogue of the
+// byte-identical-stats differential invariant.
+func spanTree(tr *trace.Trace) string {
+	var b strings.Builder
+	for _, s := range tr.Spans {
+		fmt.Fprintf(&b, "%d<-%d %s r%d w%d load=%d bits=%d %s\n",
+			s.ID, s.Parent, s.Name, s.Round, s.Worker, s.LoadTuples, s.LoadBits, s.Note)
+	}
+	return b.String()
+}
+
+// tracedRun plans and executes q over db with tracing enabled and
+// returns the trace.
+func tracedRun(t *testing.T, q *query.Query, db *relation.Database, p int, tr dist.Transport, pipeline bool) *trace.Trace {
+	t.Helper()
+	pl, err := plan.Build(q, relation.CollectStats(db), plan.Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := trace.New("q-diff", 77)
+	_, err = pl.Execute(db, plan.ExecOptions{Seed: 23, Transport: tr, Pipeline: pipeline, Trace: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Finish()
+	return tc
+}
+
+// TestTraceDifferentialTransports asserts the identical-span-tree
+// invariant across loopback and TCP, for the sync and pipelined
+// schedules, over the query families the planner routes to different
+// engines.
+func TestTraceDifferentialTransports(t *testing.T) {
+	const p = 4
+	addrs := startPool(t, p)
+	families := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"triangle", query.Cycle(3)},
+		{"chain", query.Chain(4)},
+		{"star", query.Star(3)},
+	}
+	for fi, fam := range families {
+		for _, pipeline := range []bool{false, true} {
+			name := fam.name + "/sync"
+			if pipeline {
+				name = fam.name + "/pipelined"
+			}
+			t.Run(name, func(t *testing.T) {
+				db := relation.MatchingDatabase(rand.New(rand.NewPCG(42, uint64(fi))), fam.q, 300)
+				loop := tracedRun(t, fam.q, db, p, nil, pipeline)
+				tcp := tracedRun(t, fam.q, db, p, dialPool(t, addrs), pipeline)
+				lt, tt := spanTree(loop), spanTree(tcp)
+				if lt != tt {
+					t.Errorf("span trees differ across transports:\nloopback:\n%s\ntcp:\n%s", lt, tt)
+				}
+				if loop.Rounds() == 0 {
+					t.Errorf("no round spans recorded")
+				}
+				// Every round has one worker span per worker.
+				workers := 0
+				for _, s := range loop.Spans {
+					if s.Name == "worker" {
+						workers++
+					}
+				}
+				if want := loop.Rounds() * p; workers != want {
+					t.Errorf("worker spans = %d, want %d (rounds %d × p %d)", workers, want, loop.Rounds(), p)
+				}
+			})
+		}
+	}
+}
+
+// TestTraceHeaderPropagation asserts the coordinator announces the
+// span context to the transport: the loopback records the last header,
+// which must carry the trace id, query id, and a round the trace
+// actually recorded.
+func TestTraceHeaderPropagation(t *testing.T) {
+	q := query.Cycle(3)
+	db := relation.MatchingDatabase(rand.New(rand.NewPCG(9, 9)), q, 200)
+	const p = 4
+	for _, pipeline := range []bool{false, true} {
+		name := "sync"
+		if pipeline {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			lb := dist.NewLoopback(p)
+			tc := tracedRun(t, q, db, p, lb, pipeline)
+			h, ok := lb.LastTrace()
+			if !ok {
+				t.Fatal("no trace header announced to the transport")
+			}
+			if h.TraceID != tc.TraceID || h.QueryID != tc.QueryID {
+				t.Errorf("header identifies (%d, %q), trace is (%d, %q)", h.TraceID, h.QueryID, tc.TraceID, tc.QueryID)
+			}
+			if int(h.Round) > tc.Rounds() || h.Round == 0 {
+				t.Errorf("header announces round %d, trace recorded %d rounds", h.Round, tc.Rounds())
+			}
+		})
+	}
+}

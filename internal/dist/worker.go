@@ -100,6 +100,9 @@ type session struct {
 	epoch uint32
 	// checkpoint is the last accepted checkpoint manifest.
 	checkpoint *wire.Manifest
+	// trace is the most recent span context the coordinator announced;
+	// worker-side failures are attributed to its query id.
+	trace wire.TraceHeader
 }
 
 // reply encodes a frame and flushes it.
@@ -111,8 +114,12 @@ func (s *session) reply(f *wire.Frame) error {
 }
 
 // abort reports err to the coordinator as an Error frame (best
-// effort) and returns it.
+// effort) and returns it, attributed to the traced query when the
+// session has seen a span context.
 func (s *session) abort(err error) error {
+	if s.trace.QueryID != "" {
+		err = fmt.Errorf("query %s: %w", s.trace.QueryID, err)
+	}
 	_ = s.reply(&wire.Frame{Type: wire.TypeError, Msg: err.Error()})
 	return fmt.Errorf("dist: worker %d: %w", s.id, err)
 }
@@ -131,6 +138,12 @@ func (s *session) handle(f *wire.Frame) error {
 			return fmt.Errorf("delta frame for shard %d delivered to worker %d", f.Delta.Dest, s.id)
 		}
 		s.store.applyDelta(f.Delta.Store, f.Delta.View, f.Delta.Del, f.Delta.Buf)
+		return nil
+	case wire.TypeTrace:
+		// Unacknowledged, like Data: the session records the most recent
+		// span context so its work (and any failure) is attributable to
+		// the traced query; the round barrier is the fence.
+		s.trace = f.Trace
 		return nil
 	case wire.TypeBarrier:
 		// Frames on the connection are processed in order, so reaching

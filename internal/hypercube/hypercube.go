@@ -31,6 +31,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // Shares fixes the hypercube geometry: one integer share per variable.
@@ -381,6 +382,9 @@ type Options struct {
 	// dist.Cluster.EnablePipelining). Off by default; answers and round
 	// statistics are identical either way.
 	Pipeline bool
+	// Trace, when non-nil, records per-round per-worker spans of the
+	// execution (see dist.Cluster.EnableTracing); nil disables tracing.
+	Trace *trace.Trace
 }
 
 // Result reports a HyperCube execution.
@@ -493,6 +497,9 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	}
 	if opts.Pipeline {
 		cluster.EnablePipelining()
+	}
+	if opts.Trace != nil {
+		cluster.EnableTracing(opts.Trace)
 	}
 	hasher := NewHasher(shares, opts.Seed)
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // Group is one operator of a step: a connected set of atoms of the
@@ -240,6 +241,9 @@ type Options struct {
 	// dist.Cluster.EnablePipelining). Off by default; answers and round
 	// statistics are identical either way.
 	Pipeline bool
+	// Trace, when non-nil, records per-round per-worker spans of the
+	// execution (see dist.Cluster.EnableTracing); nil disables tracing.
+	Trace *trace.Trace
 }
 
 // Result reports a plan execution.
@@ -291,6 +295,9 @@ func Execute(plan *Plan, db *relation.Database, p int, opts Options) (*Result, e
 	}
 	if opts.Pipeline {
 		cluster.EnablePipelining()
+	}
+	if opts.Trace != nil {
+		cluster.EnableTracing(opts.Trace)
 	}
 	// env maps atom name (base relation or view) to its materialized
 	// relation.

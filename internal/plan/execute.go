@@ -13,6 +13,7 @@ import (
 	"repro/internal/multiround"
 	"repro/internal/relation"
 	"repro/internal/skew"
+	"repro/internal/trace"
 )
 
 // ExecOptions configures Plan.Execute.
@@ -43,6 +44,10 @@ type ExecOptions struct {
 	// deliveries (dist.Cluster.EnablePipelining). Off by default;
 	// answers and round statistics are identical either way.
 	Pipeline bool
+	// Trace, when non-nil, records per-round per-worker spans of the
+	// execution, threaded through to the engine's cluster
+	// (dist.Cluster.EnableTracing); nil disables tracing.
+	Trace *trace.Trace
 }
 
 // Result reports a planner-driven execution.
@@ -120,6 +125,7 @@ func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result
 		Context:     opts.Context,
 		Recovery:    opts.Recovery,
 		Pipeline:    opts.Pipeline,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +167,7 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 		Context:     opts.Context,
 		Recovery:    opts.Recovery,
 		Pipeline:    opts.Pipeline,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err

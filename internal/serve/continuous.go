@@ -263,6 +263,9 @@ func (cq *contQuery) info(dsVersion uint64) ContinuousInfo {
 
 // handleContinuous is GET (list) and POST (register) /continuous.
 func (s *Server) handleContinuous(w http.ResponseWriter, r *http.Request) {
+	if _, handled := s.authorize(w, r); handled {
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		out := []ContinuousInfo{}
@@ -365,6 +368,9 @@ func (s *Server) handleContinuousRegister(w http.ResponseWriter, r *http.Request
 
 // handleContinuousOne is GET (warm answers) and DELETE /continuous/{name}.
 func (s *Server) handleContinuousOne(w http.ResponseWriter, r *http.Request) {
+	if _, handled := s.authorize(w, r); handled {
+		return
+	}
 	name := r.PathValue("name")
 	switch r.Method {
 	case http.MethodGet:

@@ -157,11 +157,34 @@ type DeltaResponse struct {
 	ElapsedMs float64 `json:"elapsedMs"`
 }
 
+// deltaBytes estimates a batch's resident-byte effect in the
+// DatasetBytes unit (8 bytes per stored integer): bytes the appends
+// add and bytes the deletes free.
+func deltaBytes(delta relation.Delta) (appendBytes, deleteBytes int64) {
+	for _, ts := range delta.Appends {
+		for _, t := range ts {
+			appendBytes += int64(len(t)) * 8
+		}
+	}
+	for _, ts := range delta.Deletes {
+		for _, t := range ts {
+			deleteBytes += int64(len(t)) * 8
+		}
+	}
+	return appendBytes, deleteBytes
+}
+
 // handleDatasetDelta is POST /datasets/{name}/delta: parse, apply
-// copy-on-write, maintain continuous queries, report.
+// copy-on-write, maintain continuous queries, report. In multi-tenant
+// mode the batch's net byte growth (appends minus deletes) is booked
+// against the authenticated tenant's resident-bytes quota.
 func (s *Server) handleDatasetDelta(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	ten, handled := s.authorize(w, r)
+	if handled {
 		return
 	}
 	name := r.PathValue("name")
@@ -180,6 +203,13 @@ func (s *Server) handleDatasetDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	appendBytes, deleteBytes := deltaBytes(delta)
+	if ten != nil {
+		if qe := ten.AdmitBytes(appendBytes); qe != nil {
+			writeQuotaError(w, qe)
+			return
+		}
+	}
 
 	start := time.Now()
 	// The dataset lock spans application and maintenance: once the
@@ -190,11 +220,17 @@ func (s *Server) handleDatasetDelta(w http.ResponseWriter, r *http.Request) {
 	version, effects, err := ds.applyDeltaLocked(delta)
 	if err != nil {
 		ds.mu.Unlock()
+		if ten != nil {
+			ten.ReleaseBytes(appendBytes)
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	maintained := s.maintainContinuous(ds, version, effects)
 	ds.mu.Unlock()
+	if ten != nil && deleteBytes > 0 {
+		ten.ReleaseBytes(deleteBytes)
+	}
 
 	appended, deleted := 0, 0
 	for _, ts := range delta.Appends {

@@ -126,6 +126,21 @@ func (g *Gate) Queued() int {
 	return len(g.waiters)
 }
 
+// Slots returns the gate's concurrent-execution capacity.
+func (g *Gate) Slots() int { return g.slots }
+
+// Budget returns the configured global predicted-load budget in
+// tuples (≤ 0 means unbounded).
+func (g *Gate) Budget() int64 { return g.budget }
+
+// Load returns the summed predicted load of the currently admitted
+// executions, in tuples.
+func (g *Gate) Load() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.load
+}
+
 // fits reports whether an execution of the given cost can be admitted
 // now. Callers hold g.mu.
 func (g *Gate) fits(cost int64) bool {

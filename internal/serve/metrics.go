@@ -104,6 +104,16 @@ func (m *Metrics) PlanCacheHitRate() float64 {
 	return float64(h) / float64(s)
 }
 
+// StatsCacheHitRate returns hits/(hits+misses) of the statistics
+// memoization, or 0 before any plan build.
+func (m *Metrics) StatsCacheHitRate() float64 {
+	h, s := m.StatsCacheHits.Load(), m.StatsCacheHits.Load()+m.StatsCacheMisses.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(h) / float64(s)
+}
+
 // WriteProm renders every counter in the Prometheus text exposition
 // format (one HELP/TYPE header per metric, then the sample).
 func (m *Metrics) WriteProm(w io.Writer) {

@@ -47,12 +47,14 @@ import (
 	"fmt"
 	"math/big"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Server.
@@ -97,6 +99,21 @@ type Config struct {
 	// MaxContinuous bounds the registered continuous queries (each one
 	// keeps a maintained grid distribution resident). ≤ 0 selects 16.
 	MaxContinuous int
+	// Tenants, when non-empty, switches the service to multi-tenant
+	// mode: data-plane endpoints (/query, /datasets, deltas,
+	// /continuous) require one of the configured API keys, and each
+	// tenant is held to its own quotas (see TenantConfig). The operator
+	// surface (/healthz, /metrics, /ops, /trace, /ui) stays open.
+	// Invalid configurations (empty or duplicate names/keys) panic in
+	// New; validate with NewTenants first when in doubt.
+	Tenants []TenantConfig
+	// TraceCapacity is the in-memory completed-trace ring size backing
+	// GET /trace. ≤ 0 selects 256.
+	TraceCapacity int
+	// Now is the clock the tenant rate limiters read; nil selects
+	// time.Now. Tests inject a fixed clock for deterministic 429
+	// counts.
+	Now func() time.Time
 }
 
 // withDefaults fills zero fields.
@@ -119,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxContinuous <= 0 {
 		c.MaxContinuous = 16
 	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	if len(c.WorkerAddrs) > 0 {
 		// With a worker pool, the cluster size is the pool size; MaxP
 		// must admit it or every default-p request would be rejected.
@@ -140,10 +163,14 @@ type Server struct {
 	metrics    *Metrics
 	pool       *dist.Registry
 	continuous *cqRegistry
+	tenants    *Tenants
+	traces     *trace.Ring
+	queryID    atomic.Uint64
 	started    time.Time
 }
 
-// New returns a Server with an empty registry and cold caches.
+// New returns a Server with an empty registry and cold caches. An
+// invalid Config.Tenants panics (see that field).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -153,10 +180,18 @@ func New(cfg Config) *Server {
 		gate:       NewGate(cfg.MaxConcurrent, cfg.LoadBudgetTuples),
 		metrics:    &Metrics{},
 		continuous: newCQRegistry(),
+		traces:     trace.NewRing(cfg.TraceCapacity),
 		started:    time.Now(),
 	}
 	if len(cfg.WorkerAddrs) > 0 {
 		s.pool = dist.NewRegistry(cfg.WorkerAddrs, cfg.SpareAddrs)
+	}
+	if len(cfg.Tenants) > 0 {
+		ts, err := NewTenants(cfg.Tenants)
+		if err != nil {
+			panic(err)
+		}
+		s.tenants = ts
 	}
 	return s
 }
@@ -175,6 +210,15 @@ func (s *Server) PlanCache() *PlanCache { return s.cache }
 // Pool().Run as its background heartbeat loop.
 func (s *Server) Pool() *dist.Registry { return s.pool }
 
+// Tenants returns the tenant directory, or nil in single-tenant open
+// mode.
+func (s *Server) Tenants() *Tenants { return s.tenants }
+
+// Traces returns the in-memory trace ring. Executions are added on
+// admission, so in-flight queries are visible (with open spans)
+// before they finish.
+func (s *Server) Traces() *trace.Ring { return s.traces }
+
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -184,7 +228,27 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/continuous", s.handleContinuous)
 	mux.HandleFunc("/continuous/{name}", s.handleContinuousOne)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleHealthz)
+	mux.HandleFunc("/trace", s.handleTraceList)
+	mux.HandleFunc("/trace/{queryID}", s.handleTraceOne)
+	mux.HandleFunc("/ops", s.handleOps)
+	mux.HandleFunc("/ui", s.handleUI)
 	return mux
+}
+
+// authorize resolves the request's tenant in multi-tenant mode. It
+// writes the 401 itself and reports handled=true on failure; in
+// single-tenant open mode it returns (nil, false).
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	if s.tenants == nil {
+		return nil, false
+	}
+	t, err := s.tenants.Authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return nil, true
+	}
+	return t, false
 }
 
 // QueryRequest is the POST /query body.
@@ -210,6 +274,12 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /query reply.
 type QueryResponse struct {
+	// QueryID identifies this execution's trace; GET /trace/{queryID}
+	// returns the full per-round, per-worker span tree.
+	QueryID string `json:"queryID"`
+	// Tenant is the authenticated tenant's name (multi-tenant mode
+	// only).
+	Tenant string `json:"tenant,omitempty"`
 	// Dataset echoes the request.
 	Dataset string `json:"dataset"`
 	// Query is the canonical text of the executed query.
@@ -272,12 +342,27 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleQuery is POST /query: resolve, plan (cache-first), admit,
-// execute, report.
+// handleQuery is POST /query: authenticate, rate-limit, resolve, plan
+// (cache-first), admit under the tenant and global quotas, execute
+// with tracing, report.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	ten, handled := s.authorize(w, r)
+	if handled {
+		return
+	}
+	if ten != nil {
+		// The rate quota is spent before the body is even decoded: a
+		// throttled tenant costs the service one bucket probe, nothing
+		// more.
+		if qe := ten.AdmitRate(s.cfg.Now()); qe != nil {
+			s.metrics.QueriesRejected.Add(1)
+			writeQuotaError(w, qe)
+			return
+		}
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -366,28 +451,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission: predicted per-worker load × workers ≈ tuples this
-	// execution materializes across the simulated cluster.
+	// execution materializes across the simulated cluster. The tenant
+	// quota rejects immediately (429); the global gate queues (FIFO).
 	cost := int64(pl.Cost.LoadTuples*float64(p)) + 1
+	if ten != nil {
+		if qe := ten.AdmitLoad(cost); qe != nil {
+			s.metrics.QueriesRejected.Add(1)
+			writeQuotaError(w, qe)
+			return
+		}
+	}
 	if err := s.gate.Acquire(r.Context(), cost); err != nil {
+		if ten != nil {
+			ten.ReleaseLoad(cost)
+		}
 		s.metrics.QueriesRejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "admission rejected: %v", err)
 		return
 	}
 	s.metrics.InFlight.Add(1)
+	if ten != nil {
+		ten.InFlight.Add(1)
+	}
+	release := func() {
+		s.metrics.InFlight.Add(-1)
+		s.gate.Release(cost)
+		if ten != nil {
+			ten.InFlight.Add(-1)
+			ten.ReleaseLoad(cost)
+		}
+	}
+
+	// Every admitted execution is traced; the ring holds the live trace
+	// from here on, so /trace and the console see in-flight queries.
+	qn := s.queryID.Add(1)
+	qid := fmt.Sprintf("q-%d", qn)
+	tc := trace.New(qid, qn)
+	tc.Query = q.String()
+	tc.Engine = pl.Engine.String()
+	tc.P = p
+	tc.PredictedLoadTuples = pl.Cost.LoadTuples
+	tc.BudgetLoadTuples = int64(pl.BudgetLoad)
+	if ten != nil {
+		tc.Tenant = ten.Name()
+	}
+	s.traces.Add(tc)
+
 	start := time.Now()
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	execOpts := plan.ExecOptions{Seed: seed}
+	execOpts := plan.ExecOptions{Seed: seed, Trace: tc}
 	if s.pool != nil {
 		// One dialed session per execution: the per-connection stores on
 		// the shared mpcworker processes isolate concurrent queries.
 		tr, derr := s.dialPool(r.Context())
 		if derr != nil {
 			s.metrics.QueryErrors.Add(1)
-			s.metrics.InFlight.Add(-1)
-			s.gate.Release(cost)
+			if ten != nil {
+				ten.QueryErrors.Add(1)
+			}
+			release()
+			tc.Event(tc.Root(), "error", -1, derr.Error())
+			tc.Finish()
 			writeError(w, http.StatusBadGateway, "worker pool unavailable: %v", derr)
 			return
 		}
@@ -403,14 +530,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := pl.Execute(view, execOpts)
 	elapsed := time.Since(start)
-	s.metrics.InFlight.Add(-1)
-	s.gate.Release(cost)
+	release()
 	if err != nil {
 		s.metrics.QueryErrors.Add(1)
+		if ten != nil {
+			ten.QueryErrors.Add(1)
+		}
+		tc.Event(tc.Root(), "error", -1, err.Error())
+		tc.Finish()
 		writeError(w, http.StatusInternalServerError, "execution failed: %v", err)
 		return
 	}
+	tc.Replacements = res.Replacements
+	tc.Finish()
 	s.metrics.QueriesServed.Add(1)
+	if ten != nil {
+		ten.QueriesServed.Add(1)
+	}
 	s.metrics.RecordExecution(res.Stats)
 	if res.Replacements > 0 {
 		s.metrics.WorkerReplacements.Add(int64(res.Replacements))
@@ -431,11 +567,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		answers = append(answers, []int(t))
 	}
 	s.metrics.AnswersReturned.Add(int64(len(answers)))
+	tenantName := ""
+	if ten != nil {
+		ten.AnswersReturned.Add(int64(len(answers)))
+		tenantName = ten.Name()
+	}
 	perRound := make([]int64, 0, len(res.Stats.Rounds))
 	for _, rs := range res.Stats.Rounds {
 		perRound = append(perRound, rs.TotalBits)
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
+		QueryID:            qid,
+		Tenant:             tenantName,
 		Dataset:            ds.Name,
 		Query:              q.String(),
 		P:                  p,
@@ -510,8 +653,14 @@ type RelationInfo struct {
 	Tuples int `json:"tuples"`
 }
 
-// handleDatasets is GET (list) and POST (register) /datasets.
+// handleDatasets is GET (list) and POST (register) /datasets. In
+// multi-tenant mode a registration books the dataset's estimated
+// bytes against the registering tenant's resident-bytes quota.
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	ten, handled := s.authorize(w, r)
+	if handled {
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		var out []DatasetInfo
@@ -547,8 +696,18 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		bytes := DatasetBytes(db)
+		if ten != nil {
+			if qe := ten.AdmitBytes(bytes); qe != nil {
+				writeQuotaError(w, qe)
+				return
+			}
+		}
 		ds, err := s.registry.Add(req.Name, db)
 		if err != nil {
+			if ten != nil {
+				ten.ReleaseBytes(bytes)
+			}
 			code := http.StatusBadRequest
 			if errors.Is(err, ErrDuplicateDataset) {
 				code = http.StatusConflict
@@ -594,6 +753,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		time.Since(s.started).Seconds(), len(s.registry.Names()), s.cache.Len(), s.cache.Capacity())
 	s.metrics.WriteProm(w)
 	s.writeContinuousProm(w)
+	if s.tenants != nil {
+		s.tenants.WriteProm(w)
+	}
 }
 
 // resolveRequestQuery parses the query/family pair of a request.

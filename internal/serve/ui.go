@@ -1,0 +1,24 @@
+package serve
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// uiHTML is the single-file operator console served at GET /ui. It
+// polls GET /ops and renders live in-flight queries per tenant, the
+// per-worker predicted-vs-actual load heatmap, cache hit rates, and
+// the recent-execution history — no build step, no external assets.
+//
+//go:embed ui.html
+var uiHTML []byte
+
+// handleUI is GET /ui: the embedded operator console.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(uiHTML)
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // JoinQuery returns q(x,y,z) = R(x,y), S(y,z).
@@ -171,6 +172,9 @@ type Options struct {
 	// dist.Cluster.EnablePipelining). Off by default; answers and round
 	// statistics are identical either way.
 	Pipeline bool
+	// Trace, when non-nil, records per-round per-worker spans of the
+	// execution (see dist.Cluster.EnableTracing); nil disables tracing.
+	Trace *trace.Trace
 }
 
 // Result reports a join run.
@@ -287,6 +291,9 @@ func RunJoin(r, s *relation.Relation, p int, mode Mode, opts Options) (*Result, 
 	}
 	if opts.Pipeline {
 		cluster.EnablePipelining()
+	}
+	if opts.Trace != nil {
+		cluster.EnableTracing(opts.Trace)
 	}
 
 	var heavy []int

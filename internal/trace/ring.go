@@ -1,0 +1,69 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe store of the most recent traces,
+// keyed by query id. When capacity is exceeded the oldest trace is
+// evicted.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*Trace
+}
+
+// NewRing creates a Ring holding at most capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{cap: capacity, byID: make(map[string]*Trace)}
+}
+
+// Add inserts (or replaces) a trace. The trace is stored by pointer;
+// callers should publish finished traces or rely on Snapshot when
+// rendering.
+func (r *Ring) Add(t *Trace) {
+	if t == nil || t.QueryID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[t.QueryID]; !ok {
+		r.order = append(r.order, t.QueryID)
+		for len(r.order) > r.cap {
+			delete(r.byID, r.order[0])
+			r.order = r.order[1:]
+		}
+	}
+	r.byID[t.QueryID] = t
+}
+
+// Get returns the trace for a query id, if still resident.
+func (r *Ring) Get(queryID string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[queryID]
+	return t, ok
+}
+
+// Recent returns up to n of the most recent traces, newest first.
+func (r *Ring) Recent(n int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.order) {
+		n = len(r.order)
+	}
+	out := make([]*Trace, 0, n)
+	for i := len(r.order) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, r.byID[r.order[i]])
+	}
+	return out
+}
+
+// Len returns the number of resident traces.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

@@ -186,6 +186,13 @@ func appendFrame(dst []byte, f *Frame) ([]byte, []byte, error) {
 		if dst, err = appendManifest(dst, f.Checkpoint); err != nil {
 			return dst, nil, err
 		}
+	case TypeTrace:
+		dst = appendU64(dst, f.Trace.TraceID)
+		dst = appendU64(dst, f.Trace.Span)
+		dst = appendU32(dst, f.Trace.Round)
+		if dst, err = appendString(dst, f.Trace.QueryID); err != nil {
+			return dst, nil, err
+		}
 	default:
 		return dst, nil, fmt.Errorf("wire: encode unknown frame type %d", f.Type)
 	}

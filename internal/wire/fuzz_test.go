@@ -70,6 +70,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		},
 	}})
 	seed(&Frame{Type: TypeCheckpoint, Checkpoint: &Manifest{Epoch: 0, Round: 0}})
+	seed(&Frame{Type: TypeTrace, Trace: TraceHeader{TraceID: 1 << 40, Span: 3, Round: 2, QueryID: "q-7"}})
+	seed(&Frame{Type: TypeTrace, Trace: TraceHeader{}})
 	seed(&Frame{Type: TypeDelta, Delta: Delta{Round: 4, Dest: 1, Store: "R", View: "delta!R!7", Buf: packed}})
 	seed(&Frame{Type: TypeDelta, Delta: Delta{Round: 4, Dest: 2, Store: "S", Del: true, Buf: flat}})
 	// Fast-path encodings: the same frames as the fast encoder ships

@@ -88,6 +88,13 @@ const (
 	// Δ-relation the maintenance join reads). Like Data, Delta frames
 	// are unacknowledged — the round barrier is the ingestion fence.
 	TypeDelta
+	// TypeTrace carries a distributed-tracing span context
+	// coordinator→worker: the trace id, the coordinator-side span the
+	// round's work parents under, the round number, and the query id.
+	// Trace frames are unacknowledged (the round barrier fences them
+	// like Data); a worker simply records the most recent header so its
+	// session can attribute work to the query being traced.
+	TypeTrace
 )
 
 // String names the frame type.
@@ -119,6 +126,8 @@ func (t Type) String() string {
 		return "checkpoint"
 	case TypeDelta:
 		return "delta"
+	case TypeTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -128,8 +137,9 @@ func (t Type) String() string {
 // rejects a coordinator speaking a different version. Version 2 added
 // the fast-path Data encodings (raw little-endian words, delta-varint
 // words) that version-1 decoders would reject; version 3 added the
-// Delta frame of incremental view maintenance.
-const Version = 3
+// Delta frame of incremental view maintenance; version 4 added the
+// Trace frame of per-round distributed tracing.
+const Version = 4
 
 // MaxPayload bounds a frame's declared payload size (128 MiB). A
 // larger length prefix is rejected before any payload is read.
@@ -183,6 +193,20 @@ type Delta struct {
 	Del bool
 	// Buf is the run itself.
 	Buf *exchange.Buffer
+}
+
+// TraceHeader is the span context a Trace frame propagates
+// coordinator→worker.
+type TraceHeader struct {
+	// TraceID identifies the trace the coming round belongs to.
+	TraceID uint64
+	// Span is the coordinator-side span id the round's worker-side
+	// work parents under.
+	Span uint64
+	// Round is the communication round the header announces.
+	Round uint32
+	// QueryID is the serving-layer query id the trace belongs to.
+	QueryID string
 }
 
 // Join is the local-evaluation command.
@@ -261,6 +285,8 @@ type Frame struct {
 	Msg string
 	// Checkpoint is set for TypeCheckpoint.
 	Checkpoint *Manifest
+	// Trace is set for TypeTrace.
+	Trace TraceHeader
 }
 
 // buffer encoding discriminators inside Data payloads. encPacked and
@@ -296,6 +322,13 @@ func Encode(w io.Writer, f *Frame) error {
 		putU32(&payload, f.Round)
 	case TypeCheckpoint:
 		if err := encodeManifest(&payload, f.Checkpoint); err != nil {
+			return err
+		}
+	case TypeTrace:
+		putU64(&payload, f.Trace.TraceID)
+		putU64(&payload, f.Trace.Span)
+		putU32(&payload, f.Trace.Round)
+		if err := putString(&payload, f.Trace.QueryID); err != nil {
 			return err
 		}
 	case TypeJoin:
@@ -450,6 +483,11 @@ func decodePayload(typ Type, body []byte) (*Frame, error) {
 		f.Round = p.u32()
 	case TypeCheckpoint:
 		f.Checkpoint = decodeManifest(p)
+	case TypeTrace:
+		f.Trace.TraceID = p.u64()
+		f.Trace.Span = p.u64()
+		f.Trace.Round = p.u32()
+		f.Trace.QueryID = p.str()
 	case TypeJoin:
 		f.Join.Query = p.str()
 		f.Join.View = p.str()
@@ -755,6 +793,13 @@ func putU16(w *bytes.Buffer, v uint16) {
 func putU32(w *bytes.Buffer, v uint32) {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+// putU64 appends a big-endian uint64.
+func putU64(w *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
 	w.Write(b[:])
 }
 

@@ -61,6 +61,7 @@ func sampleFrames(t *testing.T) []*Frame {
 		{Type: TypePing, Round: 19},
 		{Type: TypePong, Round: 19},
 		{Type: TypeEpoch, Round: 2},
+		{Type: TypeTrace, Trace: TraceHeader{TraceID: 1 << 50, Span: 7, Round: 3, QueryID: "q-12"}},
 		{Type: TypeCheckpoint, Checkpoint: &Manifest{
 			Epoch: 2, Round: 3,
 			Entries: []ManifestEntry{

@@ -1,0 +1,247 @@
+package repro
+
+// Multi-tenant ops end-to-end: a serve.Server executing on four real
+// mpcworker processes, two tenants with different rate quotas. The
+// roomy tenant's queries must all complete while the tight tenant is
+// throttled with exact 429 counts; the Prometheus exposition and the
+// per-round distributed traces must both reflect what HTTP observed.
+// Gated on MPCWORKER_BIN like the distributed integration test; CI's
+// ops-e2e job builds the binary and runs this. Locally:
+//
+//	go build -o /tmp/mpcworker ./cmd/mpcworker
+//	MPCWORKER_BIN=/tmp/mpcworker go test -run TestOpsE2E -v .
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// opsPost issues an authenticated JSON POST and decodes the reply
+// into out when the status matches.
+func opsPost(t *testing.T, url, key string, body, out any, wantStatus int) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d: %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: bad body %q: %v", url, raw, err)
+		}
+	}
+	return resp
+}
+
+// TestOpsE2E is the CI ops-e2e job's body.
+func TestOpsE2E(t *testing.T) {
+	bin := os.Getenv("MPCWORKER_BIN")
+	if bin == "" {
+		t.Skip("MPCWORKER_BIN not set; run the in-process tenant suite in internal/serve instead")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const p = 4
+	addrs := spawnWorkers(t, ctx, bin, p)
+
+	// A frozen clock makes the token buckets deterministic: the tight
+	// tenant's bucket never refills, so its 429 count is exact.
+	at := time.Unix(1_700_000_000, 0)
+	srv := serve.New(serve.Config{
+		WorkerAddrs: addrs,
+		Now:         func() time.Time { return at },
+		Tenants: []serve.TenantConfig{
+			{Name: "roomy", Key: "key-roomy", QPS: 1, Burst: 100},
+			{Name: "tight", Key: "key-tight", QPS: 1, Burst: 2},
+		},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// The roomy tenant registers a uniform matching dataset; its bytes
+	// land on that tenant's residency account.
+	var ds serve.DatasetInfo
+	opsPost(t, hs.URL+"/datasets", "key-roomy", serve.DatasetRequest{
+		Name:      "tri",
+		Generator: &serve.GeneratorSpec{Family: "C3", N: 400, Seed: 11},
+	}, &ds, http.StatusCreated)
+	roomyTen, _ := srv.Tenants().Get("roomy")
+	if roomyTen.ResidentBytes() == 0 {
+		t.Fatal("dataset registration booked no resident bytes")
+	}
+
+	// Interleave the two tenants: tight gets exactly Burst=2 successes
+	// and 4 429s; every roomy query completes on the worker pool.
+	queryBody := serve.QueryRequest{Dataset: "tri", Family: "C3"}
+	var roomyIDs []string
+	tightOK, tight429 := 0, 0
+	for i := 0; i < 6; i++ {
+		var qr serve.QueryResponse
+		opsPost(t, hs.URL+"/query", "key-roomy", queryBody, &qr, http.StatusOK)
+		if qr.Tenant != "roomy" || qr.QueryID == "" {
+			t.Fatalf("roomy response: %+v", qr)
+		}
+		roomyIDs = append(roomyIDs, qr.QueryID)
+
+		req, _ := http.NewRequest(http.MethodPost, hs.URL+"/query", bytes.NewReader(mustJSON(t, queryBody)))
+		req.Header.Set("X-API-Key", "key-tight")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			tightOK++
+		case http.StatusTooManyRequests:
+			tight429++
+			var qe serve.QuotaError
+			if err := json.Unmarshal(raw, &qe); err != nil {
+				t.Fatalf("429 body %q: %v", raw, err)
+			}
+			if qe.Tenant != "tight" || qe.Reason != serve.ReasonRate || qe.RetryAfterMs <= 0 {
+				t.Fatalf("429 body = %+v", qe)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After header")
+			}
+		default:
+			t.Fatalf("tight query: status %d: %s", resp.StatusCode, raw)
+		}
+	}
+	if tightOK != 2 || tight429 != 4 {
+		t.Fatalf("tight tenant: ok=%d throttled=%d, want ok=2 throttled=4", tightOK, tight429)
+	}
+
+	// The metric exposition carries the same split, per tenant.
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`mpcserve_tenant_queries_total{tenant="roomy"} 6`,
+		`mpcserve_tenant_queries_total{tenant="tight"} 2`,
+		`mpcserve_tenant_rejected_total{tenant="tight",reason="rate"} 4`,
+		`mpcserve_tenant_rejected_total{tenant="roomy",reason="rate"} 0`,
+		`mpcserve_distributed_queries_total 8`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Every roomy execution left a full distributed trace: one round
+	// span per round, one worker span per worker per round, actual
+	// received load within the planner's per-worker bound.
+	for _, qid := range roomyIDs {
+		tresp, err := http.Get(hs.URL + "/trace/" + qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traw, _ := io.ReadAll(tresp.Body)
+		tresp.Body.Close()
+		if tresp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /trace/%s: status %d: %s", qid, tresp.StatusCode, traw)
+		}
+		var tr struct {
+			Tenant              string  `json:"tenant"`
+			P                   int     `json:"p"`
+			PredictedLoadTuples float64 `json:"predictedLoadTuples"`
+			BudgetLoadTuples    int64   `json:"budgetLoadTuples"`
+			DurationNs          int64   `json:"durationNs"`
+			Spans               []struct {
+				Name       string `json:"name"`
+				Worker     int    `json:"worker"`
+				LoadTuples int64  `json:"loadTuples"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(traw, &tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Tenant != "roomy" || tr.P != p || tr.DurationNs == 0 {
+			t.Fatalf("trace %s header: %s", qid, traw)
+		}
+		bound := float64(tr.BudgetLoadTuples)
+		if bound <= 0 {
+			bound = 2 * tr.PredictedLoadTuples
+		}
+		rounds, workers := 0, 0
+		for _, s := range tr.Spans {
+			switch s.Name {
+			case "round":
+				rounds++
+			case "worker":
+				workers++
+				if float64(s.LoadTuples) > bound {
+					t.Errorf("trace %s: worker %d actual load %d over planner bound %.1f (predicted L %.1f)",
+						qid, s.Worker, s.LoadTuples, bound, tr.PredictedLoadTuples)
+				}
+			}
+		}
+		if rounds == 0 || workers != rounds*p {
+			t.Fatalf("trace %s: %d round spans, %d worker spans (want %d)", qid, rounds, workers, rounds*p)
+		}
+	}
+
+	// Operator surface sanity: /ops reflects both tenants, /ui serves.
+	var ops serve.OpsReport
+	oresp, err := http.Get(hs.URL + "/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(oresp.Body).Decode(&ops); err != nil {
+		t.Fatal(err)
+	}
+	oresp.Body.Close()
+	if !ops.MultiTenant || len(ops.Tenants) != 2 || len(ops.Queries) != 8 {
+		t.Fatalf("ops report: multiTenant=%v tenants=%d queries=%d", ops.MultiTenant, len(ops.Tenants), len(ops.Queries))
+	}
+	uresp, err := http.Get(hs.URL + "/ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, _ := io.ReadAll(uresp.Body)
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusOK || !bytes.Contains(ui, []byte("operator console")) {
+		t.Fatalf("GET /ui: status %d, %d bytes", uresp.StatusCode, len(ui))
+	}
+}
+
+// mustJSON marshals v or fails the test.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
