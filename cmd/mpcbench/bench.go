@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/datalog"
 	"repro/internal/exchange"
 	"repro/internal/hypercube"
 	"repro/internal/localjoin"
@@ -147,6 +148,18 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 	zr, zs := skew.ZipfJoinInput(rand.New(rand.NewPCG(seed, 0x21f)), 1000, 1.1)
 	joinQ := skew.JoinQuery()
 
+	// reach-powerlaw input: a 200-edge graph whose target vertices
+	// follow Zipf(1.2) — the hub structure that makes semi-naive
+	// reachability converge in few, fat iterations.
+	reachDB := relation.NewDatabase(200)
+	reachDB.AddRelation(relation.SkewedZipf(rand.New(rand.NewPCG(seed, 0x9e11)), "e", []string{"y", "x"}, 200, 1.2))
+	reachProg := datalog.MustParse("tc(x,y) :- e(x,y).\ntc(x,z) :- tc(x,y), e(y,z).")
+
+	// agg-star input: a 3-spoke star schema, the shape whose grouped
+	// aggregate folds entirely inside the gather merge.
+	starQ := query.Star(3)
+	starDB := relation.MatchingDatabase(rand.New(rand.NewPCG(seed, 0x57a1)), starQ, 1000)
+
 	// E-SHUF's suite record times the experiment's exact measured
 	// region — BeginRound + grid scatter + EndRound through the
 	// columnar exchange, cluster construction excluded — so the
@@ -277,6 +290,36 @@ func runBenchSuite(w io.Writer, seed uint64) (*BenchReport, error) {
 					b.Fatal(err)
 				}
 				if _, err := m.ApplyDelta(del); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"reach-powerlaw", func(b *testing.B) {
+			// Full semi-naive reachability per op: cold hypercube run
+			// plus every warm delta iteration to the fixpoint.
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(reachProg, reachDB, datalog.Options{P: 8, Seed: seed}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"agg-star", func(b *testing.B) {
+			pl, err := plan.Build(starQ, relation.CollectStats(starDB), plan.Options{P: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl, err = pl.WithAggregate(relation.GroupSpec{
+				GroupBy: []int{0},
+				Aggs: []relation.Aggregate{
+					{Func: relation.AggCount, Col: 1},
+					{Func: relation.AggMax, Col: 3},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Execute(starDB, plan.ExecOptions{Seed: seed}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,6 +20,7 @@
 //	mpcbench -experiment delta
 //	mpcbench -experiment opt-shares
 //	mpcbench -experiment friedgut
+//	mpcbench -experiment recursion
 //	mpcbench -all                # everything
 //
 // The benchmark-regression pipeline (CI's bench job) runs the
@@ -52,7 +53,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure     = flag.Int("figure", 0, "regenerate Figure 1")
-		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | wire | pipeline | delta | opt-shares | friedgut | knowledge | tail")
+		experiment = flag.String("experiment", "", "hc-load | lb-fraction | witness | rounds | round-bounds | cc | skew | shuffle | wire | pipeline | delta | opt-shares | friedgut | knowledge | tail | recursion")
 		all        = flag.Bool("all", false, "run everything")
 		n          = flag.Int("n", 2000, "domain size for data experiments")
 		seed       = flag.Uint64("seed", 2013, "random seed")
@@ -229,6 +230,18 @@ func run(table, figure int, experiment string, all bool, n int, seed uint64, tri
 		// The headline cells: maintenance cost is the replication
 		// factor regardless of n, so the gap widens with the database.
 		if _, err := experiments.Delta(w, []int{10_000, 100_000}, []int{16, 64}, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || experiment == "recursion" {
+		ran = true
+		fmt.Fprintln(w, "── E-REC: semi-naive vs naive fixpoint on power-law reachability ──")
+		rn := n
+		if rn > 400 {
+			rn = 400 // naive re-evaluation re-ships the closure every pass
+		}
+		if _, err := experiments.Recursion(w, []int{rn / 4, rn}, 16, seed); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

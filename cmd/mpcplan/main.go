@@ -11,6 +11,12 @@
 //
 //	mpcplan -query 'q(x,y,z) = R(x,y), S(y,z)' [-eps 1/2] [-p 64] [-n 10000]
 //	mpcplan -family C5 [-eps 1/3] [-p 64]
+//	mpcplan -query 'tc(x,y) :- e(x,y). tc(x,z) :- tc(x,y), e(y,z).'
+//
+// A -query containing ':-' or '?-' is analyzed as a Datalog program
+// (internal/datalog): mpcplan prints its EDB/IDB split, the stratified
+// evaluation order with recursion flags, and the planner's EXPLAIN for
+// every rule body.
 //
 // Without -eps the planner uses the query's own one-round space
 // exponent 1 − 1/τ*. The -n flag sets the cardinality of the assumed
@@ -23,8 +29,10 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/datalog"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -52,15 +60,22 @@ func run(queryStr, familyStr, epsStr string, p, n int) error {
 	if n < 1 {
 		return fmt.Errorf("-n = %d, need ≥ 1", n)
 	}
-	q, err := resolveQuery(queryStr, familyStr)
-	if err != nil {
-		return err
-	}
 	var eps *big.Rat
 	if epsStr != "" {
+		var err error
 		if eps, err = parseRat(epsStr); err != nil {
 			return err
 		}
+	}
+	if datalog.IsDatalog(queryStr) {
+		if familyStr != "" {
+			return fmt.Errorf("use either a Datalog -query or -family, not both")
+		}
+		return runDatalog(queryStr, eps, p, n)
+	}
+	q, err := resolveQuery(queryStr, familyStr)
+	if err != nil {
+		return err
 	}
 	a, err := core.Analyze(q)
 	if err != nil {
@@ -84,6 +99,59 @@ func run(queryStr, familyStr, epsStr string, p, n int) error {
 		fmt.Printf("rounds at ε=%s: lower %d, upper %d\n", pl.Epsilon.RatString(), lower, upper)
 	}
 	fmt.Print(pl.Explain())
+	return nil
+}
+
+// runDatalog analyzes a Datalog program: the canonical rendering, the
+// EDB/IDB split, the stratified evaluation order, and the planner's
+// EXPLAIN for every rule body against an assumed matching database of
+// cardinality n.
+func runDatalog(src string, eps *big.Rat, p, n int) error {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:\n%s", prog.String())
+	fmt.Printf("edb:")
+	for _, pred := range prog.EDBPreds() {
+		arity, _ := prog.Arity(pred)
+		fmt.Printf(" %s/%d", pred, arity)
+	}
+	fmt.Printf("\nidb:")
+	for _, pred := range prog.IDBPreds() {
+		arity, _ := prog.Arity(pred)
+		fmt.Printf(" %s/%d", pred, arity)
+		if prog.IsAggregate(pred) {
+			fmt.Printf(" (aggregate)")
+		}
+	}
+	fmt.Println()
+	for i, s := range prog.Strata() {
+		kind := "non-recursive"
+		if s.Recursive {
+			kind = "recursive — semi-naive fixpoint over warm delta maintenance"
+		}
+		fmt.Printf("stratum %d (%s): %s\n", i, kind, strings.Join(s.Preds, ", "))
+		for _, ri := range s.Rules {
+			r := &prog.Rules[ri]
+			fmt.Printf("\nrule: %s\n", r)
+			q, err := r.BodyQuery()
+			if err != nil {
+				return err
+			}
+			pl, err := plan.Build(q, plan.MatchingStats(q, n), plan.Options{P: p, Epsilon: eps})
+			if err != nil {
+				return err
+			}
+			if spec := r.AggregateSpec(q); spec != nil {
+				if pl, err = pl.WithAggregate(*spec); err != nil {
+					return err
+				}
+			}
+			fmt.Print(pl.Explain())
+		}
+	}
+	fmt.Printf("\noutput: %s\n", prog.OutputPred())
 	return nil
 }
 

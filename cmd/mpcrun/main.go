@@ -17,6 +17,7 @@
 //	mpcrun -family C3 -plan 'shares=x1:4,x2:4,x3:4'  # manual share override
 //	mpcrun -query 'R(x,y),S(y,z)' -plan engine=skew  # manual engine override
 //	mpcrun -family C3 -workers localhost:9001,localhost:9002,localhost:9003,localhost:9004
+//	mpcrun -query 'tc(x,y) :- e(x,y). tc(x,z) :- tc(x,y), e(y,z). ?- tc(x,y).' -n 500 -p 8
 //
 // With -workers, the rounds run distributed: the listed mpcworker
 // processes (cmd/mpcworker) form the cluster, p is the pool size, and
@@ -25,7 +26,15 @@
 // construction (the differential tests in internal/dist hold both
 // paths to that).
 //
-// Without -data, a random matching database over [n] is generated;
+// A -query containing ':-' or '?-' is a Datalog program (internal/
+// datalog): rules compile onto the same planner, recursive predicates
+// run the semi-naive fixpoint over warm incremental maintenance, and
+// aggregate heads (count/sum/min/max) fold into the gather. Datalog
+// runs accept -n, -p, -eps, -seed, -cap, -show, -data and -workers;
+// the EDB relations are the program's undefined predicates.
+//
+// Without -data, a random matching database over [n] is generated
+// (for Datalog: each EDB relation gets n uniform tuples over [n]);
 // with -data, each named relation is loaded from a CSV file (header =
 // attribute names, rows = positive integers). The -plan flag overrides
 // parts of the planner's decision: a semicolon-separated list of
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datalog"
 	"repro/internal/dist"
 	"repro/internal/hypercube"
 	"repro/internal/plan"
@@ -104,6 +114,12 @@ func run(queryStr, familyStr string, n, p int, mode, epsStr string, seed uint64,
 	}
 	if dataStr == "" && n < 1 {
 		return fmt.Errorf("-n = %d, need ≥ 1", n)
+	}
+	if datalog.IsDatalog(queryStr) {
+		if familyStr != "" || mode != "auto" || planStr != "" || len(spareAddrs) > 0 || pipeline {
+			return fmt.Errorf("a Datalog -query supports only -n, -p, -eps, -seed, -cap, -show, -data and -workers")
+		}
+		return runDatalog(queryStr, n, p, epsStr, seed, capC, show, dataStr, addrs)
 	}
 	q, err := resolveQuery(queryStr, familyStr)
 	if err != nil {
@@ -361,6 +377,133 @@ func loadDatabase(q *query.Query, dataStr string) (*relation.Database, error) {
 		}
 		// Align the schema with the atom's variables.
 		rel.Attrs = append([]string(nil), a.Vars...)
+		if mv := rel.MaxValue(); mv > maxVal {
+			maxVal = mv
+		}
+		rels = append(rels, rel)
+	}
+	db := relation.NewDatabase(maxVal)
+	for _, rel := range rels {
+		db.AddRelation(rel)
+	}
+	return db, nil
+}
+
+// runDatalog evaluates a Datalog program: EDB relations from -data
+// CSVs or generated uniform over [n], rule bodies through the planner,
+// recursive strata semi-naive over warm maintainers.
+func runDatalog(src string, n, p int, epsStr string, seed uint64, capC float64, show int, dataStr string, addrs []string) error {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return err
+	}
+	var eps *big.Rat
+	if epsStr != "" {
+		if eps, err = parseRat(epsStr); err != nil {
+			return err
+		}
+	}
+	db, err := datalogDB(prog, n, seed, dataStr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:\n%s", prog.String())
+	fmt.Printf("edb: %s, idb: %s\n", strings.Join(prog.EDBPreds(), ", "), strings.Join(prog.IDBPreds(), ", "))
+	for i, s := range prog.Strata() {
+		kind := "rules"
+		if s.Recursive {
+			kind = "recursive (semi-naive fixpoint)"
+		}
+		fmt.Printf("stratum %d: %s — %d %s\n", i, strings.Join(s.Preds, ", "), len(s.Rules), kind)
+	}
+	fmt.Printf("n = %d, p = %d, input = %d bits\n", db.N, p, db.InputBits())
+
+	opts := datalog.Options{P: p, Epsilon: eps, CapConstant: capC, Seed: seed}
+	if len(addrs) > 0 {
+		if p != len(addrs) {
+			fmt.Printf("note: -workers fixes p to the pool size %d (ignoring -p %d)\n", len(addrs), p)
+			opts.P = len(addrs)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		opts.Context = ctx
+		opts.Dial = func(int) (dist.Transport, error) { return dist.DialTCP(ctx, addrs) }
+		fmt.Printf("distributed: %d TCP workers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+	}
+	res, err := datalog.Eval(prog, db, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluated: %d communication rounds, %d fixpoint iterations\n", res.Stats.NumRounds(), res.Iterations)
+	fmt.Printf("answers (%s): %d facts\n", prog.OutputPred(), len(res.Answers))
+	fmt.Printf("max load: %d tuples, total %d bits (cap exceeded: %v)\n",
+		res.Stats.MaxLoadTuples(), res.Stats.TotalBits(), res.CapExceeded)
+	if show > 0 {
+		fmt.Printf("sample answers over (%s):\n", strings.Join(res.Vars, ","))
+		for i, t := range res.Answers {
+			if i >= show {
+				fmt.Printf("  … %d more\n", len(res.Answers)-show)
+				break
+			}
+			fmt.Printf("  %v\n", t)
+		}
+	}
+	return nil
+}
+
+// datalogDB builds the EDB database: CSVs from -data, or n uniform
+// tuples per EDB relation over [n].
+func datalogDB(prog *datalog.Program, n int, seed uint64, dataStr string) (*relation.Database, error) {
+	if dataStr == "" {
+		rng := rand.New(rand.NewPCG(seed, 0xdb))
+		db := relation.NewDatabase(n)
+		for _, pred := range prog.EDBPreds() {
+			arity, _ := prog.Arity(pred)
+			attrs := make([]string, arity)
+			for i := range attrs {
+				attrs[i] = fmt.Sprintf("c%d", i)
+			}
+			rel := relation.New(pred, attrs...)
+			rel.Tuples = make([]relation.Tuple, n)
+			for i := range rel.Tuples {
+				t := make(relation.Tuple, arity)
+				for j := range t {
+					t[j] = rng.IntN(n) + 1
+				}
+				rel.Tuples[i] = t
+			}
+			db.AddRelation(rel)
+		}
+		return db, nil
+	}
+	files := map[string]string{}
+	for _, pair := range strings.Split(dataStr, ",") {
+		eq := strings.Index(pair, "=")
+		if eq <= 0 || eq == len(pair)-1 {
+			return nil, fmt.Errorf("bad -data entry %q (want Rel=file.csv)", pair)
+		}
+		files[strings.TrimSpace(pair[:eq])] = strings.TrimSpace(pair[eq+1:])
+	}
+	maxVal := 1
+	var rels []*relation.Relation
+	for _, pred := range prog.EDBPreds() {
+		path, ok := files[pred]
+		if !ok {
+			return nil, fmt.Errorf("-data missing EDB relation %s", pred)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relation.ReadCSV(f, pred)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		want, _ := prog.Arity(pred)
+		if rel.Arity() != want {
+			return nil, fmt.Errorf("relation %s from %s has arity %d, program needs %d", pred, path, rel.Arity(), want)
+		}
 		if mv := rel.MaxValue(); mv > maxVal {
 			maxVal = mv
 		}

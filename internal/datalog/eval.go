@@ -1,0 +1,534 @@
+package datalog
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/hypercube"
+	"repro/internal/localjoin"
+	"repro/internal/mpc"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Options configures Eval.
+type Options struct {
+	// P is the number of servers. Required, ≥ 1.
+	P int
+	// Epsilon is the MPC(ε) space exponent handed to the planner for
+	// every rule body; nil lets each body use its own one-round
+	// exponent 1 − 1/τ*.
+	Epsilon *big.Rat
+	// CapConstant enables receive-budget enforcement when positive.
+	CapConstant float64
+	// Seed drives every hash function of the run.
+	Seed uint64
+	// Strategy selects the per-worker local join algorithm.
+	Strategy localjoin.Strategy
+	// Dial returns a fresh transport for one execution session (a
+	// transport cannot be reused across sessions): one per rule-body
+	// plan execution, one per recursive-rule maintainer. nil runs
+	// everything on in-process loopback pools.
+	Dial func(p int) (dist.Transport, error)
+	// Context bounds distributed executions; nil selects
+	// context.Background().
+	Context context.Context
+	// MaxIterations bounds the fixpoint loop of each recursive stratum;
+	// ≤ 0 means no bound (the loop terminates anyway: the domain is
+	// finite and every iteration adds facts).
+	MaxIterations int
+}
+
+// Result reports a Datalog evaluation.
+type Result struct {
+	// Answers is the output predicate's fact set: sorted, deduplicated,
+	// in head-term order.
+	Answers []relation.Tuple
+	// Vars labels the answer columns: the goal's variables when a goal
+	// was declared, otherwise the output predicate's head terms
+	// rendered as written ("x", "count(y)").
+	Vars []string
+	// Facts holds every IDB predicate's derived fact set. Shared
+	// slices; callers must not mutate.
+	Facts map[string][]relation.Tuple
+	// Iterations is the total number of semi-naive delta iterations
+	// across all recursive strata (0 for a non-recursive program).
+	Iterations int
+	// Stats concatenates the round records of every execution the
+	// program ran — rule bodies in stratum order, then each recursive
+	// rule's maintenance rounds — so two transports that execute the
+	// same program produce identical records.
+	Stats *mpc.Stats
+	// CapExceeded reports whether any worker broke the receive budget
+	// in any execution.
+	CapExceeded bool
+	// Replacements counts workers replaced by recovery across all
+	// executions.
+	Replacements int
+}
+
+// Eval runs the program over db on the simulated MPC(ε) cluster. The
+// database must hold exactly the EDB predicates (IDB predicates are
+// derived and may not be pre-populated). Each rule body is planned and
+// executed as a conjunctive query through internal/plan; recursive
+// strata run a semi-naive fixpoint in which every delta iteration is
+// an incremental-maintenance batch (hypercube.Maintainer) on a warm
+// cluster, so iteration cost is delta routing, not a rescatter.
+func Eval(prog *Program, db *relation.Database, opts Options) (*Result, error) {
+	if opts.P < 1 {
+		return nil, fmt.Errorf("datalog: p = %d, need ≥ 1", opts.P)
+	}
+	for _, pred := range prog.EDBPreds() {
+		rel, ok := db.Relation(pred)
+		if !ok {
+			return nil, fmt.Errorf("datalog: database missing EDB relation %s", pred)
+		}
+		want, _ := prog.Arity(pred)
+		if rel.Arity() != want {
+			return nil, fmt.Errorf("datalog: relation %s has arity %d, program uses it with arity %d", pred, rel.Arity(), want)
+		}
+	}
+	for _, pred := range prog.IDBPreds() {
+		if _, ok := db.Relation(pred); ok {
+			return nil, fmt.Errorf("datalog: relation %s is derived by a rule but present in the database", pred)
+		}
+	}
+
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &evaluator{prog: prog, opts: opts, ctx: ctx, facts: make(map[string][]relation.Tuple)}
+	// The working database: shared EDB relations plus the IDB
+	// relations as strata complete.
+	e.wdb = relation.NewDatabase(db.N)
+	for _, pred := range prog.EDBPreds() {
+		rel, _ := db.Relation(pred)
+		e.wdb.AddRelation(rel)
+	}
+
+	for _, s := range prog.Strata() {
+		var err error
+		if s.Recursive {
+			err = e.evalRecursive(s)
+		} else {
+			err = e.evalStratum(s)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := prog.OutputPred()
+	return &Result{
+		Answers:      e.facts[out],
+		Vars:         prog.outputVars(),
+		Facts:        e.facts,
+		Iterations:   e.iterations,
+		Stats:        &mpc.Stats{Rounds: e.rounds},
+		CapExceeded:  e.capSeen,
+		Replacements: e.replacements,
+	}, nil
+}
+
+// outputVars labels the output columns.
+func (p *Program) outputVars() []string {
+	if p.Goal != nil {
+		return p.Goal.Vars
+	}
+	out := p.OutputPred()
+	for i := range p.Rules {
+		if p.Rules[i].Head.Pred != out {
+			continue
+		}
+		vars := make([]string, len(p.Rules[i].Head.Terms))
+		for j, t := range p.Rules[i].Head.Terms {
+			vars[j] = t.String()
+		}
+		return vars
+	}
+	return nil
+}
+
+type evaluator struct {
+	prog *Program
+	opts Options
+	ctx  context.Context
+	wdb  *relation.Database
+	// facts maps IDB pred → sorted, deduplicated fact set.
+	facts map[string][]relation.Tuple
+
+	iterations   int
+	rounds       []mpc.RoundStats
+	capSeen      bool
+	replacements int
+}
+
+// dial returns the transport for one execution session (nil = the
+// engine's own loopback).
+func (e *evaluator) dial() (dist.Transport, error) {
+	if e.opts.Dial == nil {
+		return nil, nil
+	}
+	return e.opts.Dial(e.opts.P)
+}
+
+// BodyQuery compiles the rule body into a conjunctive query named
+// after the head predicate — the unit the planner costs and executes.
+func (r *Rule) BodyQuery() (*query.Query, error) {
+	atoms := make([]query.Atom, len(r.Body))
+	for i, a := range r.Body {
+		atoms[i] = query.Atom{Name: a.Pred, Vars: append([]string(nil), a.Vars...)}
+	}
+	return query.New(r.Head.Pred, atoms...)
+}
+
+// AggregateSpec returns the gather-fold spec of an aggregate rule
+// relative to the body query's variable order, or nil for a plain
+// rule: group columns are the plain head terms, aggregate columns the
+// aggregate terms, both in head order (analysis guarantees groups
+// precede aggregates, so the fold's output order is the head order).
+func (r *Rule) AggregateSpec(q *query.Query) *relation.GroupSpec {
+	if !r.HasAggregate() {
+		return nil
+	}
+	var spec relation.GroupSpec
+	for _, t := range r.Head.Terms {
+		if t.Agg != 0 {
+			spec.Aggs = append(spec.Aggs, relation.Aggregate{Func: t.Agg, Col: q.VarIndex(t.Var)})
+		} else {
+			spec.GroupBy = append(spec.GroupBy, q.VarIndex(t.Var))
+		}
+	}
+	return &spec
+}
+
+// headPositions maps each head term to its column in the body query's
+// Vars() order.
+func headPositions(r *Rule, q *query.Query) []int {
+	pos := make([]int, len(r.Head.Terms))
+	for i, t := range r.Head.Terms {
+		pos[i] = q.VarIndex(t.Var)
+	}
+	return pos
+}
+
+// project maps full body answers onto the head terms and returns the
+// sorted, deduplicated head facts.
+func project(answers []relation.Tuple, pos []int) []relation.Tuple {
+	out := make([]relation.Tuple, len(answers))
+	for i, t := range answers {
+		row := make(relation.Tuple, len(pos))
+		for j, p := range pos {
+			row[j] = t[p]
+		}
+		out[i] = row
+	}
+	return relation.DedupSort(out)
+}
+
+// record accumulates one execution's communication record.
+func (e *evaluator) record(stats *mpc.Stats, capExceeded bool, replacements int) {
+	e.rounds = append(e.rounds, stats.Rounds...)
+	e.capSeen = e.capSeen || capExceeded
+	e.replacements += replacements
+}
+
+// evalRule plans and executes one non-recursive rule body end to end
+// and returns the head facts (projected, or aggregate-folded).
+func (e *evaluator) evalRule(r *Rule) ([]relation.Tuple, error) {
+	q, err := r.BodyQuery()
+	if err != nil {
+		return nil, fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+	}
+	pl, err := plan.Build(q, relation.CollectStats(e.wdb), plan.Options{
+		P: e.opts.P, Epsilon: e.opts.Epsilon, CapFactor: e.opts.CapConstant,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+	}
+	if r.HasAggregate() {
+		if pl, err = pl.WithAggregate(*r.AggregateSpec(q)); err != nil {
+			return nil, fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+		}
+	}
+	tr, err := e.dial()
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.Execute(e.wdb, plan.ExecOptions{
+		Seed:        e.opts.Seed,
+		CapConstant: e.opts.CapConstant,
+		Strategy:    e.opts.Strategy,
+		Transport:   tr,
+		Context:     e.ctx,
+	})
+	if tr != nil {
+		tr.Close()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+	}
+	e.record(res.Stats, res.CapExceeded, res.Replacements)
+	if r.HasAggregate() {
+		// Already one sorted row per group, in head order.
+		return res.Answers, nil
+	}
+	return project(res.Answers, headPositions(r, q)), nil
+}
+
+// install publishes a completed predicate into the working database.
+func (e *evaluator) install(pred string, facts []relation.Tuple) {
+	e.facts[pred] = facts
+	arity, _ := e.prog.Arity(pred)
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := relation.New(pred, attrs...)
+	rel.Tuples = facts
+	e.wdb.AddRelation(rel)
+}
+
+// evalStratum evaluates a non-recursive stratum: the union of its
+// rules' head facts (a single predicate — non-recursive SCCs are
+// singletons).
+func (e *evaluator) evalStratum(s Stratum) error {
+	pred := s.Preds[0]
+	var facts []relation.Tuple
+	for _, ri := range s.Rules {
+		head, err := e.evalRule(&e.prog.Rules[ri])
+		if err != nil {
+			return err
+		}
+		facts = append(facts, head...)
+	}
+	if len(s.Rules) > 1 {
+		facts = relation.DedupSort(facts)
+	}
+	e.install(pred, facts)
+	return nil
+}
+
+// evalRecursive runs the semi-naive fixpoint of one recursive
+// stratum. Base rules (no stratum predicate in the body) seed the
+// iteration; each recursive rule becomes a warm Maintainer whose cold
+// run is iteration zero, and each subsequent iteration feeds the
+// per-predicate delta into every maintainer reading it as an
+// incremental batch — replication-factor routing, answers gathered
+// from the delta join only.
+func (e *evaluator) evalRecursive(s Stratum) error {
+	inStratum := make(map[string]bool, len(s.Preds))
+	for _, pred := range s.Preds {
+		inStratum[pred] = true
+	}
+	var baseRules, recRules []*Rule
+	for _, ri := range s.Rules {
+		r := &e.prog.Rules[ri]
+		rec := false
+		for _, a := range r.Body {
+			if inStratum[a.Pred] {
+				rec = true
+				break
+			}
+		}
+		if rec {
+			recRules = append(recRules, r)
+		} else {
+			baseRules = append(baseRules, r)
+		}
+	}
+	if len(recRules) == 0 {
+		// Tarjan flagged a self-loop that body scanning missed — cannot
+		// happen; guard anyway.
+		return fmt.Errorf("datalog: stratum %v marked recursive but has no recursive rule", s.Preds)
+	}
+
+	// Seed: base-rule facts become the initial stores the maintainers
+	// scatter. Predicates with no base rule start empty.
+	known := make(map[string][]relation.Tuple, len(s.Preds))
+	for _, pred := range s.Preds {
+		known[pred] = nil
+	}
+	for _, r := range baseRules {
+		head, err := e.evalRule(r)
+		if err != nil {
+			return err
+		}
+		known[r.Head.Pred] = mergeSorted(known[r.Head.Pred], head)
+	}
+	for _, pred := range s.Preds {
+		e.install(pred, known[pred])
+	}
+
+	// One warm maintainer per recursive rule; its cold run already
+	// joins the seeds, so its Answers() are the iteration-zero
+	// derivations.
+	type maint struct {
+		rule *Rule
+		q    *query.Query
+		m    *hypercube.Maintainer
+		pos  []int
+	}
+	ms := make([]maint, 0, len(recRules))
+	closeAll := func() {
+		for _, mm := range ms {
+			mm.m.Close()
+		}
+	}
+	delta := make(map[string][]relation.Tuple, len(s.Preds))
+	for _, r := range recRules {
+		q, err := r.BodyQuery()
+		if err != nil {
+			return fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+		}
+		tr, err := e.dial()
+		if err != nil {
+			closeAll()
+			return err
+		}
+		var epsF float64
+		if e.opts.Epsilon != nil {
+			epsF, _ = e.opts.Epsilon.Float64()
+		} else {
+			cr, err := cover.Solve(q)
+			if err != nil {
+				closeAll()
+				return fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+			}
+			epsF = cr.SpaceExponentFloat()
+		}
+		m, err := hypercube.NewMaintainer(q, e.wdb, e.opts.P, hypercube.Options{
+			Epsilon:     epsF,
+			CapConstant: e.opts.CapConstant,
+			Seed:        e.opts.Seed,
+			Strategy:    e.opts.Strategy,
+			Transport:   tr,
+			Context:     e.ctx,
+		})
+		if err != nil {
+			if tr != nil {
+				tr.Close()
+			}
+			closeAll()
+			return fmt.Errorf("datalog: rule for %s: %v", r.Head.Pred, err)
+		}
+		pos := headPositions(r, q)
+		ms = append(ms, maint{rule: r, q: q, m: m, pos: pos})
+		fresh := diffSorted(project(m.Answers(), pos), known[r.Head.Pred])
+		delta[r.Head.Pred] = mergeSorted(delta[r.Head.Pred], fresh)
+	}
+	for pred, d := range delta {
+		known[pred] = mergeSorted(known[pred], d)
+	}
+
+	// The fixpoint loop: every iteration ships each predicate's delta
+	// to every maintainer that reads it, in one batch per rule, and
+	// the genuinely new answers (Report.Fresh) become the next delta.
+	for hasFacts(delta) {
+		e.iterations++
+		if e.opts.MaxIterations > 0 && e.iterations > e.opts.MaxIterations {
+			closeAll()
+			return fmt.Errorf("datalog: stratum %v exceeded %d fixpoint iterations", s.Preds, e.opts.MaxIterations)
+		}
+		next := make(map[string][]relation.Tuple, len(s.Preds))
+		for _, mm := range ms {
+			changes := make(map[string]relation.Effect)
+			for _, a := range mm.rule.Body {
+				if d := delta[a.Pred]; inStratum[a.Pred] && len(d) > 0 {
+					changes[a.Pred] = relation.Effect{Added: d}
+				}
+			}
+			if len(changes) == 0 {
+				continue
+			}
+			rep, err := mm.m.ApplyDelta(changes)
+			if err != nil {
+				closeAll()
+				return fmt.Errorf("datalog: rule for %s: %v", mm.rule.Head.Pred, err)
+			}
+			e.capSeen = e.capSeen || rep.CapExceeded
+			fresh := diffSorted(project(rep.Fresh, mm.pos), known[mm.rule.Head.Pred])
+			next[mm.rule.Head.Pred] = mergeSorted(next[mm.rule.Head.Pred], fresh)
+		}
+		// Deltas are measured against known before this iteration's
+		// merge, so two rules deriving the same new fact contribute it
+		// once (mergeSorted dedups) and nothing re-enters later rounds.
+		for pred, d := range next {
+			known[pred] = mergeSorted(known[pred], d)
+		}
+		delta = next
+	}
+
+	for _, mm := range ms {
+		e.record(mm.m.Stats(), false, mm.m.Replacements())
+		mm.m.Close()
+	}
+	for _, pred := range s.Preds {
+		e.install(pred, known[pred])
+	}
+	return nil
+}
+
+// hasFacts reports whether any delta is nonempty.
+func hasFacts(delta map[string][]relation.Tuple) bool {
+	for _, d := range delta {
+		if len(d) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeSorted merges two sorted, deduplicated tuple slices into one.
+func mergeSorted(a, b []relation.Tuple) []relation.Tuple {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]relation.Tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		case b[j].Less(a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// diffSorted returns the elements of a not present in b (both sorted,
+// deduplicated).
+func diffSorted(a, b []relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		case b[j].Less(a[i]):
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package datalog
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+// startPool spins up n in-process TCP worker listeners (the exact
+// code cmd/mpcworker runs) and returns their addresses.
+func startPool(t *testing.T, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ctx, ln)
+	}
+	return addrs
+}
+
+// tcpDialer returns an Options.Dial that opens a fresh session
+// against the pool per execution.
+func tcpDialer(addrs []string) func(int) (dist.Transport, error) {
+	return func(int) (dist.Transport, error) {
+		return dist.DialTCP(context.Background(), addrs)
+	}
+}
+
+// edgeDB builds a database with one binary relation e over [1,n].
+func edgeDB(n int, edges [][2]int) *relation.Database {
+	rel := relation.New("e", "a", "b")
+	for _, e := range edges {
+		rel.Tuples = append(rel.Tuples, relation.Tuple{e[0], e[1]})
+	}
+	db := relation.NewDatabase(n)
+	db.AddRelation(rel)
+	return db
+}
+
+// randomEdges draws m edges uniformly over [1,n]² (duplicates kept —
+// set semantics must absorb them).
+func randomEdges(rng *rand.Rand, n, m int) [][2]int {
+	out := make([][2]int, m)
+	for i := range out {
+		out[i] = [2]int{rng.IntN(n) + 1, rng.IntN(n) + 1}
+	}
+	return out
+}
+
+// naiveTC is the single-node reference: the transitive closure by
+// naive fixpoint over a set.
+func naiveTC(edges [][2]int) map[[2]int]bool {
+	tc := map[[2]int]bool{}
+	for _, e := range edges {
+		tc[e] = true
+	}
+	for {
+		grew := false
+		for xy := range tc {
+			for _, e := range edges {
+				if e[0] != xy[1] {
+					continue
+				}
+				k := [2]int{xy[0], e[1]}
+				if !tc[k] {
+					tc[k] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return tc
+		}
+	}
+}
+
+func pairsOf(ts []relation.Tuple) map[[2]int]bool {
+	out := make(map[[2]int]bool, len(ts))
+	for _, t := range ts {
+		out[[2]int{t[0], t[1]}] = true
+	}
+	return out
+}
+
+const tcProgram = `
+	tc(x, y) :- e(x, y).
+	tc(x, z) :- tc(x, y), e(y, z).
+	?- tc(x, y).
+`
+
+// TestEvalTransitiveClosure: the distributed semi-naive evaluation
+// equals the single-node naive fixpoint.
+func TestEvalTransitiveClosure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	for trial := 0; trial < 3; trial++ {
+		edges := randomEdges(rng, 24, 40)
+		db := edgeDB(24, edges)
+		res, err := Eval(MustParse(tcProgram), db, Options{P: 4, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveTC(edges)
+		got := pairsOf(res.Answers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: closure has %d pairs, reference %d", trial, len(got), len(want))
+		}
+		if !reflect.DeepEqual(res.Vars, []string{"x", "y"}) {
+			t.Fatalf("vars = %v", res.Vars)
+		}
+		if res.Iterations == 0 {
+			t.Fatal("recursive run reports zero iterations")
+		}
+		// Sorted, deduplicated.
+		for i := 1; i < len(res.Answers); i++ {
+			if !res.Answers[i-1].Less(res.Answers[i]) {
+				t.Fatal("answers not sorted/deduplicated")
+			}
+		}
+	}
+}
+
+// TestEvalTransports: the same program over loopback and TCP worker
+// pools yields identical answers and byte-identical round statistics.
+func TestEvalTransports(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0))
+	edges := randomEdges(rng, 20, 36)
+	const p = 4
+	run := func(dial func(int) (dist.Transport, error)) *Result {
+		res, err := Eval(MustParse(tcProgram), edgeDB(20, edges), Options{P: p, Seed: 5, Dial: dial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lb := run(nil)
+	tcp := run(tcpDialer(startPool(t, p)))
+	if !reflect.DeepEqual(lb.Answers, tcp.Answers) {
+		t.Fatalf("answers diverge: %d loopback vs %d TCP", len(lb.Answers), len(tcp.Answers))
+	}
+	if lb.Iterations != tcp.Iterations {
+		t.Fatalf("iterations diverge: %d vs %d", lb.Iterations, tcp.Iterations)
+	}
+	if !reflect.DeepEqual(lb.Stats.Rounds, tcp.Stats.Rounds) {
+		t.Fatalf("round stats diverge:\nloop %+v\n tcp %+v", lb.Stats.Rounds, tcp.Stats.Rounds)
+	}
+	if lb.Stats.TotalBits() == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+// TestEvalMutualRecursion: odd/even path lengths through one SCC of
+// two predicates, against a parity-BFS reference.
+func TestEvalMutualRecursion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 0))
+	edges := randomEdges(rng, 16, 26)
+	prog := MustParse(`
+		odd(x, y) :- e(x, y).
+		odd(x, z) :- even(x, y), e(y, z).
+		even(x, z) :- odd(x, y), e(y, z).
+		?- odd(x, y).
+	`)
+	res, err := Eval(prog, edgeDB(16, edges), Options{P: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: pair (x,y,parity) reachable by a path of length ≥ 1.
+	type st struct{ x, y, par int }
+	seen := map[st]bool{}
+	for _, e := range edges {
+		seen[st{e[0], e[1], 1}] = true
+	}
+	for {
+		grew := false
+		for s := range seen {
+			for _, e := range edges {
+				if e[0] != s.y {
+					continue
+				}
+				n := st{s.x, e[1], 1 - s.par}
+				if !seen[n] {
+					seen[n] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	wantOdd := map[[2]int]bool{}
+	wantEven := map[[2]int]bool{}
+	for s := range seen {
+		if s.par == 1 {
+			wantOdd[[2]int{s.x, s.y}] = true
+		} else {
+			wantEven[[2]int{s.x, s.y}] = true
+		}
+	}
+	if got := pairsOf(res.Answers); !reflect.DeepEqual(got, wantOdd) {
+		t.Fatalf("odd: got %d pairs, want %d", len(got), len(wantOdd))
+	}
+	if got := pairsOf(res.Facts["even"]); !reflect.DeepEqual(got, wantEven) {
+		t.Fatalf("even: got %d pairs, want %d", len(got), len(wantEven))
+	}
+}
+
+// TestEvalAggregate: a grouped aggregate rule equals the
+// GroupAggregate reference over the deduplicated body answers.
+func TestEvalAggregate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 0))
+	edges := randomEdges(rng, 12, 50)
+	db := edgeDB(12, edges)
+	res, err := Eval(MustParse(`
+		deg(x, count(y), max(y)) :- e(x, y).
+		?- deg(x, c, m).
+	`), db, Options{P: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db.Relation("e")
+	want := relation.GroupAggregate(rel.Tuples, relation.GroupSpec{
+		GroupBy: []int{0},
+		Aggs: []relation.Aggregate{
+			{Func: relation.AggCount, Col: 1},
+			{Func: relation.AggMax, Col: 1},
+		},
+	})
+	if !reflect.DeepEqual(res.Answers, want) {
+		t.Fatalf("aggregate diverges:\ngot  %v\nwant %v", res.Answers, want)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"x", "c", "m"}) {
+		t.Fatalf("vars = %v", res.Vars)
+	}
+}
+
+// TestEvalStratified: an aggregate stratum reading a recursive
+// stratum's output — count the nodes each node reaches.
+func TestEvalStratified(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 0))
+	edges := randomEdges(rng, 14, 22)
+	res, err := Eval(MustParse(`
+		tc(x, y) :- e(x, y).
+		tc(x, z) :- tc(x, y), e(y, z).
+		reaches(x, count(y)) :- tc(x, y).
+		?- reaches(x, n).
+	`), edgeDB(14, edges), Options{P: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for xy := range naiveTC(edges) {
+		counts[xy[0]]++
+	}
+	want := map[[2]int]bool{}
+	for x, c := range counts {
+		want[[2]int{x, c}] = true
+	}
+	if got := pairsOf(res.Answers); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reach counts diverge:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestEvalUnionRules: two rules for one non-recursive predicate union
+// their facts.
+func TestEvalUnionRules(t *testing.T) {
+	r := relation.New("r", "a", "b")
+	r.Tuples = []relation.Tuple{{1, 2}, {3, 4}}
+	s := relation.New("s", "a", "b")
+	s.Tuples = []relation.Tuple{{3, 4}, {5, 6}}
+	db := relation.NewDatabase(8)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	res, err := Eval(MustParse(`
+		u(x, y) :- r(x, y).
+		u(x, y) :- s(x, y).
+	`), db, Options{P: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{{1, 2}, {3, 4}, {5, 6}}
+	if !reflect.DeepEqual(res.Answers, want) {
+		t.Fatalf("union = %v, want %v", res.Answers, want)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("non-recursive program reports %d iterations", res.Iterations)
+	}
+}
+
+// TestEvalErrors: the EDB/IDB contract against the database.
+func TestEvalErrors(t *testing.T) {
+	prog := MustParse("p(x, y) :- e(x, y).")
+	if _, err := Eval(prog, relation.NewDatabase(4), Options{P: 2}); err == nil {
+		t.Fatal("missing EDB relation accepted")
+	}
+	db := edgeDB(4, [][2]int{{1, 2}})
+	pRel := relation.New("p", "a", "b")
+	db.AddRelation(pRel)
+	if _, err := Eval(prog, db, Options{P: 2}); err == nil {
+		t.Fatal("pre-populated IDB relation accepted")
+	}
+	tri := relation.New("e", "a", "b", "c")
+	db2 := relation.NewDatabase(4)
+	db2.AddRelation(tri)
+	if _, err := Eval(prog, db2, Options{P: 2}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := Eval(prog, edgeDB(4, nil), Options{P: 0}); err == nil {
+		t.Fatal("p = 0 accepted")
+	}
+}

@@ -1,0 +1,445 @@
+// Package datalog is the text front end of the reproduction: a strict
+// parser and a stratified, semi-naive evaluator for Datalog programs —
+// conjunctive rules, grouped aggregation (count/sum/min/max) in rule
+// heads, and (mutually) recursive predicates. Rule bodies compile onto
+// the statistics-driven engines of internal/plan; recursive strata run
+// as a fixpoint loop over the warm incremental-maintenance machinery
+// of internal/hypercube, so every semi-naive delta round is routed at
+// replication-factor cost instead of a rescatter.
+//
+// The grammar, deliberately strict where the conjunctive-query parser
+// was once lenient:
+//
+//	program   := { rule | goal }
+//	rule      := head ":-" atom { "," atom } "."
+//	goal      := "?-" atom "."
+//	head      := ident "(" term { "," term } ")"
+//	term      := ident | agg "(" ident ")"
+//	agg       := "count" | "sum" | "min" | "max"
+//	atom      := ident "(" ident { "," ident } ")"
+//
+// Identifiers are letters, digits and underscores beginning with a
+// letter; "%" starts a comment to end of line; every statement is
+// terminated by "."; empty positions ("e(x,,y)") and unterminated
+// statements are errors. Constants, negation, and facts in program
+// text are not supported — base relations arrive as EDB data.
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/relation"
+)
+
+// Term is one head position: a plain variable, or an aggregate
+// function applied to a body variable.
+type Term struct {
+	// Var is the variable name (the aggregate argument when Agg is
+	// set).
+	Var string
+	// Agg is the aggregate function, or 0 for a plain variable.
+	Agg relation.AggFunc
+}
+
+// String renders the term as it was written.
+func (t Term) String() string {
+	if t.Agg != 0 {
+		return fmt.Sprintf("%s(%s)", t.Agg, t.Var)
+	}
+	return t.Var
+}
+
+// Head is a rule head: a predicate applied to terms.
+type Head struct {
+	// Pred is the predicate name.
+	Pred string
+	// Terms are the head positions in output order.
+	Terms []Term
+}
+
+// Atom is a body (or goal) predicate applied to variables.
+type Atom struct {
+	// Pred is the predicate name.
+	Pred string
+	// Vars are the argument variables.
+	Vars []string
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(a.Vars, ", "))
+}
+
+// Rule is one Datalog rule head :- body.
+type Rule struct {
+	// Head is the rule head.
+	Head Head
+	// Body lists the body atoms in written order.
+	Body []Atom
+
+	line int
+}
+
+// HasAggregate reports whether any head term is an aggregate.
+func (r *Rule) HasAggregate() bool {
+	for _, t := range r.Head.Terms {
+		if t.Agg != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the rule in canonical form.
+func (r *Rule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(", r.Head.Pred)
+	for i, t := range r.Head.Terms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteString(") :- ")
+	for i, a := range r.Body {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(".")
+	return sb.String()
+}
+
+// Goal is the optional "?- pred(vars)." output declaration.
+type Goal struct {
+	// Pred is the queried predicate.
+	Pred string
+	// Vars label the output columns; their count must match the
+	// predicate's arity.
+	Vars []string
+
+	line int
+}
+
+// Program is a parsed, statically validated Datalog program.
+type Program struct {
+	// Rules in program order.
+	Rules []Rule
+	// Goal is the output declaration, nil when the program has none.
+	Goal *Goal
+
+	an analysis
+}
+
+// String renders the program in canonical form, one statement per
+// line. Parsing the rendering yields an equal program (the fuzz
+// round-trip property).
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteString("\n")
+	}
+	if p.Goal != nil {
+		fmt.Fprintf(&sb, "?- %s.\n", Atom{Pred: p.Goal.Pred, Vars: p.Goal.Vars})
+	}
+	return sb.String()
+}
+
+// IsDatalog reports whether the query text is addressed to this front
+// end rather than the conjunctive-query parser: it contains a rule or
+// goal marker.
+func IsDatalog(src string) bool {
+	return strings.Contains(src, ":-") || strings.Contains(src, "?-")
+}
+
+// ───────────────────────────── lexer ─────────────────────────────
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota + 1
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // ":-"
+	tokQuery   // "?-"
+	tokEOF
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	case tokEOF:
+		return "end of input"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lex tokenizes the whole program, rejecting anything outside the
+// grammar's alphabet.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '%':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case r == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case r == ':':
+			if i+1 < len(rs) && rs[i+1] == '-' {
+				toks = append(toks, token{tokImplies, ":-", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: line %d: ':' not followed by '-'", line)
+			}
+		case r == '?':
+			if i+1 < len(rs) && rs[i+1] == '-' {
+				toks = append(toks, token{tokQuery, "?-", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: line %d: '?' not followed by '-'", line)
+			}
+		case unicode.IsLetter(r):
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j]), line})
+			i = j
+		case unicode.IsDigit(r):
+			return nil, fmt.Errorf("datalog: line %d: constants are not supported (identifiers begin with a letter); load base facts as EDB data", line)
+		default:
+			return nil, fmt.Errorf("datalog: line %d: unexpected character %q", line, r)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+// ───────────────────────────── parser ─────────────────────────────
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("datalog: line %d: expected %s, got %q", t.line, k, t.text)
+	}
+	return t, nil
+}
+
+// Parse reads and statically validates a Datalog program: syntax,
+// consistent predicate arities, range restriction (safety), the
+// aggregate discipline, and stratification (no recursion through
+// aggregation, no self-join bodies).
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		if p.peek().kind == tokQuery {
+			g, err := p.parseGoal()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Goal != nil {
+				return nil, fmt.Errorf("datalog: line %d: second goal (one '?-' per program)", g.line)
+			}
+			prog.Goal = g
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, *r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("datalog: program has no rules")
+	}
+	if err := prog.analyze(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) parseGoal() (*Goal, error) {
+	q, err := p.expect(tokQuery)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return &Goal{Pred: a.Pred, Vars: a.Vars, line: q.line}, nil
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: Head{Pred: name.text}, line: name.line}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		r.Head.Terms = append(r.Head.Terms, t)
+		sep := p.next()
+		if sep.kind == tokRParen {
+			break
+		}
+		if sep.kind != tokComma {
+			return nil, fmt.Errorf("datalog: line %d: expected ',' or ')' in head of %s, got %q", sep.line, name.text, sep.text)
+		}
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		t := p.toks[p.pos]
+		return nil, fmt.Errorf("datalog: line %d: rule %s has no ':-' body (facts are not supported; load them as EDB data): got %q",
+			t.line, name.text, t.text)
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, a)
+		sep := p.next()
+		if sep.kind == tokDot {
+			break
+		}
+		if sep.kind != tokComma {
+			return nil, fmt.Errorf("datalog: line %d: expected ',' or '.' after body atom, got %q", sep.line, sep.text)
+		}
+	}
+	return r, nil
+}
+
+// parseTerm reads a head term: ident, or agg "(" ident ")".
+func (p *parser) parseTerm() (Term, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return Term{}, err
+	}
+	if p.peek().kind != tokLParen {
+		return Term{Var: id.text}, nil
+	}
+	f, ok := relation.ParseAggFunc(id.text)
+	if !ok {
+		return Term{}, fmt.Errorf("datalog: line %d: unknown aggregate function %q (count, sum, min, max)", id.line, id.text)
+	}
+	p.next() // '('
+	arg, err := p.expect(tokIdent)
+	if err != nil {
+		return Term{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Term{}, err
+	}
+	return Term{Var: arg.text, Agg: f}, nil
+}
+
+// parseAtom reads pred "(" var {"," var} ")".
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name.text}
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return Atom{}, fmt.Errorf("datalog: atom %s: %v", name.text, err)
+		}
+		a.Vars = append(a.Vars, v.text)
+		sep := p.next()
+		if sep.kind == tokRParen {
+			break
+		}
+		if sep.kind != tokComma {
+			return Atom{}, fmt.Errorf("datalog: line %d: expected ',' or ')' in atom %s, got %q", sep.line, name.text, sep.text)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,51 @@
+package datalog
+
+import "testing"
+
+// FuzzParseProgram asserts Parse never panics, and that accepted
+// programs survive a canonical-rendering round trip: String() parses
+// back to a program with the identical rendering.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"tc(x,y) :- e(x,y).",
+		"tc(x,y) :- e(x,y).\ntc(x,z) :- tc(x,y), e(y,z).\n?- tc(x,y).",
+		"odd(x,y) :- e(x,y).\nodd(x,z) :- even(x,y), e(y,z).\neven(x,z) :- odd(x,y), e(y,z).",
+		"deg(x, count(y)) :- e(x,y).",
+		"agg(x, count(y), sum(y), min(y), max(y)) :- e(x,y).",
+		"p(x,y,z) :- r(x,y), s(y,z).\n?- p(a,b,c).",
+		"% comment\np(x,y) :- e(x,y). % trailing\n",
+		// Rejections the parser must diagnose without panicking.
+		"",
+		"?- tc(x,y).",
+		"e(x,y).",
+		"tc(x,,y) :- e(x,y).",
+		"tc(x,y) :- e(x,y)",
+		"tc(x,y) :- e(x,1).",
+		"p(x) :- e(x,y).\nq(x,y) :- p(x,y).",
+		"p(x,z) :- e(x,y), e(y,z).",
+		"p(x, avg(y)) :- e(x,y).",
+		"p(count(y), x) :- e(x,y).",
+		"p(x, count(y)) :- p(x,y).",
+		"q(x,y) = R(x,y),S(y,z)",
+		"tc(x,y) : e(x,y).",
+		"? tc(x,y).",
+		"𝛼(x,y) :- e(x,y).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := prog.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering rejected: %q from %q: %v", canon, src, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("round trip not stable:\n%q\n%q", canon, again.String())
+		}
+	})
+}

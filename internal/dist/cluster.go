@@ -311,5 +311,35 @@ func (c *Cluster) Gather(ctx context.Context, view string) ([]relation.Tuple, er
 	return exchange.MergeRuns(runs), nil
 }
 
+// GatherAggregate is Gather with a grouped-aggregate fold pushed into
+// the k-way merge: the per-worker sorted runs stream through a
+// relation.Accumulator, so the coordinator materializes one row per
+// group instead of the full answer set. In pipelined mode the deferred
+// script runs first (the gather is its fence) and the fold consumes
+// the merged output — results are identical either way.
+func (c *Cluster) GatherAggregate(ctx context.Context, view string, spec relation.GroupSpec) ([]relation.Tuple, error) {
+	span := c.tracePhase("gather")
+	defer c.tracePhaseEnd(span)
+	if c.pipe {
+		tuples, err := c.gatherPipelined(ctx, view)
+		if err != nil {
+			return nil, err
+		}
+		return relation.GroupAggregate(tuples, spec), nil
+	}
+	var runs []*exchange.Buffer
+	err := c.attempt(ctx, true, func(ctx context.Context) error {
+		var err error
+		runs, err = c.tr.Gather(ctx, view)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := relation.NewAccumulator(spec)
+	exchange.FoldRuns(runs, acc.Add)
+	return acc.Result(), nil
+}
+
 // Close closes the underlying transport session.
 func (c *Cluster) Close() error { return c.tr.Close() }

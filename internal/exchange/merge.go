@@ -106,6 +106,55 @@ func mergeWords(runs []*Buffer) []uint64 {
 	return out
 }
 
+// FoldRuns streams the deduplicated sorted union of the runs into
+// yield, one tuple at a time, without materializing the merged answer
+// set — the gather-phase hook grouped aggregation folds through: the
+// coordinator keeps one accumulator row per group instead of the full
+// answer. On the packed fast path the tuple passed to yield is reused
+// between calls; yield must not retain it.
+func FoldRuns(runs []*Buffer, yield func(relation.Tuple)) {
+	live := runs[:0:0]
+	for _, r := range runs {
+		if r != nil && r.Len() > 0 {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	arity := live[0].arity
+	packed := true
+	for _, r := range live {
+		if !r.sealed {
+			r.Seal()
+		}
+		if !r.packed || r.arity != arity {
+			packed = false
+		}
+	}
+	if !packed {
+		var all []relation.Tuple
+		for _, r := range live {
+			all = r.AppendTuples(all)
+		}
+		for _, t := range relation.DedupSort(all) {
+			yield(t)
+		}
+		return
+	}
+	words := mergeWords(live)
+	shift := live[0].shift
+	mask := relation.PackedMask(shift)
+	row := make(relation.Tuple, arity)
+	for _, key := range words {
+		for j := arity - 1; j >= 0; j-- {
+			row[j] = int(key & mask)
+			key >>= shift
+		}
+		yield(row)
+	}
+}
+
 // mergeParallelThreshold is the total tuple count above which
 // MergeDedupTuples packs its groups concurrently.
 const mergeParallelThreshold = 1 << 14

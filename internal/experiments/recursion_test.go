@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRecursionExperiment checks the E-REC invariants at a small
+// scale: the two strategies agree on the closure (enforced inside
+// Recursion), the semi-naive run records a real fixpoint, and feeding
+// deltas through the warm distribution beats re-shipping the closure.
+func TestRecursionExperiment(t *testing.T) {
+	var buf strings.Builder
+	rows, err := Recursion(&buf, []int{60, 150}, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Answers < r.N {
+			t.Errorf("n=%d: closure %d smaller than the edge set", r.N, r.Answers)
+		}
+		if r.Iterations < 1 {
+			t.Errorf("n=%d: %d fixpoint iterations", r.N, r.Iterations)
+		}
+		if r.SemiBits <= 0 || r.NaiveBits <= 0 {
+			t.Errorf("n=%d: degenerate costs semi=%d naive=%d", r.N, r.SemiBits, r.NaiveBits)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("n=%d: semi-naive not cheaper than naive (ratio %.2f)", r.N, r.Ratio)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E-REC") || !strings.Contains(out, "naive/semi") {
+		t.Errorf("report missing headers:\n%s", out)
+	}
+}
+
+// TestRecursionExperimentRejects covers the argument guards.
+func TestRecursionExperimentRejects(t *testing.T) {
+	if _, err := Recursion(io.Discard, []int{0}, 4, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Recursion(io.Discard, []int{100}, 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+}

@@ -40,6 +40,11 @@ type Report struct {
 	// materialized answer.
 	AnswersAdded   int
 	AnswersRemoved int
+	// Fresh lists the genuinely new answers of the batch — the
+	// AnswersAdded tuples, sorted. It is the Δ a semi-naive fixpoint
+	// loop projects and feeds into its next iteration. Callers must
+	// not mutate the tuples (they are shared with Answers()).
+	Fresh []relation.Tuple
 	// Replacements counts workers replaced by recovery during the
 	// batch.
 	Replacements int
@@ -303,7 +308,7 @@ func (m *Maintainer) ApplyDelta(changes map[string]relation.Effect) (*Report, er
 	// using at least one added tuple appears in the term of one of the
 	// atoms it was added to, and stores already exclude retracted
 	// tuples, so no term resurrects a dead answer.
-	added := 0
+	var freshNew []relation.Tuple
 	if changed {
 		gatherView := fmt.Sprintf("hc!delta!%d", m.seq)
 		for _, a := range m.q.Atoms {
@@ -320,12 +325,13 @@ func (m *Maintainer) ApplyDelta(changes map[string]relation.Effect) (*Report, er
 		if err != nil {
 			return nil, err
 		}
-		m.answers, added = mergeSortedAnswers(m.answers, fresh)
+		m.answers, freshNew = mergeSortedAnswers(m.answers, fresh)
 	}
 
 	rep := &Report{
-		AnswersAdded:   added,
+		AnswersAdded:   len(freshNew),
 		AnswersRemoved: removed,
+		Fresh:          freshNew,
 		Replacements:   m.cluster.Replacements(),
 		CapExceeded:    m.capSeen,
 	}
@@ -337,13 +343,13 @@ func (m *Maintainer) ApplyDelta(changes map[string]relation.Effect) (*Report, er
 }
 
 // mergeSortedAnswers merges two sorted deduplicated tuple slices and
-// returns the union plus how many tuples of fresh were genuinely new.
-func mergeSortedAnswers(base, fresh []relation.Tuple) ([]relation.Tuple, int) {
+// returns the union plus the tuples of fresh that were genuinely new
+// (absent from base), themselves sorted.
+func mergeSortedAnswers(base, fresh []relation.Tuple) (merged, added []relation.Tuple) {
 	if len(fresh) == 0 {
-		return base, 0
+		return base, nil
 	}
 	out := make([]relation.Tuple, 0, len(base)+len(fresh))
-	added := 0
 	i, j := 0, 0
 	for i < len(base) && j < len(fresh) {
 		switch {
@@ -352,7 +358,7 @@ func mergeSortedAnswers(base, fresh []relation.Tuple) ([]relation.Tuple, int) {
 			i++
 		case fresh[j].Less(base[i]):
 			out = append(out, fresh[j])
-			added++
+			added = append(added, fresh[j])
 			j++
 		default:
 			out = append(out, base[i])
@@ -363,7 +369,7 @@ func mergeSortedAnswers(base, fresh []relation.Tuple) ([]relation.Tuple, int) {
 	out = append(out, base[i:]...)
 	for ; j < len(fresh); j++ {
 		out = append(out, fresh[j])
-		added++
+		added = append(added, fresh[j])
 	}
 	if !sort.SliceIsSorted(out, func(a, b int) bool { return out[a].Less(out[b]) }) {
 		// Defensive: gathered runs are sorted by construction, so this

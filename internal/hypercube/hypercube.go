@@ -385,6 +385,12 @@ type Options struct {
 	// Trace, when non-nil, records per-round per-worker spans of the
 	// execution (see dist.Cluster.EnableTracing); nil disables tracing.
 	Trace *trace.Trace
+	// Aggregate, when non-nil, folds the answer gather into grouped
+	// aggregates (the spec's column indices refer to the query's Vars()
+	// order): Result.Answers then holds one sorted row per group. The
+	// shuffle, the local joins, and the round statistics are unchanged
+	// — the fold rides the final k-way merge.
+	Aggregate *relation.GroupSpec
 }
 
 // Result reports a HyperCube execution.
@@ -472,6 +478,11 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	if sample == nil && shares.GridSize() > p {
 		return nil, fmt.Errorf("hypercube: grid size %d exceeds %d servers", shares.GridSize(), p)
 	}
+	if opts.Aggregate != nil {
+		if err := opts.Aggregate.Validate(q.NumVars()); err != nil {
+			return nil, err
+		}
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -527,7 +538,12 @@ func runWithShares(q *query.Query, db *relation.Database, p int, shares *Shares,
 	if err := cluster.Join(ctx, q, nil, answersView, opts.Strategy); err != nil {
 		return nil, err
 	}
-	merged, err := cluster.Gather(ctx, answersView)
+	var merged []relation.Tuple
+	if opts.Aggregate != nil {
+		merged, err = cluster.GatherAggregate(ctx, answersView, *opts.Aggregate)
+	} else {
+		merged, err = cluster.Gather(ctx, answersView)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -467,6 +467,23 @@ func (c *Cluster) checkCap(rs *RoundStats) error {
 // given view name across all workers — the union of per-server query
 // outputs — by k-way merging the workers' sorted columnar runs.
 func (c *Cluster) GatherAnswers(view string) []relation.Tuple {
+	return exchange.MergeRuns(c.gatherRuns(view))
+}
+
+// GatherAggregate folds the tuples stored under view across all
+// workers into grouped aggregates: the same k-way merge as
+// GatherAnswers, streamed through a relation.Accumulator, so the
+// coordinator materializes one row per group instead of the full
+// answer set.
+func (c *Cluster) GatherAggregate(view string, spec relation.GroupSpec) []relation.Tuple {
+	acc := relation.NewAccumulator(spec)
+	exchange.FoldRuns(c.gatherRuns(view), acc.Add)
+	return acc.Result()
+}
+
+// gatherRuns collects the sorted columnar runs stored under view
+// across all workers.
+func (c *Cluster) gatherRuns(view string) []*exchange.Buffer {
 	var runs []*exchange.Buffer
 	for _, w := range c.workers {
 		w.mu.Lock()
@@ -475,5 +492,5 @@ func (c *Cluster) GatherAnswers(view string) []relation.Tuple {
 		}
 		w.mu.Unlock()
 	}
-	return exchange.MergeRuns(runs)
+	return runs
 }

@@ -100,7 +100,7 @@ func (p *Plan) Execute(db *relation.Database, opts ExecOptions) (*Result, error)
 			return nil, err
 		}
 		return &Result{
-			Answers:      res.Answers,
+			Answers:      p.foldAggregate(res.Answers),
 			Engine:       MultiRound,
 			Rounds:       res.Rounds,
 			Stats:        res.Stats,
@@ -126,6 +126,7 @@ func (p *Plan) executeOneRound(db *relation.Database, opts ExecOptions) (*Result
 		Recovery:    opts.Recovery,
 		Pipeline:    opts.Pipeline,
 		Trace:       opts.Trace,
+		Aggregate:   p.Aggregate,
 	})
 	if err != nil {
 		return nil, err
@@ -185,13 +186,25 @@ func (p *Plan) executeSkewJoin(db *relation.Database, opts ExecOptions) (*Result
 	}
 	sort.Slice(answers, func(i, j int) bool { return answers[i].Less(answers[j]) })
 	return &Result{
-		Answers:      answers,
+		Answers:      p.foldAggregate(answers),
 		Engine:       SkewJoin,
 		Rounds:       res.Stats.NumRounds(),
 		Stats:        res.Stats,
 		CapExceeded:  res.CapExceeded,
 		Replacements: res.Replacements,
 	}, nil
+}
+
+// foldAggregate applies the plan's grouped aggregate to a final
+// answer set when one is configured. The one-round engine folds in
+// the gather merge instead; the multiround and skew engines reorder
+// their final answers into Query.Vars() order first, so the fold runs
+// here at the coordinator on the restored order.
+func (p *Plan) foldAggregate(answers []relation.Tuple) []relation.Tuple {
+	if p.Aggregate == nil {
+		return answers
+	}
+	return relation.GroupAggregate(answers, *p.Aggregate)
 }
 
 // remapBinary returns a column-reordered copy of a binary relation

@@ -80,6 +80,12 @@ func (p *Plan) Explain() string {
 		}
 	}
 
+	// Aggregation rides the gather; it changes the output, not the plan.
+	if p.Aggregate != nil {
+		fmt.Fprintf(&sb, "  aggregate (folded into the gather merge): %s → (%s)\n",
+			p.Aggregate, strings.Join(p.AggVars, ","))
+	}
+
 	// The decision.
 	fmt.Fprintf(&sb, "  engine: %s (%s, predicted load %.0f tuples/worker)\n",
 		p.Engine, roundsWord(p.Cost.Rounds), p.Cost.LoadTuples)

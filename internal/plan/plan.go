@@ -185,9 +185,52 @@ type Plan struct {
 	// dimension.
 	SkewLoad float64
 
+	// Aggregate, when non-nil, turns Execute's answer into grouped
+	// aggregates over the head: the spec's column indices refer to
+	// Query.Vars(). Set by WithAggregate. The one-round engine folds it
+	// into the gather's k-way merge; the other engines fold at the
+	// coordinator after restoring their final answer order.
+	Aggregate *relation.GroupSpec
+	// AggVars names the aggregated output columns — the group-by
+	// variables followed by the "func(var)" terms — indexed like the
+	// aggregated answer tuples. Nil when Aggregate is.
+	AggVars []string
+
 	heavyFactor  float64
 	capFactor    float64
 	manualShares bool // set by WithShares: Shares no longer follow the LP
+}
+
+// OutputVars names the columns of Execute's answer tuples: the
+// aggregated output columns under WithAggregate, Query.Vars()
+// otherwise.
+func (p *Plan) OutputVars() []string {
+	if p.Aggregate != nil {
+		return p.AggVars
+	}
+	return p.Query.Vars()
+}
+
+// WithAggregate returns a copy of the plan whose execution folds the
+// answer into grouped aggregates. The spec's column indices refer to
+// Query.Vars(); engine choice, shares, and cost estimates are
+// untouched (the fold adds no communication — it rides the gather).
+func (p *Plan) WithAggregate(spec relation.GroupSpec) (*Plan, error) {
+	if err := spec.Validate(p.Query.NumVars()); err != nil {
+		return nil, err
+	}
+	vars := p.Query.Vars()
+	cols := make([]string, 0, spec.OutArity())
+	for _, c := range spec.GroupBy {
+		cols = append(cols, vars[c])
+	}
+	for _, a := range spec.Aggs {
+		cols = append(cols, fmt.Sprintf("%s(%s)", a.Func, vars[a.Col]))
+	}
+	out := *p
+	out.Aggregate = &spec
+	out.AggVars = cols
+	return &out, nil
 }
 
 // Build plans q over the given statistics. Every atom of q must have a

@@ -20,6 +20,8 @@ import (
 func Parse(s string) (*Query, error) {
 	name := "q"
 	body := s
+	headDeclared := false
+	var declared []string
 	if i := strings.Index(s, "="); i >= 0 {
 		head := strings.TrimSpace(s[:i])
 		body = s[i+1:]
@@ -30,9 +32,15 @@ func Parse(s string) (*Query, error) {
 			return nil, fmt.Errorf("query parse: malformed head %q", head)
 		}
 		name = strings.TrimSpace(head[:open])
-		if name == "" {
-			return nil, fmt.Errorf("query parse: empty query name in head %q", head)
+		if !validIdent(name) {
+			return nil, fmt.Errorf("query parse: invalid query name %q in head %q", name, head)
 		}
+		var err error
+		declared, err = splitIdents(head[open+1 : len(head)-1])
+		if err != nil {
+			return nil, fmt.Errorf("query parse: head %q: %v", head, err)
+		}
+		headDeclared = true
 	}
 	atoms, err := parseAtoms(body)
 	if err != nil {
@@ -42,28 +50,23 @@ func Parse(s string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	// If a head was declared, check it covers exactly the body variables
-	// (the paper's queries are full).
-	if i := strings.Index(s, "="); i >= 0 {
-		head := strings.TrimSpace(s[:i])
-		open := strings.Index(head, "(")
-		declared := splitIdents(head[open+1 : len(head)-1])
-		if len(declared) > 0 {
-			want := make(map[string]bool, q.NumVars())
-			for _, v := range q.Vars() {
-				want[v] = true
+	// A declared head — even an empty one — must cover exactly the body
+	// variables (the paper's queries are full).
+	if headDeclared {
+		want := make(map[string]bool, q.NumVars())
+		for _, v := range q.Vars() {
+			want[v] = true
+		}
+		got := make(map[string]bool, len(declared))
+		for _, v := range declared {
+			if !want[v] {
+				return nil, fmt.Errorf("query parse: head variable %s not in body (query must be full)", v)
 			}
-			got := make(map[string]bool, len(declared))
-			for _, v := range declared {
-				if !want[v] {
-					return nil, fmt.Errorf("query parse: head variable %s not in body (query must be full)", v)
-				}
-				got[v] = true
-			}
-			for v := range want {
-				if !got[v] {
-					return nil, fmt.Errorf("query parse: body variable %s missing from head (query must be full)", v)
-				}
+			got[v] = true
+		}
+		for v := range want {
+			if !got[v] {
+				return nil, fmt.Errorf("query parse: body variable %s missing from head (query must be full)", v)
 			}
 		}
 	}
@@ -96,7 +99,10 @@ func parseAtoms(body string) ([]Atom, error) {
 			return nil, fmt.Errorf("query parse: unclosed atom %q", rest)
 		}
 		closeIdx += open
-		vars := splitIdents(rest[open+1 : closeIdx])
+		vars, err := splitIdents(rest[open+1 : closeIdx])
+		if err != nil {
+			return nil, fmt.Errorf("query parse: atom %s: %v", name, err)
+		}
 		if len(vars) == 0 {
 			return nil, fmt.Errorf("query parse: atom %s has no variables", name)
 		}
@@ -124,16 +130,24 @@ func parseAtoms(body string) ([]Atom, error) {
 	return atoms, nil
 }
 
-func splitIdents(s string) []string {
+// splitIdents splits a comma-separated identifier list. An all-blank
+// string is zero identifiers (an explicitly empty list); an empty
+// position between commas, as in "x,,y" or "x,", is a parse error
+// rather than being silently dropped.
+func splitIdents(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
 	parts := strings.Split(s, ",")
-	var out []string
+	out := make([]string, 0, len(parts))
 	for _, p := range parts {
 		p = strings.TrimSpace(p)
-		if p != "" {
-			out = append(out, p)
+		if p == "" {
+			return nil, fmt.Errorf("empty position in identifier list %q", s)
 		}
+		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 func validIdent(s string) bool {

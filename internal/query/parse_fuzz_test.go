@@ -36,6 +36,21 @@ func FuzzParse(f *testing.F) {
 		"()",
 		"=",
 		"",
+		// Hardened-head rejections: invalid head names, declared-but-
+		// empty heads, empty identifier positions.
+		"1bad name(x) = R(x)",
+		"q() = R(x,y)",
+		"q(   ) = R(x)",
+		"R(x,,y)",
+		"q(x,,y) = R(x,y)",
+		"q(x,y) = R(x,y,)",
+		// Datalog-front-end syntax is a different grammar
+		// (internal/datalog); the CQ parser must reject it gracefully.
+		"tc(x,y) :- e(x,y).",
+		"tc(x,z) :- tc(x,y), e(y,z).",
+		"h(x, count(y)) :- r(x,y).",
+		"total(sum(y)) :- r(x,y).",
+		"?- tc(x,y).",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -58,6 +58,37 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejections pins the parser-hardening fixes: invalid head
+// relation names, declared-but-empty heads (which must still fail the
+// fullness check), and empty positions in identifier lists — all of
+// which the parser once accepted silently.
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"head name with space", "1bad name(x) = R(x)", "invalid query name"},
+		{"head name starting with digit", "1bad(x) = R(x)", "invalid query name"},
+		{"head name with dash", "no-good(x) = R(x)", "invalid query name"},
+		{"empty declared head", "q() = R(x,y)", "missing from head"},
+		{"blank declared head", "q(   ) = R(x)", "missing from head"},
+		{"empty position in atom", "R(x,,y)", "empty position"},
+		{"trailing empty position in atom", "q(x,y) = R(x,y,)", "empty position"},
+		{"empty position in head", "q(x,,y) = R(x,y)", "empty position"},
+		{"leading empty position in head", "q(,x) = R(x)", "empty position"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := Parse(c.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %v, want error", c.in, q)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Parse(%q) error %q, want substring %q", c.in, err, c.wantSub)
+			}
+		})
+	}
+}
+
 func TestParseRoundTrip(t *testing.T) {
 	for _, q := range []*Query{Chain(4), Cycle(5), Star(3), SpokedWheel(2), Binom(4, 2)} {
 		s := q.String()

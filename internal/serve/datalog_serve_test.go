@@ -1,0 +1,216 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// graphCSV renders the test graph as the CSV body of relation e: a
+// 12-node chain with back and skip edges, enough to need several
+// fixpoint iterations.
+func graphCSV() string {
+	var sb strings.Builder
+	sb.WriteString("x,y\n")
+	for i := 1; i < 12; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i+1)
+	}
+	sb.WriteString("4,2\n9,3\n1,7\n")
+	return sb.String()
+}
+
+// graphEdges parses graphCSV back into pairs for the reference
+// closure.
+func graphEdges() [][2]int {
+	var edges [][2]int
+	for _, line := range strings.Split(strings.TrimSpace(graphCSV()), "\n")[1:] {
+		var a, b int
+		fmt.Sscanf(line, "%d,%d", &a, &b)
+		edges = append(edges, [2]int{a, b})
+	}
+	return edges
+}
+
+// closurePairs is the naive transitive closure reference, sorted.
+func closurePairs(edges [][2]int) [][]int {
+	reach := map[[2]int]bool{}
+	for _, e := range edges {
+		reach[e] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for ab := range reach {
+			for _, e := range edges {
+				if e[0] == ab[1] && !reach[[2]int{ab[0], e[1]}] {
+					reach[[2]int{ab[0], e[1]}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([][]int, 0, len(reach))
+	for ab := range reach {
+		out = append(out, []int{ab[0], ab[1]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// newGraphServer registers the edge dataset under "graph".
+func newGraphServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(cfg)
+	db, err := serve.DatabaseFromCSV(map[string]string{"e": graphCSV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Registry().Add("graph", db); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+const tcServeProgram = `tc(x,y) :- e(x,y).
+tc(x,z) :- tc(x,y), e(y,z).
+?- tc(x,y).`
+
+// TestServeDatalogRecursive: POST /query with a recursive program
+// returns the exact transitive closure, flags the datalog engine, and
+// reports fixpoint iterations.
+func TestServeDatalogRecursive(t *testing.T) {
+	_, ts := newGraphServer(t, serve.Config{DefaultP: 4})
+	want := closurePairs(graphEdges())
+
+	out, _ := postQuery(t, ts.URL, serve.QueryRequest{
+		Dataset: "graph", Program: tcServeProgram, MaxAnswers: 100000,
+	})
+	if out.Engine != "datalog" {
+		t.Fatalf("engine = %q, want datalog", out.Engine)
+	}
+	if out.Iterations < 2 {
+		t.Fatalf("iterations = %d, want ≥ 2 on a 12-node chain", out.Iterations)
+	}
+	if out.Rounds < 1 || out.TotalBits <= 0 {
+		t.Fatalf("rounds = %d, totalBits = %d: execution left no communication record", out.Rounds, out.TotalBits)
+	}
+	if !reflect.DeepEqual(out.Answers, want) {
+		t.Fatalf("closure: got %d pairs, reference %d", len(out.Answers), len(want))
+	}
+	if !reflect.DeepEqual(out.Vars, []string{"x", "y"}) {
+		t.Fatalf("vars = %v", out.Vars)
+	}
+	if !strings.Contains(out.Explain, "recursive") {
+		t.Fatalf("explain does not mention recursion:\n%s", out.Explain)
+	}
+
+	// The same program inline in the query field routes identically:
+	// ':-' selects the Datalog front end.
+	inline, _ := postQuery(t, ts.URL, serve.QueryRequest{
+		Dataset: "graph", Query: tcServeProgram, MaxAnswers: 100000,
+	})
+	if !reflect.DeepEqual(inline.Answers, want) || inline.Engine != "datalog" {
+		t.Fatalf("inline routing: engine %q, %d answers", inline.Engine, len(inline.Answers))
+	}
+}
+
+// TestServeDatalogAggregate: an aggregate head folds in the gather and
+// matches per-group counts computed directly from the edge list.
+func TestServeDatalogAggregate(t *testing.T) {
+	_, ts := newGraphServer(t, serve.Config{DefaultP: 4})
+	counts := map[int]int{}
+	for _, e := range graphEdges() {
+		counts[e[0]]++
+	}
+	want := make([][]int, 0, len(counts))
+	for x, c := range counts {
+		want = append(want, []int{x, c})
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i][0] < want[j][0] })
+
+	out, _ := postQuery(t, ts.URL, serve.QueryRequest{
+		Dataset: "graph", Program: `deg(x, count(y)) :- e(x,y).`, MaxAnswers: 100000,
+	})
+	if !reflect.DeepEqual(out.Answers, want) {
+		t.Fatalf("degree counts: got %v, want %v", out.Answers, want)
+	}
+	if out.Iterations != 0 {
+		t.Fatalf("iterations = %d on a non-recursive program", out.Iterations)
+	}
+}
+
+// TestServeDatalogWorkerPool: the same recursive program on a fixed
+// remote worker pool — identical answers, distributed counter ticks.
+func TestServeDatalogWorkerPool(t *testing.T) {
+	addrs := startWorkerPool(t, 3)
+	srv, ts := newGraphServer(t, serve.Config{WorkerAddrs: addrs})
+	want := closurePairs(graphEdges())
+
+	out, _ := postQuery(t, ts.URL, serve.QueryRequest{
+		Dataset: "graph", Program: tcServeProgram, MaxAnswers: 100000,
+	})
+	if !reflect.DeepEqual(out.Answers, want) {
+		t.Fatalf("pool closure: got %d pairs, reference %d", len(out.Answers), len(want))
+	}
+	if out.P != 3 {
+		t.Fatalf("p = %d, want pool size 3", out.P)
+	}
+	if got := srv.Metrics().DistributedQueries.Load(); got < 1 {
+		t.Fatalf("DistributedQueries = %d, want ≥ 1", got)
+	}
+}
+
+// TestServeDatalogRejections: the strict front end's errors surface as
+// client errors, not 500s.
+func TestServeDatalogRejections(t *testing.T) {
+	_, ts := newGraphServer(t, serve.Config{DefaultP: 4})
+	post := func(req serve.QueryRequest) (int, string) {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error
+	}
+	cases := []struct {
+		name string
+		req  serve.QueryRequest
+		code int
+		frag string
+	}{
+		{"syntax error", serve.QueryRequest{Dataset: "graph", Program: "tc(x,y) :- e(x,y)"}, 400, "expected ',' or '.'"},
+		{"unsafe rule", serve.QueryRequest{Dataset: "graph", Program: "p(x,z) :- e(x,y)."}, 400, "unsafe"},
+		{"program and query", serve.QueryRequest{Dataset: "graph", Program: "p(x,y) :- e(x,y).", Query: "e(x,y)"}, 400, "not a combination"},
+		{"program and family", serve.QueryRequest{Dataset: "graph", Program: "p(x,y) :- e(x,y).", Family: "C3"}, 400, "not a combination"},
+		{"unknown dataset", serve.QueryRequest{Dataset: "nope", Program: "p(x,y) :- e(x,y)."}, 404, "unknown dataset"},
+		{"missing edb", serve.QueryRequest{Dataset: "graph", Program: "p(x,y) :- f(x,y)."}, 422, ""},
+		{"bad eps", serve.QueryRequest{Dataset: "graph", Program: "p(x,y) :- e(x,y).", Epsilon: "3/2"}, 400, "outside"},
+	}
+	for _, tc := range cases {
+		code, msg := post(tc.req)
+		if code != tc.code {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, code, msg, tc.code)
+		} else if tc.frag != "" && !strings.Contains(msg, tc.frag) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, msg, tc.frag)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/datalog"
 	"repro/internal/dist"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -260,6 +261,11 @@ type QueryRequest struct {
 	Query string `json:"query,omitempty"`
 	// Family is a query family name (C3, L4, SP3, …).
 	Family string `json:"family,omitempty"`
+	// Program is Datalog program text (rules, optional '?-' goal); it
+	// selects the stratified semi-naive evaluator instead of the
+	// single-query planner. Query text containing ':-' or '?-' is
+	// routed the same way.
+	Program string `json:"program,omitempty"`
 	// P is the number of servers; 0 selects the service default.
 	P int `json:"p,omitempty"`
 	// Epsilon is the space exponent as a rational ("1/2"); empty
@@ -301,6 +307,9 @@ type QueryResponse struct {
 	Explain string `json:"explain"`
 	// Vars is the output schema (query variable order of Answers).
 	Vars []string `json:"vars"`
+	// Iterations is the number of semi-naive fixpoint iterations
+	// (Datalog programs with recursion only).
+	Iterations int `json:"iterations,omitempty"`
 	// AnswerCount is the full answer cardinality.
 	AnswerCount int `json:"answerCount"`
 	// Answers holds at most MaxAnswers tuples, sorted.
@@ -367,6 +376,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	if req.Program != "" || datalog.IsDatalog(req.Query) {
+		s.handleDatalogQuery(w, r, ten, req)
 		return
 	}
 	q, err := resolveRequestQuery(req.Query, req.Family)
